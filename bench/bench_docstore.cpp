@@ -1,0 +1,158 @@
+// E9 (§II-H): flexible tables with sparse columns, document path queries,
+// and the materialized "object" join index.
+//
+// Rows reproduced:
+//   Doc_SparseColumnBytes            - bytes/row of a 1%-dense flexible
+//     column vs a dense one (the "very sparse columns" compression claim)
+//   Doc_PathQuery/<docs>             - JSON path predicate over a document
+//     column
+//   Doc_WholeObject_JoinIndex/<hdrs> - header+items fetched through the
+//     materialized JSON object
+//   Doc_WholeObject_RelationalJoin/<hdrs> - same object assembled by a
+//     hash join at query time
+
+#include <benchmark/benchmark.h>
+
+#include "docstore/doc_query.h"
+#include "docstore/flexible_table.h"
+#include "docstore/object_index.h"
+#include "query/executor.h"
+#include "workloads.h"
+
+namespace poly {
+namespace {
+
+void Doc_SparseColumnBytes(benchmark::State& state) {
+  const int kRows = 50000;
+  ColumnTable t("flex", Schema());
+  (void)t.AddColumn(ColumnDef("dense", DataType::kInt64));
+  (void)t.AddColumn(ColumnDef("sparse", DataType::kInt64));
+  Random rng(3);
+  for (int i = 0; i < kRows; ++i) {
+    Row row = {Value::Int(static_cast<int64_t>(rng.Uniform(1000))),
+               rng.Bernoulli(0.01) ? Value::Int(static_cast<int64_t>(rng.Uniform(50)))
+                                   : Value::Null()};
+    (void)t.AppendVersion(row, 1);
+  }
+  t.Merge();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.MemoryBytes());
+  }
+  state.counters["dense_bytes_per_row"] =
+      static_cast<double>(t.column(0).MemoryBytes()) / kRows;
+  state.counters["sparse_bytes_per_row"] =
+      static_cast<double>(t.column(1).MemoryBytes()) / kRows;
+}
+BENCHMARK(Doc_SparseColumnBytes);
+
+struct DocSetup {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* docs;
+
+  explicit DocSetup(int n) {
+    docs = *db.CreateTable("docs", Schema({ColumnDef("id", DataType::kInt64),
+                                           ColumnDef("doc", DataType::kDocument)}));
+    Random rng(8);
+    auto txn = tm.Begin();
+    for (int i = 0; i < n; ++i) {
+      std::string items;
+      int item_count = 1 + static_cast<int>(rng.Uniform(5));
+      for (int k = 0; k < item_count; ++k) {
+        if (k) items += ",";
+        items += R"({"sku":)" + std::to_string(rng.Uniform(1000)) + R"(,"qty":)" +
+                 std::to_string(1 + rng.Uniform(20)) + "}";
+      }
+      std::string doc = R"({"customer":)" + std::to_string(rng.Uniform(500)) +
+                        R"(,"total":)" + std::to_string(rng.Uniform(10000)) +
+                        R"(,"items":[)" + items + "]}";
+      (void)tm.Insert(txn.get(), docs, {Value::Int(i), Value::Document(doc)});
+    }
+    (void)tm.Commit(txn.get());
+    docs->Merge();
+  }
+};
+
+void Doc_PathQuery(benchmark::State& state) {
+  DocSetup setup(static_cast<int>(state.range(0)));
+  DocQuery q = *DocQuery::Create(setup.docs, "doc");
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto rows = q.SelectWhere(setup.tm.AutoCommitView(), "$.items[*].qty", CmpOp::kGe,
+                              JsonValue::Number(18));
+    hits = rows->size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(Doc_PathQuery)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+struct ObjectSetup {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* header;
+  ColumnTable* items;
+  ColumnTable* objects;
+  int n;
+
+  explicit ObjectSetup(int headers) : n(headers) {
+    header = *db.CreateTable("hdr", Schema({ColumnDef("key", DataType::kInt64),
+                                            ColumnDef("who", DataType::kString)}));
+    items = *db.CreateTable("itm", Schema({ColumnDef("hdr_key", DataType::kInt64),
+                                           ColumnDef("sku", DataType::kInt64),
+                                           ColumnDef("qty", DataType::kInt64)}));
+    objects = *db.CreateTable("objs", Schema({ColumnDef("key", DataType::kInt64),
+                                              ColumnDef("doc", DataType::kDocument)}));
+    Random rng(15);
+    auto txn = tm.Begin();
+    for (int i = 0; i < headers; ++i) {
+      (void)tm.Insert(txn.get(), header,
+                      {Value::Int(i), Value::Str("cust_" + std::to_string(i % 100))});
+      int k = 1 + static_cast<int>(rng.Uniform(8));
+      for (int j = 0; j < k; ++j) {
+        (void)tm.Insert(txn.get(), items,
+                        {Value::Int(i), Value::Int(static_cast<int64_t>(rng.Uniform(1000))),
+                         Value::Int(1 + static_cast<int64_t>(rng.Uniform(9)))});
+      }
+    }
+    (void)tm.Commit(txn.get());
+    header->Merge();
+    items->Merge();
+    (void)ObjectJoinIndex::Materialize(&tm, *header, "key", *items, "hdr_key", objects);
+    objects->Merge();
+  }
+};
+
+void Doc_WholeObject_JoinIndex(benchmark::State& state) {
+  ObjectSetup setup(static_cast<int>(state.range(0)));
+  Random rng(1);
+  for (auto _ : state) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(setup.n));
+    auto obj = ObjectJoinIndex::Lookup(*setup.objects, setup.tm.AutoCommitView(), key);
+    benchmark::DoNotOptimize(obj->Field("items")->AsArray().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Doc_WholeObject_JoinIndex)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+void Doc_WholeObject_RelationalJoin(benchmark::State& state) {
+  ObjectSetup setup(static_cast<int>(state.range(0)));
+  Random rng(1);
+  for (auto _ : state) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(setup.n));
+    auto plan = PlanBuilder::Scan("hdr")
+                    .Filter(Expr::Compare(CmpOp::kEq, Expr::Column(0),
+                                          Expr::Literal(Value::Int(key))))
+                    .HashJoin(PlanBuilder::Scan("itm").Build(), 0, 0)
+                    .Build();
+    Executor exec(&setup.db, setup.tm.AutoCommitView());
+    auto rs = exec.Execute(plan);
+    benchmark::DoNotOptimize(rs->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Doc_WholeObject_RelationalJoin)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace poly

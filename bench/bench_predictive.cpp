@@ -1,0 +1,98 @@
+// E16 (§II-B): "distributed basket analysis and a variety of forecasting
+// algorithms" embedded in the engine (supports scenario V-2/V-3).
+//
+// Rows reproduced:
+//   Pred_AprioriItemsets/<txns>  - frequent-itemset mining throughput
+//   Pred_AprioriRules/<txns>     - rule derivation
+//   Pred_HoltWinters/<points>    - seasonal forecast fit+predict
+//   Pred_KMeans/<points>         - clustering (customer segmentation)
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "engines/predictive/apriori.h"
+#include "engines/predictive/forecast.h"
+#include "engines/predictive/kmeans.h"
+#include "workloads.h"
+
+namespace poly {
+namespace {
+
+std::vector<std::vector<int64_t>> MakeBaskets(int n, uint64_t seed) {
+  Random rng(seed);
+  ZipfGenerator items(200, 0.8, seed + 1);
+  std::vector<std::vector<int64_t>> baskets(n);
+  for (auto& basket : baskets) {
+    int k = 2 + static_cast<int>(rng.Uniform(6));
+    for (int i = 0; i < k; ++i) {
+      basket.push_back(static_cast<int64_t>(items.Next()));
+    }
+    // Planted association: item 0 implies item 1 most of the time.
+    if (!basket.empty() && basket[0] == 0 && rng.Bernoulli(0.8)) basket.push_back(1);
+  }
+  return baskets;
+}
+
+void Pred_AprioriItemsets(benchmark::State& state) {
+  auto baskets = MakeBaskets(static_cast<int>(state.range(0)), 3);
+  Apriori ap(0.02, 3);
+  size_t found = 0;
+  for (auto _ : state) {
+    found = ap.FrequentItemsets(baskets).size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["itemsets"] = static_cast<double>(found);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(Pred_AprioriItemsets)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void Pred_AprioriRules(benchmark::State& state) {
+  auto baskets = MakeBaskets(static_cast<int>(state.range(0)), 3);
+  Apriori ap(0.02, 3);
+  size_t rules = 0;
+  for (auto _ : state) {
+    rules = ap.Rules(baskets, 0.25).size();
+    benchmark::DoNotOptimize(rules);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(Pred_AprioriRules)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void Pred_HoltWinters(benchmark::State& state) {
+  Random rng(4);
+  std::vector<double> series;
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    series.push_back(100 + 0.05 * i + 20 * std::sin(i * 2 * M_PI / 24) +
+                     rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    auto f = HoltWinters(series, 24, 0.3, 0.05, 0.2, 48);
+    benchmark::DoNotOptimize((*f)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(Pred_HoltWinters)->Arg(10000)->Arg(100000);
+
+void Pred_KMeans(benchmark::State& state) {
+  Random rng(6);
+  int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int cluster = static_cast<int>(rng.Uniform(5));
+    points.push_back({cluster * 10 + rng.NextGaussian(),
+                      cluster * 7 + rng.NextGaussian(),
+                      rng.NextGaussian()});
+  }
+  for (auto _ : state) {
+    auto result = KMeans(points, 5, 50, 9);
+    benchmark::DoNotOptimize(result->inertia);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(Pred_KMeans)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace poly

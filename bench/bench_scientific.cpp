@@ -1,0 +1,114 @@
+// E8 (§II-G, [6]): "no redundant copying from other data sources to
+// external libraries is needed" — linear algebra inside the engine vs the
+// export-to-R round trip.
+//
+// Rows reproduced:
+//   Sci_PowerIteration_InEngine/<n>   - eigenvalue on the in-database CSR
+//   Sci_PowerIteration_External/<n>   - same, but every multiply ships the
+//     matrix to the external provider (counters: mb_shipped,
+//     modeled_transfer_ms — the copy-out tax at 100 MB/s)
+//   Sci_SpMV/<n>                      - raw SpMV throughput
+//   Sci_MatrixFromTable/<n>           - building the matrix from the
+//     relational triple table
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "engines/scientific/matrix.h"
+#include "workloads.h"
+
+namespace poly {
+namespace {
+
+CsrMatrix RandomSymmetric(size_t n, int per_row, uint64_t seed) {
+  Random rng(seed);
+  std::vector<CsrMatrix::Triplet> triplets;
+  for (size_t i = 0; i < n; ++i) {
+    triplets.push_back({i, i, 2.0 + rng.NextDouble()});
+    for (int k = 0; k < per_row; ++k) {
+      size_t j = rng.Uniform(n);
+      double v = rng.NextDouble();
+      triplets.push_back({i, j, v});
+      triplets.push_back({j, i, v});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+void Sci_PowerIteration_InEngine(benchmark::State& state) {
+  CsrMatrix m = RandomSymmetric(state.range(0), 4, 3);
+  for (auto _ : state) {
+    auto lambda = m.PowerIteration(100, 1e-9);
+    benchmark::DoNotOptimize(*lambda);
+  }
+  state.counters["mb_shipped"] = 0;
+  state.counters["modeled_transfer_ms"] = 0;
+}
+BENCHMARK(Sci_PowerIteration_InEngine)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void Sci_PowerIteration_External(benchmark::State& state) {
+  CsrMatrix m = RandomSymmetric(state.range(0), 4, 3);
+  ExternalAnalyticsProvider provider(100e6);  // 100 MB/s DB<->R link
+  for (auto _ : state) {
+    // The analyst's loop: each iteration is an external call that re-ships
+    // the matrix (no state is kept in "R" between calls).
+    std::vector<double> v(m.rows(), 1.0);
+    for (int it = 0; it < 100; ++it) {
+      v = *provider.MultiplyVector(m, v);
+      double norm = 0;
+      for (double x : v) norm += x * x;
+      norm = std::sqrt(norm);
+      for (double& x : v) x /= norm;
+    }
+    benchmark::DoNotOptimize(v[0]);
+  }
+  state.counters["mb_shipped"] =
+      static_cast<double>(provider.bytes_transferred()) / 1e6 / state.iterations();
+  state.counters["modeled_transfer_ms"] =
+      provider.transfer_seconds() * 1e3 / state.iterations();
+}
+BENCHMARK(Sci_PowerIteration_External)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void Sci_SpMV(benchmark::State& state) {
+  CsrMatrix m = RandomSymmetric(state.range(0), 4, 3);
+  std::vector<double> x(m.cols(), 1.0);
+  for (auto _ : state) {
+    auto y = m.MultiplyVector(x);
+    benchmark::DoNotOptimize((*y)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(Sci_SpMV)->Arg(10000)->Arg(50000);
+
+void Sci_MatrixFromTable(benchmark::State& state) {
+  Database db;
+  TransactionManager tm;
+  size_t n = state.range(0);
+  ColumnTable* t = *db.CreateTable(
+      "m", Schema({ColumnDef("r", DataType::kInt64), ColumnDef("c", DataType::kInt64),
+                   ColumnDef("v", DataType::kDouble)}));
+  Random rng(5);
+  auto txn = tm.Begin();
+  for (size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      (void)tm.Insert(txn.get(), t,
+                      {Value::Int(static_cast<int64_t>(i)),
+                       Value::Int(static_cast<int64_t>(rng.Uniform(n))),
+                       Value::Dbl(rng.NextDouble())});
+    }
+  }
+  (void)tm.Commit(txn.get());
+  t->Merge();
+  for (auto _ : state) {
+    auto m = CsrMatrix::FromTable(*t, tm.AutoCommitView(), "r", "c", "v");
+    benchmark::DoNotOptimize(m->nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(Sci_MatrixFromTable)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace poly

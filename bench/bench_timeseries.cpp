@@ -1,0 +1,84 @@
+// E7 (§II-F): time-series "provide large compression factors [and]
+// functionality like resolution adoption, comparison functions,
+// correlation, transformations".
+//
+// Rows reproduced:
+//   Ts_CompressionRatio/<step_pct>  - Gorilla codec vs raw 16 B/point on
+//     sensor walks of varying volatility (counter: compression_ratio)
+//   Ts_Compress / Ts_Decompress     - codec throughput
+//   Ts_Resample                     - resolution adoption throughput
+//   Ts_Correlation                  - correlation of two 1M-point series
+
+#include <benchmark/benchmark.h>
+
+#include "engines/timeseries/ts_codec.h"
+#include "engines/timeseries/ts_ops.h"
+#include "workloads.h"
+
+namespace poly {
+namespace {
+
+TimeSeries MakeWalk(int points, double step_prob, uint64_t seed) {
+  TimeSeries ts;
+  for (auto [t, v] : bench::SensorWalk(points, seed, step_prob)) ts.Append(t, v);
+  return ts;
+}
+
+void Ts_CompressionRatio(benchmark::State& state) {
+  double step_prob = static_cast<double>(state.range(0)) / 100.0;
+  TimeSeries ts = MakeWalk(100000, step_prob, 13);
+  double ratio = 0;
+  for (auto _ : state) {
+    CompressedSeries c = CompressedSeries::FromSeries(ts);
+    ratio = c.CompressionRatio();
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["compression_ratio"] = ratio;
+  state.counters["bytes_per_point"] = 16.0 / ratio;
+}
+BENCHMARK(Ts_CompressionRatio)->Arg(0)->Arg(5)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void Ts_Compress(benchmark::State& state) {
+  TimeSeries ts = MakeWalk(static_cast<int>(state.range(0)), 0.05, 13);
+  for (auto _ : state) {
+    CompressedSeries c = CompressedSeries::FromSeries(ts);
+    benchmark::DoNotOptimize(c.SizeBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(Ts_Compress)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void Ts_Decompress(benchmark::State& state) {
+  TimeSeries ts = MakeWalk(static_cast<int>(state.range(0)), 0.05, 13);
+  CompressedSeries c = CompressedSeries::FromSeries(ts);
+  for (auto _ : state) {
+    auto out = c.Decompress();
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(Ts_Decompress)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void Ts_Resample(benchmark::State& state) {
+  TimeSeries ts = MakeWalk(static_cast<int>(state.range(0)), 0.05, 13);
+  for (auto _ : state) {
+    TimeSeries hourly = Resample(ts, 3600LL * 1000000, ResampleAgg::kMean);
+    benchmark::DoNotOptimize(hourly.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(Ts_Resample)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void Ts_Correlation(benchmark::State& state) {
+  TimeSeries a = MakeWalk(static_cast<int>(state.range(0)), 0.05, 13);
+  TimeSeries b = MakeWalk(static_cast<int>(state.range(0)), 0.05, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Correlation(a, b, 60LL * 1000000));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(Ts_Correlation)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace poly

@@ -1,0 +1,95 @@
+#ifndef POLY_BENCH_WORKLOADS_H_
+#define POLY_BENCH_WORKLOADS_H_
+
+// Shared synthetic workload generators for the experiment benches (E1-E17).
+// The paper evaluates on proprietary enterprise data; these generators are
+// the documented substitution (DESIGN.md §6): Zipf-skewed order data,
+// drifting sensor walks, and a small document corpus exercising the same
+// skew/sparsity/selectivity code paths.
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/database.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+namespace bench {
+
+inline Schema OrdersSchema() {
+  return Schema({ColumnDef("o_id", DataType::kInt64),
+                 ColumnDef("customer", DataType::kInt64),
+                 ColumnDef("region", DataType::kString),
+                 ColumnDef("amount", DataType::kDouble),
+                 ColumnDef("qty", DataType::kInt64),
+                 ColumnDef("year", DataType::kInt64)});
+}
+
+inline Row MakeOrder(int64_t id, Random* rng, ZipfGenerator* customers) {
+  static const char* kRegions[] = {"north", "south", "east", "west",
+                                   "center", "overseas"};
+  return {Value::Int(id),
+          Value::Int(static_cast<int64_t>(customers->Next())),
+          Value::Str(kRegions[rng->Uniform(6)]),
+          Value::Dbl(1.0 + rng->NextDouble() * 999.0),
+          Value::Int(static_cast<int64_t>(1 + rng->Uniform(50))),
+          Value::Int(static_cast<int64_t>(2020 + rng->Uniform(7)))};
+}
+
+/// Bulk-loads `n` orders into a fresh column table and merges it.
+inline ColumnTable* LoadOrders(Database* db, TransactionManager* tm,
+                               const std::string& name, int n, uint64_t seed = 42,
+                               bool merge = true) {
+  ColumnTable* t = *db->CreateTable(name, OrdersSchema());
+  Random rng(seed);
+  ZipfGenerator customers(10000, 0.99, seed + 1);
+  auto txn = tm->Begin();
+  for (int i = 0; i < n; ++i) {
+    (void)tm->Insert(txn.get(), t, MakeOrder(i, &rng, &customers));
+  }
+  (void)tm->Commit(txn.get());
+  if (merge) t->Merge();
+  return t;
+}
+
+/// Sensor random walk: `points` readings at fixed cadence.
+inline std::vector<std::pair<int64_t, double>> SensorWalk(int points, uint64_t seed,
+                                                          double step_prob = 0.05) {
+  Random rng(seed);
+  std::vector<std::pair<int64_t, double>> out;
+  out.reserve(points);
+  double v = 20.0;
+  for (int i = 0; i < points; ++i) {
+    if (rng.Bernoulli(step_prob)) v += rng.NextGaussian() * 0.5;
+    out.emplace_back(1000000LL * i, v);
+  }
+  return out;
+}
+
+/// Small deterministic document corpus (IoT maintenance notes style).
+inline std::vector<std::string> DocumentCorpus(int n, uint64_t seed) {
+  static const char* kSubjects[] = {"pump", "valve", "dispenser", "sensor", "pipeline"};
+  static const char* kVerbs[] = {"failed", "repaired", "inspected", "replaced",
+                                 "calibrated"};
+  static const char* kPlaces[] = {"hall", "station", "plant", "depot"};
+  Random rng(seed);
+  std::vector<std::string> docs;
+  docs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::string doc;
+    int sentences = 3 + static_cast<int>(rng.Uniform(5));
+    for (int s = 0; s < sentences; ++s) {
+      doc += std::string("the ") + kSubjects[rng.Uniform(5)] + " was " +
+             kVerbs[rng.Uniform(5)] + " at " + kPlaces[rng.Uniform(4)] + " " +
+             std::to_string(rng.Uniform(20)) + ". ";
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace bench
+}  // namespace poly
+
+#endif  // POLY_BENCH_WORKLOADS_H_

@@ -1,0 +1,110 @@
+// Quickstart: the Polyphony HTAP core in one file.
+//
+// Creates a column-store table, runs transactional writes (OLTP), runs an
+// analytical query on the same data (OLAP), merges the delta into the
+// compressed main store, and shows snapshot isolation — the §II-A claim of
+// the paper ("recombine OLTP and OLAP workloads into one single system")
+// as a runnable program.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "query/compiled.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/sql_parser.h"
+#include "storage/database.h"
+#include "txn/transaction_manager.h"
+
+using namespace poly;
+
+int main() {
+  Database db;
+  TransactionManager tm;
+
+  // ---- DDL ----
+  Schema schema({ColumnDef("order_id", DataType::kInt64),
+                 ColumnDef("region", DataType::kString),
+                 ColumnDef("amount", DataType::kDouble)});
+  ColumnTable* orders = *db.CreateTable("orders", schema);
+  std::printf("created table orders %s\n", schema.ToString().c_str());
+
+  // ---- OLTP: transactional inserts ----
+  auto txn = tm.Begin();
+  const char* regions[] = {"north", "south", "east", "west"};
+  for (int i = 0; i < 1000; ++i) {
+    Status s = tm.Insert(txn.get(), orders,
+                         {Value::Int(i), Value::Str(regions[i % 4]),
+                          Value::Dbl(10.0 + (i % 97))});
+    if (!s.ok()) {
+      std::printf("insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!tm.Commit(txn.get()).ok()) return 1;
+  std::printf("committed 1000 orders (commit ts %llu)\n",
+              static_cast<unsigned long long>(txn->commit_ts()));
+
+  // ---- Snapshot isolation: a reader opened now ignores later writes ----
+  auto reader = tm.Begin();
+  auto late = tm.Begin();
+  (void)tm.Insert(late.get(), orders,
+                  {Value::Int(9999), Value::Str("north"), Value::Dbl(1e6)});
+  (void)tm.Commit(late.get());
+  Executor snapshot_exec(&db, reader->View());
+  auto snap = snapshot_exec.Execute(PlanBuilder::Scan("orders").Build());
+  std::printf("reader snapshot sees %zu rows (a later commit added 1 more)\n",
+              snap->num_rows());
+  (void)tm.Commit(reader.get());
+
+  // ---- OLAP: aggregate by region on the same store ----
+  AggSpec cnt{AggFunc::kCount, nullptr, "orders"};
+  AggSpec revenue{AggFunc::kSum, Expr::Column(2), "revenue"};
+  auto plan = PlanBuilder::Scan("orders")
+                  .Filter(Expr::Compare(CmpOp::kGe, Expr::Column(2),
+                                        Expr::Literal(Value::Dbl(50.0))))
+                  .Aggregate({1}, {cnt, revenue})
+                  .Sort({{0, true}})
+                  .Build();
+  Optimizer opt;
+  PlanPtr optimized = opt.Optimize(plan);
+  std::printf("\nplan after optimization (filter pushed into scan):\n%s\n",
+              optimized->ToString().c_str());
+
+  Executor exec(&db, tm.AutoCommitView());
+  auto result = exec.Execute(optimized);
+  std::printf("revenue by region (amount >= 50):\n%s\n", result->ToString().c_str());
+
+  // ---- Delta merge: write-optimized delta -> compressed main ----
+  size_t before = orders->MemoryBytes();
+  TableMergeStats merge = orders->Merge();
+  std::printf("delta merge: %llu rows moved, %zu -> %zu bytes\n",
+              static_cast<unsigned long long>(merge.rows_moved), before,
+              orders->MemoryBytes());
+
+  // ---- Compiled execution (§IV-A): same query, fused kernel ----
+  QueryCompiler compiler(&db, tm.AutoCommitView());
+  auto agg_only = PlanBuilder::Scan("orders")
+                      .Aggregate({1}, {revenue})
+                      .Build();
+  if (compiler.CanCompile(agg_only)) {
+    auto compiled = compiler.Execute(agg_only);
+    std::printf("compiled kernel produced %zu groups\n", compiled->num_rows());
+  }
+
+  // ---- SQL surface: the same engine through the common query language ----
+  SqlParser sql(&db);
+  auto parsed = sql.Parse(
+      "SELECT region, COUNT(*) AS orders, SUM(amount) AS revenue "
+      "FROM orders WHERE amount >= 50.0 GROUP BY region ORDER BY revenue DESC");
+  if (parsed.ok()) {
+    Executor sql_exec(&db, tm.AutoCommitView());
+    auto sql_result = sql_exec.Execute(opt.Optimize(*parsed));
+    std::printf("same query through SQL:\n%s\n", sql_result->ToString().c_str());
+  }
+
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#ifndef POLY_AGING_AGING_H_
+#define POLY_AGING_AGING_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/optimizer.h"
+#include "storage/database.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+
+/// What the application promises about every aged row (§III): after aging,
+/// all rows in the aged partition satisfy `column <op> value` (e.g.
+/// "closing_year < 2026"). This semantic guarantee is what makes rule-based
+/// pruning stronger than statistics (E12).
+struct AgingGuarantee {
+  std::string column;
+  CmpOp op = CmpOp::kLt;
+  Value value;
+};
+
+/// Cross-object aging dependency (§III: "an invoice can only be aged, if
+/// the corresponding sales order is also aged"): a row may move only when a
+/// matching key exists in the other table's aged partition.
+struct JoinGuard {
+  std::string fk_column;          ///< column in this table
+  std::string other_table;        ///< base name of the referenced table
+  std::string other_key_column;   ///< key column in the referenced table
+};
+
+/// One application-defined aging rule.
+struct AgingRule {
+  std::string name;
+  std::string table;          ///< base (hot) table
+  ExprPtr predicate;          ///< rows satisfying this are candidates to age
+  AgingGuarantee guarantee;
+  std::optional<JoinGuard> guard;
+  std::vector<std::string> depends_on;  ///< rule names that must run first
+};
+
+/// Outcome of one aging pass.
+struct AgingStats {
+  uint64_t rows_aged = 0;
+  uint64_t rows_blocked_by_guard = 0;
+};
+
+/// Manages aging rules, executes aging passes (hot -> "<table>$aged"
+/// partition), and serves as the optimizer's PartitionPruner: a scan of a
+/// base table expands to its partition list minus partitions the rule
+/// guarantees cannot contain matches.
+class AgingManager : public PartitionPruner {
+ public:
+  AgingManager(Database* db, TransactionManager* tm) : db_(db), tm_(tm) {}
+
+  /// Registers a rule; rejects dependency cycles (§III: "there is no cycle
+  /// in the dependency graph") and unknown dependencies at Run time.
+  Status AddRule(AgingRule rule);
+
+  /// Runs all rules in dependency order; moves matching rows into the aged
+  /// partitions (created on demand).
+  StatusOr<AgingStats> RunAging();
+
+  /// PartitionPruner: returns the partitions of `table` that must be
+  /// scanned for `predicate` ({} if `table` is not partition-managed).
+  std::vector<std::string> Prune(const std::string& table,
+                                 const ExprPtr& predicate) const override;
+
+  /// Partition name helpers.
+  static std::string AgedName(const std::string& table) { return table + "$aged"; }
+
+  /// All partitions currently existing for a managed table.
+  std::vector<std::string> Partitions(const std::string& table) const;
+
+  const std::vector<AgingRule>& rules() const { return rules_; }
+
+ private:
+  Status CheckNoCycle() const;
+  /// True if the guarantee proves the aged partition cannot satisfy any
+  /// conjunct of the predicate (conservative: only simple atoms prune).
+  static bool GuaranteeContradictsPredicate(const AgingGuarantee& guarantee,
+                                            const Schema& schema, const ExprPtr& predicate);
+
+  Database* db_;
+  TransactionManager* tm_;
+  std::vector<AgingRule> rules_;
+  /// Tables whose aged partition has ever received rows. Tracked
+  /// independently of residency: a demoted aged partition must still appear
+  /// in unpruned partition lists so queries fail loudly (NotFound) instead
+  /// of silently losing history until it is promoted back.
+  std::set<std::string> populated_aged_;
+};
+
+/// Statistics-only pruning baseline for E12: per-partition min/max of the
+/// columns it has seen; prunes only when the observed range is provably
+/// disjoint from a predicate atom. Knows nothing about application
+/// semantics, so open-but-old rows poison its bounds.
+class StatsPruner : public PartitionPruner {
+ public:
+  StatsPruner(Database* db, TransactionManager* tm) : db_(db), tm_(tm) {}
+
+  /// Declares `table` as partitioned into `partitions` and computes
+  /// min/max stats for `column` in each.
+  Status Analyze(const std::string& table, const std::vector<std::string>& partitions,
+                 const std::string& column);
+
+  std::vector<std::string> Prune(const std::string& table,
+                                 const ExprPtr& predicate) const override;
+
+ private:
+  struct PartitionStats {
+    std::string name;
+    std::string column;
+    Value min, max;
+    bool has_rows = false;
+  };
+  Database* db_;
+  TransactionManager* tm_;
+  std::map<std::string, std::vector<PartitionStats>> tables_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_AGING_AGING_H_

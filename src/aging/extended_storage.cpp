@@ -1,0 +1,81 @@
+#include "aging/extended_storage.h"
+
+#include "common/serializer.h"
+
+namespace poly {
+
+Status ExtendedStorage::Demote(Database* db, const std::string& table) {
+  POLY_ASSIGN_OR_RETURN(ColumnTable * t, db->GetTable(table));
+  Serializer s;
+  t->SaveTo(&s);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    simulated_nanos_ += static_cast<double>(s.size()) * options_.write_nanos_per_byte;
+    store_[table] = s.Release();
+  }
+  return db->DropTable(table);
+}
+
+StatusOr<ColumnTable*> ExtendedStorage::Promote(Database* db, const std::string& table) {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.find(table);
+    if (it == store_.end()) {
+      return Status::NotFound("no warm table '" + table + "'");
+    }
+    simulated_nanos_ +=
+        static_cast<double>(it->second.size()) * options_.read_nanos_per_byte;
+    payload = it->second;
+  }
+  Deserializer d(payload);
+  POLY_ASSIGN_OR_RETURN(auto loaded, ColumnTable::LoadFrom(&d));
+  ColumnTable* ptr = loaded.get();
+  POLY_RETURN_IF_ERROR(db->AdoptTable(std::move(loaded)));
+  return ptr;
+}
+
+Status ExtendedStorage::DemoteToCold(const std::string& table, SimulatedDfs* dfs) {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.find(table);
+    if (it == store_.end()) {
+      return Status::NotFound("no warm table '" + table + "'");
+    }
+    payload = std::move(it->second);
+    store_.erase(it);
+  }
+  return dfs->Write(ColdPath(table), payload);
+}
+
+StatusOr<ColumnTable*> ExtendedStorage::PromoteFromCold(Database* db,
+                                                        const std::string& table,
+                                                        SimulatedDfs* dfs) {
+  POLY_ASSIGN_OR_RETURN(std::string payload, dfs->Read(ColdPath(table)));
+  Deserializer d(payload);
+  POLY_ASSIGN_OR_RETURN(auto loaded, ColumnTable::LoadFrom(&d));
+  ColumnTable* ptr = loaded.get();
+  POLY_RETURN_IF_ERROR(db->AdoptTable(std::move(loaded)));
+  return ptr;
+}
+
+bool ExtendedStorage::Contains(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.count(table) > 0;
+}
+
+Status ExtendedStorage::Drop(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_.erase(table) == 0) return Status::NotFound("no warm table '" + table + "'");
+  return Status::OK();
+}
+
+uint64_t ExtendedStorage::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [_, data] : store_) total += data.size();
+  return total;
+}
+
+}  // namespace poly

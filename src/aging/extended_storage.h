@@ -1,0 +1,62 @@
+#ifndef POLY_AGING_EXTENDED_STORAGE_H_
+#define POLY_AGING_EXTENDED_STORAGE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "hadoop/dfs.h"
+#include "storage/database.h"
+
+namespace poly {
+
+/// Warm tier of Figure 1 ("HANA Dynamic Tiering / Extended Storage", the IQ
+/// technology box of Figure 2): disk-resident table storage with simulated
+/// access cost between in-memory and DFS. Tables demoted here leave main
+/// memory and are reloaded on demand.
+class ExtendedStorage {
+ public:
+  struct Options {
+    double read_nanos_per_byte = 2.0;   ///< ~500 MB/s "local disk"
+    double write_nanos_per_byte = 4.0;
+  };
+
+  ExtendedStorage() : ExtendedStorage(Options()) {}
+  explicit ExtendedStorage(Options options) : options_(options) {}
+
+  /// Serializes and stores a table; removes it from `db`.
+  Status Demote(Database* db, const std::string& table);
+
+  /// Loads a table back into `db` (leaves the warm copy in place).
+  StatusOr<ColumnTable*> Promote(Database* db, const std::string& table);
+
+  /// Moves a warm table onward to the cold tier (DFS, Figure 1/4: "HDFS is
+  /// used as an aging store for HANA").
+  Status DemoteToCold(const std::string& table, SimulatedDfs* dfs);
+
+  /// Loads a table from the cold tier back into `db`.
+  StatusOr<ColumnTable*> PromoteFromCold(Database* db, const std::string& table,
+                                         SimulatedDfs* dfs);
+
+  bool Contains(const std::string& table) const;
+  Status Drop(const std::string& table);
+
+  /// Accrued simulated access cost (ns) and volume.
+  double simulated_nanos() const { return simulated_nanos_; }
+  uint64_t bytes_stored() const;
+
+  static std::string ColdPath(const std::string& table) {
+    return "/cold/" + table + ".tbl";
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> store_;  // table -> serialized bytes
+  mutable double simulated_nanos_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_AGING_EXTENDED_STORAGE_H_

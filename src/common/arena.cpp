@@ -1,0 +1,55 @@
+#include "common/arena.h"
+
+#include <cstring>
+
+namespace poly {
+
+void* Arena::Allocate(size_t size, size_t align) {
+  if (size == 0) size = 1;
+  Block* block = blocks_.empty() ? AddBlock(size + align) : &blocks_.back();
+  uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get()) + block->used;
+  uintptr_t aligned = (base + align - 1) & ~(align - 1);
+  size_t padding = aligned - base;
+  if (block->used + padding + size > block->size) {
+    block = AddBlock(size + align);
+    base = reinterpret_cast<uintptr_t>(block->data.get());
+    aligned = (base + align - 1) & ~(align - 1);
+    padding = aligned - base;
+  }
+  block->used += padding + size;
+  bytes_allocated_ += size;
+  return reinterpret_cast<void*>(aligned);
+}
+
+char* Arena::CopyBytes(const char* data, size_t len) {
+  char* dst = static_cast<char*>(Allocate(len, 1));
+  std::memcpy(dst, data, len);
+  return dst;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    Block first = std::move(blocks_.front());
+    blocks_.clear();
+    blocks_.push_back(std::move(first));
+  }
+  if (!blocks_.empty()) {
+    blocks_.front().used = 0;
+    bytes_reserved_ = blocks_.front().size;
+  } else {
+    bytes_reserved_ = 0;
+  }
+  bytes_allocated_ = 0;
+}
+
+Arena::Block* Arena::AddBlock(size_t min_size) {
+  size_t size = std::max(block_size_, min_size);
+  Block block;
+  block.data = std::make_unique<char[]>(size);
+  block.size = size;
+  bytes_reserved_ += size;
+  blocks_.push_back(std::move(block));
+  return &blocks_.back();
+}
+
+}  // namespace poly

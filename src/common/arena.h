@@ -1,0 +1,62 @@
+#ifndef POLY_COMMON_ARENA_H_
+#define POLY_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace poly {
+
+/// Bump-pointer allocator for short-lived query-processing allocations.
+/// Allocations are freed all at once when the arena is destroyed or Reset().
+/// Not thread-safe; each worker owns its own arena.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (power of two).
+  void* Allocate(size_t size, size_t align = 8);
+
+  /// Copies `len` bytes into the arena and returns the copy.
+  char* CopyBytes(const char* data, size_t len);
+
+  /// Constructs a T in arena memory. T must be trivially destructible
+  /// (the arena never runs destructors).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena does not run destructors");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Frees all blocks except the first, which is recycled.
+  void Reset();
+
+  /// Total bytes reserved from the system allocator.
+  size_t BytesReserved() const { return bytes_reserved_; }
+  /// Total bytes handed out to callers since construction/Reset.
+  size_t BytesAllocated() const { return bytes_allocated_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  Block* AddBlock(size_t min_size);
+
+  size_t block_size_;
+  std::vector<Block> blocks_;
+  size_t bytes_reserved_ = 0;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_COMMON_ARENA_H_

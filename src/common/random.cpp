@@ -1,0 +1,89 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace poly {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 to derive the two xorshift words from one seed.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  s0_ = splitmix(x);
+  s1_ = splitmix(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return Next() % n; }
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Random::NextDouble() {
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53 random bits
+}
+
+double Random::NextGaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  gauss_ = r * std::sin(2.0 * M_PI * u2);
+  have_gauss_ = true;
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+std::string Random::NextString(size_t len) {
+  std::string s(len, 'a');
+  for (size_t i = 0; i < len; ++i) s[i] = 'a' + static_cast<char>(Uniform(26));
+  return s;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n, theta);
+  double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace poly

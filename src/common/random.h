@@ -1,0 +1,62 @@
+#ifndef POLY_COMMON_RANDOM_H_
+#define POLY_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poly {
+
+/// Deterministic xorshift128+ PRNG. All workload generators take an explicit
+/// seed so experiments are reproducible run-to-run.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+  /// True with probability p.
+  bool Bernoulli(double p);
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(size_t len);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+/// Zipf-distributed generator over [0, n). Used to synthesize the skewed
+/// enterprise workloads (hot orders, popular products) the paper's
+/// OLTP/OLAP discussion assumes.
+class ZipfGenerator {
+ public:
+  /// theta in (0, 1): 0.99 is the YCSB-style "hot" default.
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_COMMON_RANDOM_H_

@@ -1,0 +1,76 @@
+#include "common/serializer.h"
+
+namespace poly {
+
+void Serializer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Serializer::PutString(const std::string& s) {
+  PutVarint(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+StatusOr<uint8_t> Deserializer::GetU8() {
+  POLY_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<uint32_t> Deserializer::GetU32() {
+  POLY_RETURN_IF_ERROR(Need(4));
+  uint32_t v;
+  std::memcpy(&v, data_ + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> Deserializer::GetU64() {
+  POLY_RETURN_IF_ERROR(Need(8));
+  uint64_t v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<int64_t> Deserializer::GetI64() {
+  POLY_RETURN_IF_ERROR(Need(8));
+  int64_t v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<double> Deserializer::GetDouble() {
+  POLY_RETURN_IF_ERROR(Need(8));
+  double v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<uint64_t> Deserializer::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    POLY_ASSIGN_OR_RETURN(uint8_t byte, GetU8());
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) return Status::Corruption("varint too long");
+  }
+  return v;
+}
+
+StatusOr<std::string> Deserializer::GetString() {
+  POLY_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+  POLY_RETURN_IF_ERROR(Need(len));
+  std::string s(data_ + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+}  // namespace poly

@@ -1,0 +1,68 @@
+#ifndef POLY_COMMON_SERIALIZER_H_
+#define POLY_COMMON_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace poly {
+
+/// Little-endian byte writer used by the redo log, the shared log, the
+/// simulated DFS blocks, and network messages. Fixed-width primitives plus
+/// varint and length-prefixed strings.
+class Serializer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutVarint(uint64_t v);
+  void PutString(const std::string& s);
+  void PutBytes(const char* data, size_t len) { PutRaw(data, len); }
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.append(c, n);
+  }
+  std::string buf_;
+};
+
+/// Counterpart reader; all getters fail with Corruption on underflow.
+class Deserializer {
+ public:
+  explicit Deserializer(const std::string& data) : data_(data.data()), size_(data.size()) {}
+  Deserializer(const char* data, size_t size) : data_(data), size_(size) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<int64_t> GetI64();
+  StatusOr<double> GetDouble();
+  StatusOr<uint64_t> GetVarint();
+  StatusOr<std::string> GetString();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > size_) return Status::Corruption("serialized buffer underflow");
+    return Status::OK();
+  }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_COMMON_SERIALIZER_H_

@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace poly {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace poly

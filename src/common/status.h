@@ -1,0 +1,147 @@
+#ifndef POLY_COMMON_STATUS_H_
+#define POLY_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace poly {
+
+/// Error categories used across the ecosystem. Mirrors the RocksDB/Arrow
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kNotImplemented,
+  kAborted,        ///< transaction conflicts, write-write aborts
+  kUnavailable,    ///< node down, service not reachable
+  kIOError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a message only on error. The library does not use
+/// exceptions: every fallible public API returns Status or StatusOr<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design: `return value;`).
+  StatusOr(T value) : rep_(std::move(value)) {}
+  /// Constructs from a non-OK status (implicit by design: `return status;`).
+  StatusOr(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "StatusOr must not hold OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define POLY_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::poly::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define POLY_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto POLY_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!POLY_CONCAT_(_res_, __LINE__).ok())                \
+    return POLY_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(POLY_CONCAT_(_res_, __LINE__)).value()
+
+#define POLY_CONCAT_INNER_(a, b) a##b
+#define POLY_CONCAT_(a, b) POLY_CONCAT_INNER_(a, b)
+
+}  // namespace poly
+
+#endif  // POLY_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef POLY_COMMON_STRING_UTIL_H_
+#define POLY_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace poly {
+
+/// Splits on a single-character delimiter; empty pieces are kept.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins with a delimiter.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view delim);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// SQL LIKE-style match where '%' matches any run and '_' one char.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace poly
+
+#endif  // POLY_COMMON_STRING_UTIL_H_

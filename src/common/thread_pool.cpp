@@ -1,0 +1,56 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace poly {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk work so each worker gets a contiguous index range.
+  size_t num_chunks = std::min(n, workers_.size());
+  size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    size_t begin = c * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    futs.push_back(Submit([begin, end, &fn]() {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace poly

@@ -1,0 +1,75 @@
+#ifndef POLY_DOCSTORE_DOC_QUERY_H_
+#define POLY_DOCSTORE_DOC_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "docstore/json.h"
+#include "query/expr.h"
+#include "storage/column_table.h"
+
+namespace poly {
+
+/// Path into a JSON document — the compact core of the §II-H "XQuery like
+/// language which is embedded into the SQL statement". Grammar:
+///   $            root
+///   .name        object field
+///   [3]          array index
+///   [*]          every array element
+/// e.g. "$.items[*].sku", "$.customer.address.city".
+class DocPath {
+ public:
+  static StatusOr<DocPath> Parse(const std::string& text);
+
+  /// All values reached by the path (empty if none).
+  std::vector<const JsonValue*> Evaluate(const JsonValue& root) const;
+
+  /// First match or null.
+  const JsonValue* First(const JsonValue& root) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Segment {
+    enum class Kind { kField, kIndex, kWildcard } kind = Kind::kField;
+    std::string field;
+    size_t index = 0;
+  };
+  std::vector<Segment> segments_;
+};
+
+/// Queries over a DOCUMENT column of a relational table: "the outcome of a
+/// 'document' query is a set of rows of the table which contains the
+/// document as a cell".
+class DocQuery {
+ public:
+  /// `column` must have DataType::kDocument.
+  static StatusOr<DocQuery> Create(const ColumnTable* table, const std::string& column);
+
+  /// Rows whose document has >= 1 value at `path` satisfying `op` against
+  /// `literal` (numbers compare numerically, strings lexically).
+  StatusOr<std::vector<uint64_t>> SelectWhere(const ReadView& view, const std::string& path,
+                                              CmpOp op, const JsonValue& literal) const;
+
+  /// Rows where the path exists at all.
+  StatusOr<std::vector<uint64_t>> SelectExists(const ReadView& view,
+                                               const std::string& path) const;
+
+  /// Extracts the first path match per row as (row, value) pairs.
+  StatusOr<std::vector<std::pair<uint64_t, JsonValue>>> Extract(
+      const ReadView& view, const std::string& path) const;
+
+ private:
+  DocQuery(const ColumnTable* table, size_t column) : table_(table), column_(column) {}
+
+  const ColumnTable* table_;
+  size_t column_;
+};
+
+/// True when `lhs <op> rhs` under JSON comparison semantics (numbers
+/// numerically, strings lexically, bools as 0/1; mixed kinds only for Eq/Ne).
+bool JsonCompare(CmpOp op, const JsonValue& lhs, const JsonValue& rhs);
+
+}  // namespace poly
+
+#endif  // POLY_DOCSTORE_DOC_QUERY_H_

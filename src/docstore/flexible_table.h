@@ -1,0 +1,40 @@
+#ifndef POLY_DOCSTORE_FLEXIBLE_TABLE_H_
+#define POLY_DOCSTORE_FLEXIBLE_TABLE_H_
+
+#include <map>
+#include <string>
+
+#include "storage/column_table.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+
+/// Flexible table (§II-H): "column definition is not a DDL but implicitly
+/// triggered via a DML operation". Inserts are attribute maps; unseen
+/// attribute names implicitly extend the schema (nullable columns), and
+/// absent attributes read NULL. The dictionary layer keeps very sparse
+/// columns cheap — E9 measures that.
+class FlexibleTable {
+ public:
+  /// Wraps a (possibly empty) column table; `table` and `tm` must outlive
+  /// the wrapper. Writers must be serialized by the caller.
+  FlexibleTable(TransactionManager* tm, ColumnTable* table) : tm_(tm), table_(table) {}
+
+  /// Inserts one record; missing columns are created with the type of the
+  /// first value seen for them. Fails if a value's type contradicts an
+  /// existing column's type.
+  Status Insert(const std::map<std::string, Value>& record);
+
+  /// Number of (visible) records under a fresh snapshot.
+  uint64_t NumRecords() const;
+
+  ColumnTable* table() { return table_; }
+
+ private:
+  TransactionManager* tm_;
+  ColumnTable* table_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_DOCSTORE_FLEXIBLE_TABLE_H_

@@ -1,0 +1,277 @@
+#include "docstore/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace poly {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> fields) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(fields);
+  return v;
+}
+
+const JsonValue* JsonValue::Field(const std::string& name) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(name);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::Item(size_t index) const {
+  if (kind_ != Kind::kArray || index >= array_.size()) return nullptr;
+  return &array_[index];
+}
+
+bool JsonValue::operator==(const JsonValue& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == o.bool_;
+    case Kind::kNumber: return number_ == o.number_;
+    case Kind::kString: return string_ == o.string_;
+    case Kind::kArray: return array_ == o.array_;
+    case Kind::kObject: return object_ == o.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
+        out = std::to_string(static_cast<long long>(number_));
+      } else {
+        std::ostringstream os;
+        os << number_;
+        out = os.str();
+      }
+      break;
+    }
+    case Kind::kString:
+      EscapeTo(string_, &out);
+      break;
+    case Kind::kArray: {
+      out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ",";
+        out += array_[i].Serialize();
+      }
+      out += "]";
+      break;
+    }
+    case Kind::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ",";
+        first = false;
+        EscapeTo(k, &out);
+        out += ":";
+        out += v.Serialize();
+      }
+      out += "}";
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    POLY_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::Corruption("JSON error at " + std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      POLY_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::Str(std::move(s));
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue::Null();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue::Bool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue::Bool(false);
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return Err("invalid number");
+    return JsonValue::Number(std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                         nullptr));
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (text_[pos_] != '"') return Err("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("bad escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          default: return Err("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) return Err("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    for (;;) {
+      POLY_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      items.push_back(std::move(v));
+      if (Consume(']')) break;
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+    return JsonValue::Array(std::move(items));
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> fields;
+    SkipWs();
+    if (Consume('}')) return JsonValue::Object(std::move(fields));
+    for (;;) {
+      SkipWs();
+      POLY_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Err("expected ':'");
+      POLY_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      fields.emplace(std::move(key), std::move(v));
+      if (Consume('}')) break;
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+    return JsonValue::Object(std::move(fields));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace poly

@@ -1,0 +1,60 @@
+#ifndef POLY_DOCSTORE_JSON_H_
+#define POLY_DOCSTORE_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace poly {
+
+/// JSON document model backing the §II-H "document" column type: "the
+/// content (the document) is structured in an arbitrary JSON format".
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue Str(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> fields);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  /// Object field pointer or nullptr.
+  const JsonValue* Field(const std::string& name) const;
+  /// Array element pointer or nullptr.
+  const JsonValue* Item(size_t index) const;
+
+  /// Compact JSON text.
+  std::string Serialize() const;
+
+  bool operator==(const JsonValue& o) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Recursive-descent JSON parser; Corruption on malformed input.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace poly
+
+#endif  // POLY_DOCSTORE_JSON_H_

@@ -1,0 +1,39 @@
+#ifndef POLY_DOCSTORE_OBJECT_INDEX_H_
+#define POLY_DOCSTORE_OBJECT_INDEX_H_
+
+#include <string>
+
+#include "docstore/json.h"
+#include "storage/column_table.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+
+/// The §II-H "object" join index: a header–item structure with 1:N
+/// cardinality whose instances are always written and read as a whole can
+/// be materialized as one JSON document per header — "a kind of
+/// materialized index on top of the relational data [...] transparently
+/// exploited by the retrieval process". E9 measures whole-object retrieval
+/// through this index vs. the header⋈item join.
+class ObjectJoinIndex {
+ public:
+  /// Builds documents of the form
+  ///   {"header": {col: value...}, "items": [{col: value...}, ...]}
+  /// for every visible header row, keyed by `header_key_column` ==
+  /// `item_fk_column`, into `target` with schema (key INT64, doc DOCUMENT).
+  static StatusOr<uint64_t> Materialize(TransactionManager* tm,
+                                        const ColumnTable& header,
+                                        const std::string& header_key_column,
+                                        const ColumnTable& items,
+                                        const std::string& item_fk_column,
+                                        ColumnTable* target);
+
+  /// Fetches the materialized object for a key (parsed document), or
+  /// NotFound. This is the fast path the paper describes.
+  static StatusOr<JsonValue> Lookup(const ColumnTable& target, const ReadView& view,
+                                    int64_t key);
+};
+
+}  // namespace poly
+
+#endif  // POLY_DOCSTORE_OBJECT_INDEX_H_

@@ -1,0 +1,79 @@
+#include "engines/geo/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poly {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}
+
+double HaversineMeters(const GeoPointValue& a, const GeoPointValue& b) {
+  double lat1 = a.lat * kDegToRad, lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+GeoBBox BBoxAround(const GeoPointValue& center, double radius_meters) {
+  double dlat = radius_meters / kEarthRadiusMeters / kDegToRad;
+  double cos_lat = std::cos(center.lat * kDegToRad);
+  double dlon = cos_lat > 1e-9 ? dlat / cos_lat : 180.0;
+  GeoBBox box;
+  box.min_lat = std::max(-90.0, center.lat - dlat);
+  box.max_lat = std::min(90.0, center.lat + dlat);
+  box.min_lon = std::max(-180.0, center.lon - dlon);
+  box.max_lon = std::min(180.0, center.lon + dlon);
+  return box;
+}
+
+bool GeoPolygon::Contains(const GeoPointValue& p) const {
+  bool inside = false;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const GeoPointValue& a = vertices_[i];
+    const GeoPointValue& b = vertices_[j];
+    bool crosses = (a.lat > p.lat) != (b.lat > p.lat);
+    if (crosses) {
+      double x = (b.lon - a.lon) * (p.lat - a.lat) / (b.lat - a.lat) + a.lon;
+      if (p.lon < x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double GeoPolygon::AreaSquareMeters() const {
+  if (vertices_.size() < 3) return 0;
+  // Mean-latitude cosine scaling, then shoelace in meters.
+  double mean_lat = 0;
+  for (const auto& v : vertices_) mean_lat += v.lat;
+  mean_lat /= static_cast<double>(vertices_.size());
+  double meters_per_deg_lat = kEarthRadiusMeters * kDegToRad;
+  double meters_per_deg_lon = meters_per_deg_lat * std::cos(mean_lat * kDegToRad);
+  double area2 = 0;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    double xi = vertices_[i].lon * meters_per_deg_lon;
+    double yi = vertices_[i].lat * meters_per_deg_lat;
+    double xj = vertices_[j].lon * meters_per_deg_lon;
+    double yj = vertices_[j].lat * meters_per_deg_lat;
+    area2 += xj * yi - xi * yj;
+  }
+  return std::abs(area2) / 2;
+}
+
+GeoBBox GeoPolygon::BoundingBox() const {
+  GeoBBox box{180, 90, -180, -90};
+  for (const auto& v : vertices_) {
+    box.min_lon = std::min(box.min_lon, v.lon);
+    box.max_lon = std::max(box.max_lon, v.lon);
+    box.min_lat = std::min(box.min_lat, v.lat);
+    box.max_lat = std::max(box.max_lat, v.lat);
+  }
+  return box;
+}
+
+}  // namespace poly

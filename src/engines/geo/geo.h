@@ -1,0 +1,55 @@
+#ifndef POLY_ENGINES_GEO_GEO_H_
+#define POLY_ENGINES_GEO_GEO_H_
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace poly {
+
+/// Geospatial primitives (§II-F): the engine-native point/polygon types
+/// behind the SQL surface operators WithinDistance / Contains / Area.
+/// Coordinates are (lon, lat) in degrees; distances in meters on a
+/// spherical Earth.
+
+constexpr double kEarthRadiusMeters = 6371000.0;
+
+/// Great-circle distance between two points.
+double HaversineMeters(const GeoPointValue& a, const GeoPointValue& b);
+
+/// Axis-aligned lon/lat bounding box.
+struct GeoBBox {
+  double min_lon = 0, min_lat = 0, max_lon = 0, max_lat = 0;
+  bool Contains(const GeoPointValue& p) const {
+    return p.lon >= min_lon && p.lon <= max_lon && p.lat >= min_lat && p.lat <= max_lat;
+  }
+};
+
+/// Bounding box that conservatively covers a radius around a center
+/// (clamped near the poles).
+GeoBBox BBoxAround(const GeoPointValue& center, double radius_meters);
+
+/// Simple polygon (no self-intersection checks; last-first edge implicit).
+class GeoPolygon {
+ public:
+  explicit GeoPolygon(std::vector<GeoPointValue> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  /// Point-in-polygon via ray casting (lon/lat treated planar — correct for
+  /// the region-sized polygons of the §V scenarios).
+  bool Contains(const GeoPointValue& p) const;
+
+  /// Area in square meters: planar shoelace with cos(lat) longitude
+  /// scaling — the SQL Area() operator.
+  double AreaSquareMeters() const;
+
+  GeoBBox BoundingBox() const;
+  const std::vector<GeoPointValue>& vertices() const { return vertices_; }
+
+ private:
+  std::vector<GeoPointValue> vertices_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_GEO_GEO_H_

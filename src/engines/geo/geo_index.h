@@ -1,0 +1,70 @@
+#ifndef POLY_ENGINES_GEO_GEO_INDEX_H_
+#define POLY_ENGINES_GEO_GEO_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/geo/geo.h"
+#include "storage/column_table.h"
+
+namespace poly {
+
+/// Uniform lon/lat grid index over a geo-point column. Answers the paper's
+/// §II-F query operators over table rows:
+///   WithinDistance(center, radius) — grid cells pre-filter, haversine
+///   refines (E6 measures this against the full-scan baseline).
+///   ContainedIn(polygon)           — bbox cells pre-filter, ray casting
+///   refines.
+class GeoIndex {
+ public:
+  /// `cell_degrees`: grid resolution (0.1° ≈ 11 km at the equator).
+  static StatusOr<GeoIndex> Build(const ColumnTable& table, const ReadView& view,
+                                  const std::string& geo_column,
+                                  double cell_degrees = 0.1);
+
+  /// Row IDs within `radius_meters` of `center`, sorted.
+  std::vector<uint64_t> WithinDistance(const GeoPointValue& center,
+                                       double radius_meters) const;
+
+  /// Row IDs inside `polygon`, sorted.
+  std::vector<uint64_t> ContainedIn(const GeoPolygon& polygon) const;
+
+  /// Row IDs with point inside bbox, sorted (no refinement needed).
+  std::vector<uint64_t> WithinBBox(const GeoBBox& box) const;
+
+  /// Nearest row to `center` by great-circle distance (expanding ring
+  /// search); NotFound on an empty index.
+  StatusOr<uint64_t> Nearest(const GeoPointValue& center) const;
+
+  /// The k nearest rows to `center`, closest first (expanding ring search
+  /// with exact haversine refinement). Returns fewer than k on a small
+  /// index.
+  std::vector<uint64_t> KNearest(const GeoPointValue& center, size_t k) const;
+
+  size_t num_points() const { return points_.size(); }
+
+  /// Candidate count of the last WithinDistance call — lets E6 report the
+  /// filter/refine ratio. (Mutable statistic, not thread-safe.)
+  uint64_t last_candidates() const { return last_candidates_; }
+
+ private:
+  GeoIndex() = default;
+
+  int64_t CellKey(double lon, double lat) const;
+  void CellRange(const GeoBBox& box, std::vector<int64_t>* keys) const;
+
+  double cell_degrees_ = 0.1;
+  struct IndexedPoint {
+    uint64_t row;
+    GeoPointValue point;
+  };
+  std::vector<IndexedPoint> points_;
+  std::unordered_map<int64_t, std::vector<uint32_t>> cells_;  // key -> points_ idx
+  mutable uint64_t last_candidates_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_GEO_GEO_INDEX_H_

@@ -1,0 +1,79 @@
+#ifndef POLY_ENGINES_GRAPH_GRAPH_VIEW_H_
+#define POLY_ENGINES_GRAPH_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column_table.h"
+
+namespace poly {
+
+constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Graph engine (§II-E): "interpret data in columns (structured relational
+/// data) as graph or hierarchy structures by defining [...] graph views on
+/// top of the relational data". A GraphView is a CSR adjacency snapshot
+/// built from an edge table's (src, dst[, weight]) columns under a read
+/// view; node IDs are the distinct int64 endpoint values.
+class GraphView {
+ public:
+  /// Builds from edge table columns. `weight_column` empty = unit weights.
+  /// `directed` false mirrors every edge.
+  static StatusOr<GraphView> Build(const ColumnTable& edges, const ReadView& view,
+                                   const std::string& src_column,
+                                   const std::string& dst_column,
+                                   const std::string& weight_column = "",
+                                   bool directed = true);
+
+  size_t num_nodes() const { return node_ids_.size(); }
+  size_t num_edges() const { return adj_dst_.size(); }
+
+  /// External int64 id of internal node index.
+  int64_t NodeId(size_t idx) const { return node_ids_[idx]; }
+  /// Internal index for an external id, or -1.
+  int IndexOf(int64_t node_id) const;
+
+  /// Out-neighbors (external IDs) of a node.
+  std::vector<int64_t> Neighbors(int64_t node_id) const;
+  size_t OutDegree(int64_t node_id) const;
+
+  /// Unweighted hop distance (§II-E "distance"); -1 if unreachable.
+  int64_t BfsDistance(int64_t from, int64_t to) const;
+
+  /// Dijkstra shortest path (§II-E "shortest path"). Returns the node
+  /// sequence from->to and writes the cost; empty if unreachable.
+  std::vector<int64_t> ShortestPath(int64_t from, int64_t to, double* cost) const;
+
+  /// Single-source Dijkstra distances to every node (external-id keyed).
+  std::unordered_map<int64_t, double> DistancesFrom(int64_t from) const;
+
+  /// Nodes within `max_cost` of `from` (used by the evacuation scenario).
+  std::vector<int64_t> NodesWithinCost(int64_t from, double max_cost) const;
+
+  /// Connected components on the undirected closure; returns component id
+  /// per node keyed by external id.
+  std::unordered_map<int64_t, int> ConnectedComponents() const;
+
+  /// PageRank with damping factor `damping` (§II-E "state of the art graph
+  /// processing functionality"). Dangling mass is redistributed uniformly.
+  /// Returns external-id -> score, summing to ~1.
+  std::unordered_map<int64_t, double> PageRank(double damping = 0.85,
+                                               int iterations = 50,
+                                               double tolerance = 1e-10) const;
+
+ private:
+  GraphView() = default;
+
+  std::vector<int64_t> node_ids_;             // index -> external id
+  std::unordered_map<int64_t, int> index_;    // external id -> index
+  std::vector<size_t> adj_offsets_;           // CSR offsets, size nodes+1
+  std::vector<int> adj_dst_;                  // CSR targets (internal)
+  std::vector<double> adj_weight_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_GRAPH_GRAPH_VIEW_H_

@@ -1,0 +1,92 @@
+#ifndef POLY_ENGINES_GRAPH_HIERARCHY_H_
+#define POLY_ENGINES_GRAPH_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column_table.h"
+
+namespace poly {
+
+/// Hierarchy engine (§II-E, [5]): hierarchies are "used in almost all kinds
+/// of business applications" and need core database support. A
+/// HierarchyView labels each node with a DFS (pre, post) interval, making
+/// the queries the paper calls out O(1)/O(k) instead of recursive
+/// application-side resolution (§III's count-transitive-children example):
+///   IsDescendant(a, b)      : interval containment, O(1)
+///   CountDescendants(a)     : subtree size, O(1)
+///   Siblings / Depth / Path : direct lookups
+class HierarchyView {
+ public:
+  /// Builds from (id, parent) columns; parent NULL or self marks roots.
+  /// Fails with Corruption on cycles and InvalidArgument on duplicate ids.
+  static StatusOr<HierarchyView> Build(const ColumnTable& table, const ReadView& view,
+                                       const std::string& id_column,
+                                       const std::string& parent_column);
+
+  size_t num_nodes() const { return ids_.size(); }
+  bool Contains(int64_t id) const { return index_.count(id) > 0; }
+
+  /// O(1) interval-containment test (strict: a node is not its own
+  /// descendant).
+  bool IsDescendant(int64_t descendant, int64_t ancestor) const;
+  /// O(1): transitive child count of `id`.
+  StatusOr<int64_t> CountDescendants(int64_t id) const;
+  /// Direct children in DFS order.
+  std::vector<int64_t> Children(int64_t id) const;
+  /// Nodes sharing the parent of `id` (excluding `id` itself).
+  std::vector<int64_t> Siblings(int64_t id) const;
+  /// Root depth 0.
+  StatusOr<int64_t> Depth(int64_t id) const;
+  /// Path from root down to `id` (inclusive).
+  std::vector<int64_t> PathToRoot(int64_t id) const;
+  /// All descendants of `id` — one contiguous label-range scan.
+  std::vector<int64_t> Descendants(int64_t id) const;
+  std::vector<int64_t> Roots() const { return roots_; }
+
+  /// Raw labels, exposed so tests can check the labeling invariants.
+  StatusOr<std::pair<int64_t, int64_t>> Interval(int64_t id) const;
+
+ private:
+  HierarchyView() = default;
+
+  struct Node {
+    int64_t parent = -1;      // index, -1 for roots
+    int64_t pre = 0, post = 0;
+    int64_t depth = 0;
+    int64_t subtree_size = 0;  // nodes strictly below
+    std::vector<int> children;
+  };
+
+  std::vector<int64_t> ids_;
+  std::unordered_map<int64_t, int> index_;
+  std::vector<Node> nodes_;
+  std::vector<int64_t> roots_;
+  std::vector<int> preorder_;  // pre label -> node index
+};
+
+/// Versioned hierarchies (§II-E: "special support for time dependent and
+/// versioned hierarchies"): a store of labeled snapshots keyed by version
+/// id, built lazily from the same relational table at different points.
+class VersionedHierarchy {
+ public:
+  /// Labels the current visible state of the table as `version`.
+  Status Snapshot(int64_t version, const ColumnTable& table, const ReadView& view,
+                  const std::string& id_column, const std::string& parent_column);
+
+  StatusOr<const HierarchyView*> Version(int64_t version) const;
+  std::vector<int64_t> Versions() const;
+
+  /// Nodes whose parent differs between two versions (id-level diff).
+  StatusOr<std::vector<int64_t>> ChangedNodes(int64_t from_version,
+                                              int64_t to_version) const;
+
+ private:
+  std::unordered_map<int64_t, HierarchyView> versions_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_GRAPH_HIERARCHY_H_

@@ -1,0 +1,124 @@
+#include "engines/predictive/apriori.h"
+
+#include <algorithm>
+#include <set>
+
+namespace poly {
+
+namespace {
+
+bool ContainsAll(const std::vector<int64_t>& sorted_txn,
+                 const std::vector<int64_t>& sorted_items) {
+  return std::includes(sorted_txn.begin(), sorted_txn.end(), sorted_items.begin(),
+                       sorted_items.end());
+}
+
+}  // namespace
+
+std::vector<Itemset> Apriori::FrequentItemsets(
+    const std::vector<std::vector<int64_t>>& transactions) const {
+  std::vector<Itemset> all_frequent;
+  if (transactions.empty()) return all_frequent;
+
+  std::vector<std::vector<int64_t>> sorted_txns = transactions;
+  for (auto& t : sorted_txns) {
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+  }
+  uint64_t min_count = static_cast<uint64_t>(
+      min_support_ * static_cast<double>(sorted_txns.size()) + 0.999999);
+  if (min_count == 0) min_count = 1;
+
+  // L1.
+  std::map<int64_t, uint64_t> item_counts;
+  for (const auto& t : sorted_txns) {
+    for (int64_t item : t) ++item_counts[item];
+  }
+  std::vector<std::vector<int64_t>> current;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_count) {
+      current.push_back({item});
+      all_frequent.push_back({{item}, count});
+    }
+  }
+
+  // Lk: join Lk-1 with itself on shared (k-2)-prefix, count, filter.
+  for (size_t k = 2; k <= max_size_ && current.size() > 1; ++k) {
+    std::vector<std::vector<int64_t>> candidates;
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (size_t j = i + 1; j < current.size(); ++j) {
+        const auto& a = current[i];
+        const auto& b = current[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) continue;
+        std::vector<int64_t> merged = a;
+        merged.push_back(b.back());
+        if (merged[merged.size() - 2] > merged.back()) {
+          std::swap(merged[merged.size() - 2], merged.back());
+        }
+        candidates.push_back(std::move(merged));
+      }
+    }
+    std::vector<std::vector<int64_t>> next;
+    for (const auto& cand : candidates) {
+      uint64_t count = 0;
+      for (const auto& t : sorted_txns) {
+        if (ContainsAll(t, cand)) ++count;
+      }
+      if (count >= min_count) {
+        next.push_back(cand);
+        all_frequent.push_back({cand, count});
+      }
+    }
+    current = std::move(next);
+  }
+
+  std::sort(all_frequent.begin(), all_frequent.end(),
+            [](const Itemset& a, const Itemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return all_frequent;
+}
+
+std::vector<AssociationRule> Apriori::Rules(
+    const std::vector<std::vector<int64_t>>& transactions, double min_confidence) const {
+  std::vector<Itemset> frequent = FrequentItemsets(transactions);
+  double n = static_cast<double>(transactions.size());
+  // Support lookup by itemset.
+  std::map<std::vector<int64_t>, uint64_t> support;
+  for (const auto& f : frequent) support[f.items] = f.support;
+
+  std::vector<AssociationRule> rules;
+  for (const auto& f : frequent) {
+    if (f.items.size() < 2) continue;
+    // Every single-item consequent (standard compact rule form).
+    for (size_t i = 0; i < f.items.size(); ++i) {
+      std::vector<int64_t> rhs = {f.items[i]};
+      std::vector<int64_t> lhs;
+      for (size_t j = 0; j < f.items.size(); ++j) {
+        if (j != i) lhs.push_back(f.items[j]);
+      }
+      auto lhs_it = support.find(lhs);
+      auto rhs_it = support.find(rhs);
+      if (lhs_it == support.end() || rhs_it == support.end()) continue;
+      double conf = static_cast<double>(f.support) / lhs_it->second;
+      if (conf < min_confidence) continue;
+      AssociationRule rule;
+      rule.lhs = lhs;
+      rule.rhs = rhs;
+      rule.support = f.support / n;
+      rule.confidence = conf;
+      rule.lift = conf / (rhs_it->second / n);
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              return a.confidence > b.confidence;
+            });
+  return rules;
+}
+
+}  // namespace poly

@@ -1,0 +1,52 @@
+#ifndef POLY_ENGINES_PREDICTIVE_APRIORI_H_
+#define POLY_ENGINES_PREDICTIVE_APRIORI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace poly {
+
+/// Frequent itemset with its support count.
+struct Itemset {
+  std::vector<int64_t> items;  // sorted
+  uint64_t support = 0;
+};
+
+/// Association rule lhs -> rhs.
+struct AssociationRule {
+  std::vector<int64_t> lhs;
+  std::vector<int64_t> rhs;
+  double support = 0;     // fraction of transactions containing lhs ∪ rhs
+  double confidence = 0;  // support(lhs ∪ rhs) / support(lhs)
+  double lift = 0;        // confidence / support(rhs)
+};
+
+/// Apriori basket analysis (§II-B: "distributed basket analysis" embedded
+/// in the column store; the single-node kernel here, distributed by the SOE
+/// in src/soe). Transactions are sets of item IDs.
+class Apriori {
+ public:
+  /// `min_support`: minimum fraction of transactions an itemset must
+  /// appear in; `max_size`: cap on itemset cardinality.
+  Apriori(double min_support, size_t max_size = 4)
+      : min_support_(min_support), max_size_(max_size) {}
+
+  /// Mines frequent itemsets, sorted by (size, items).
+  std::vector<Itemset> FrequentItemsets(
+      const std::vector<std::vector<int64_t>>& transactions) const;
+
+  /// Derives rules meeting `min_confidence` from the frequent itemsets.
+  std::vector<AssociationRule> Rules(
+      const std::vector<std::vector<int64_t>>& transactions,
+      double min_confidence) const;
+
+ private:
+  double min_support_;
+  size_t max_size_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_PREDICTIVE_APRIORI_H_

@@ -1,0 +1,137 @@
+#include "engines/predictive/forecast.h"
+
+#include <cmath>
+
+namespace poly {
+
+namespace {
+Status CheckSmoothing(double v, const char* name) {
+  if (v <= 0 || v > 1) {
+    return Status::InvalidArgument(std::string(name) + " must be in (0, 1]");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StatusOr<std::vector<double>> SimpleExpSmoothing(const std::vector<double>& series,
+                                                 double alpha, size_t horizon) {
+  POLY_RETURN_IF_ERROR(CheckSmoothing(alpha, "alpha"));
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  double level = series[0];
+  for (size_t i = 1; i < series.size(); ++i) {
+    level = alpha * series[i] + (1 - alpha) * level;
+  }
+  return std::vector<double>(horizon, level);
+}
+
+StatusOr<std::vector<double>> HoltLinear(const std::vector<double>& series, double alpha,
+                                         double beta, size_t horizon) {
+  POLY_RETURN_IF_ERROR(CheckSmoothing(alpha, "alpha"));
+  POLY_RETURN_IF_ERROR(CheckSmoothing(beta, "beta"));
+  if (series.size() < 2) return Status::InvalidArgument("need >= 2 observations");
+  double level = series[0];
+  double trend = series[1] - series[0];
+  for (size_t i = 1; i < series.size(); ++i) {
+    double prev_level = level;
+    level = alpha * series[i] + (1 - alpha) * (level + trend);
+    trend = beta * (level - prev_level) + (1 - beta) * trend;
+  }
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) out[h] = level + trend * static_cast<double>(h + 1);
+  return out;
+}
+
+StatusOr<std::vector<double>> HoltWinters(const std::vector<double>& series,
+                                          size_t season_length, double alpha, double beta,
+                                          double gamma, size_t horizon) {
+  POLY_RETURN_IF_ERROR(CheckSmoothing(alpha, "alpha"));
+  POLY_RETURN_IF_ERROR(CheckSmoothing(beta, "beta"));
+  POLY_RETURN_IF_ERROR(CheckSmoothing(gamma, "gamma"));
+  size_t m = season_length;
+  if (m < 2) return Status::InvalidArgument("season_length must be >= 2");
+  if (series.size() < 2 * m) {
+    return Status::InvalidArgument("need >= 2 full seasons of data");
+  }
+  // Initial level/trend from the first two seasons; initial seasonal
+  // components as deviations from the first-season mean.
+  double mean1 = 0, mean2 = 0;
+  for (size_t i = 0; i < m; ++i) {
+    mean1 += series[i];
+    mean2 += series[m + i];
+  }
+  mean1 /= static_cast<double>(m);
+  mean2 /= static_cast<double>(m);
+  double level = mean1;
+  double trend = (mean2 - mean1) / static_cast<double>(m);
+  std::vector<double> seasonal(m);
+  for (size_t i = 0; i < m; ++i) seasonal[i] = series[i] - mean1;
+
+  for (size_t i = 0; i < series.size(); ++i) {
+    size_t s = i % m;
+    double prev_level = level;
+    level = alpha * (series[i] - seasonal[s]) + (1 - alpha) * (level + trend);
+    trend = beta * (level - prev_level) + (1 - beta) * trend;
+    seasonal[s] = gamma * (series[i] - level) + (1 - gamma) * seasonal[s];
+  }
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    size_t s = (series.size() + h) % m;
+    out[h] = level + trend * static_cast<double>(h + 1) + seasonal[s];
+  }
+  return out;
+}
+
+StatusOr<LinearFit> FitLinearTrend(const std::vector<double>& series) {
+  size_t n = series.size();
+  if (n < 2) return Status::InvalidArgument("need >= 2 observations");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i);
+    double y = series[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  double nd = static_cast<double>(n);
+  double denom = nd * sxx - sx * sx;
+  LinearFit fit;
+  fit.slope = denom != 0 ? (nd * sxy - sx * sy) / denom : 0;
+  fit.intercept = (sy - fit.slope * sx) / nd;
+  double ss_tot = syy - sy * sy / nd;
+  if (ss_tot > 0) {
+    double ss_res = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double e = series[i] - fit.Predict(static_cast<double>(i));
+      ss_res += e * e;
+    }
+    fit.r2 = 1 - ss_res / ss_tot;
+  } else {
+    fit.r2 = 1;  // constant series fits perfectly
+  }
+  return fit;
+}
+
+double MeanAbsoluteError(const std::vector<double>& actual,
+                         const std::vector<double>& predicted) {
+  size_t n = std::min(actual.size(), predicted.size());
+  if (n == 0) return 0;
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += std::abs(actual[i] - predicted[i]);
+  return sum / static_cast<double>(n);
+}
+
+double RootMeanSquaredError(const std::vector<double>& actual,
+                            const std::vector<double>& predicted) {
+  size_t n = std::min(actual.size(), predicted.size());
+  if (n == 0) return 0;
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double e = actual[i] - predicted[i];
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(n));
+}
+
+}  // namespace poly

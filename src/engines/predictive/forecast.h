@@ -1,0 +1,44 @@
+#ifndef POLY_ENGINES_PREDICTIVE_FORECAST_H_
+#define POLY_ENGINES_PREDICTIVE_FORECAST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace poly {
+
+/// Forecasting algorithms (§II-B: "a variety of forecasting algorithms"
+/// embedded in the engine). All operate on equally spaced observations.
+
+/// Simple exponential smoothing; returns `horizon` flat forecasts.
+StatusOr<std::vector<double>> SimpleExpSmoothing(const std::vector<double>& series,
+                                                 double alpha, size_t horizon);
+
+/// Holt's linear trend method.
+StatusOr<std::vector<double>> HoltLinear(const std::vector<double>& series, double alpha,
+                                         double beta, size_t horizon);
+
+/// Holt-Winters additive seasonal method. Needs >= 2 full seasons.
+StatusOr<std::vector<double>> HoltWinters(const std::vector<double>& series,
+                                          size_t season_length, double alpha, double beta,
+                                          double gamma, size_t horizon);
+
+/// Ordinary least squares y = intercept + slope * x over x = 0..n-1.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+  double Predict(double x) const { return intercept + slope * x; }
+};
+StatusOr<LinearFit> FitLinearTrend(const std::vector<double>& series);
+
+/// Forecast-accuracy metrics against held-out actuals.
+double MeanAbsoluteError(const std::vector<double>& actual,
+                         const std::vector<double>& predicted);
+double RootMeanSquaredError(const std::vector<double>& actual,
+                            const std::vector<double>& predicted);
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_PREDICTIVE_FORECAST_H_

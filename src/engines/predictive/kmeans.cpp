@@ -1,0 +1,100 @@
+#include "engines/predictive/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace poly {
+
+namespace {
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& points, size_t k,
+                              int max_iterations, uint64_t seed) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  if (points.size() < k) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  size_t dims = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dims) return Status::InvalidArgument("inconsistent dimensions");
+  }
+
+  Random rng(seed);
+  KMeansResult result;
+  // k-means++ seeding.
+  result.centroids.push_back(points[rng.Uniform(points.size())]);
+  std::vector<double> min_dist(points.size(), std::numeric_limits<double>::max());
+  while (result.centroids.size() < k) {
+    double total = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = SquaredDistance(points[i], result.centroids.back());
+      if (d < min_dist[i]) min_dist[i] = d;
+      total += min_dist[i];
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = 0;
+    double acc = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      acc += min_dist[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.assignments.assign(points.size(), -1);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) break;
+    // Recompute centroids; empty clusters keep their position.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      int c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia += SquaredDistance(points[i], result.centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace poly

@@ -1,0 +1,26 @@
+#ifndef POLY_ENGINES_PREDICTIVE_KMEANS_H_
+#define POLY_ENGINES_PREDICTIVE_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace poly {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k x dims
+  std::vector<int> assignments;                ///< point -> cluster
+  double inertia = 0;                          ///< sum of squared distances
+  int iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding (deterministic given `seed`).
+/// Part of the §II-B data-mining portfolio (clustering).
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& points, size_t k,
+                              int max_iterations = 100, uint64_t seed = 42);
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_PREDICTIVE_KMEANS_H_

@@ -1,0 +1,114 @@
+#ifndef POLY_ENGINES_SCIENTIFIC_MATRIX_H_
+#define POLY_ENGINES_SCIENTIFIC_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_table.h"
+
+namespace poly {
+
+/// Dense row-major matrix. The scientific engine (§II-G, [6] "SLACID")
+/// brings linear algebra to the column store so analysts stop exporting to
+/// external files; E8 measures exactly that copy-out tax.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  const std::vector<double>& data() const { return data_; }
+
+  StatusOr<DenseMatrix> Multiply(const DenseMatrix& other) const;
+  DenseMatrix Transpose() const;
+  StatusOr<std::vector<double>> MultiplyVector(const std::vector<double>& v) const;
+  double FrobeniusNorm() const;
+
+  bool operator==(const DenseMatrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Compressed sparse row matrix built from (row, col, value) triplets —
+/// the natural mapping of a relational triple table onto linear algebra.
+class CsrMatrix {
+ public:
+  struct Triplet {
+    uint64_t row, col;
+    double value;
+  };
+
+  /// Duplicate (row, col) entries are summed.
+  static CsrMatrix FromTriplets(size_t rows, size_t cols, std::vector<Triplet> triplets);
+
+  /// Builds from a table's (row_col, col_col, val_col) int/int/double
+  /// columns under a read view — "matrices live in the database".
+  static StatusOr<CsrMatrix> FromTable(const ColumnTable& table, const ReadView& view,
+                                       const std::string& row_column,
+                                       const std::string& col_column,
+                                       const std::string& value_column);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// y = A x.
+  StatusOr<std::vector<double>> MultiplyVector(const std::vector<double>& x) const;
+
+  DenseMatrix ToDense() const;
+  double At(size_t r, size_t c) const;
+
+  /// Solves A x = b for symmetric positive-definite A via conjugate
+  /// gradients. Returns the solution; InvalidArgument on shape mismatch,
+  /// Aborted if not converged within max_iters.
+  StatusOr<std::vector<double>> SolveConjugateGradient(const std::vector<double>& b,
+                                                       int max_iters = 1000,
+                                                       double tolerance = 1e-10) const;
+
+  /// Largest-magnitude eigenvalue via power iteration ([6]'s headline
+  /// workload). Returns the eigenvalue; eigenvector written if non-null.
+  StatusOr<double> PowerIteration(int max_iters = 1000, double tolerance = 1e-9,
+                                  std::vector<double>* eigenvector = nullptr) const;
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<size_t> row_offsets_;
+  std::vector<uint64_t> col_indices_;
+  std::vector<double> values_;
+};
+
+/// Simulation of the §II-B/§II-G external analytics provider ("R", SAS):
+/// running an operation externally first serializes the matrix out, pays a
+/// simulated transfer, computes, and pays the transfer back. E8 contrasts
+/// this with in-engine execution on the same data.
+class ExternalAnalyticsProvider {
+ public:
+  /// `bandwidth_bytes_per_sec` models the DB<->R channel.
+  explicit ExternalAnalyticsProvider(double bandwidth_bytes_per_sec = 100e6)
+      : bandwidth_(bandwidth_bytes_per_sec) {}
+
+  /// Computes A x externally; accumulates simulated transfer seconds.
+  StatusOr<std::vector<double>> MultiplyVector(const CsrMatrix& matrix,
+                                               const std::vector<double>& x);
+
+  double transfer_seconds() const { return transfer_seconds_; }
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+ private:
+  double bandwidth_;
+  double transfer_seconds_ = 0;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_SCIENTIFIC_MATRIX_H_

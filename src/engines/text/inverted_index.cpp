@@ -1,0 +1,157 @@
+#include "engines/text/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poly {
+
+namespace {
+constexpr double kBm25K1 = 1.2;
+constexpr double kBm25B = 0.75;
+}  // namespace
+
+void InvertedIndex::AddDocument(uint64_t doc_id, const std::string& text) {
+  if (doc_lengths_.count(doc_id)) RemoveDocument(doc_id);
+  std::vector<std::string> tokens = Tokenize(text, opts_);
+  std::unordered_map<std::string, std::vector<uint32_t>> positions;
+  for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
+    positions[tokens[pos]].push_back(pos);
+  }
+  for (auto& [term, where] : positions) {
+    postings_[term].push_back(
+        {doc_id, static_cast<uint32_t>(where.size()), std::move(where)});
+  }
+  doc_lengths_[doc_id] = static_cast<uint32_t>(tokens.size());
+}
+
+void InvertedIndex::RemoveDocument(uint64_t doc_id) {
+  if (doc_lengths_.erase(doc_id) == 0) return;
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    auto& list = it->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [doc_id](const Posting& p) { return p.doc_id == doc_id; }),
+               list.end());
+    it = list.empty() ? postings_.erase(it) : std::next(it);
+  }
+}
+
+double InvertedIndex::AvgDocLength() const {
+  if (doc_lengths_.empty()) return 0;
+  double sum = 0;
+  for (const auto& [_, len] : doc_lengths_) sum += len;
+  return sum / static_cast<double>(doc_lengths_.size());
+}
+
+std::vector<SearchHit> InvertedIndex::RankedSearch(const std::string& query,
+                                                   size_t top_k, bool require_all) const {
+  std::vector<std::string> terms = Tokenize(query, opts_);
+  if (terms.empty() || doc_lengths_.empty()) return {};
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  double n_docs = static_cast<double>(doc_lengths_.size());
+  double avg_len = AvgDocLength();
+
+  std::unordered_map<uint64_t, double> scores;
+  std::unordered_map<uint64_t, uint32_t> matched_terms;
+  size_t usable_terms = 0;
+  for (const auto& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    ++usable_terms;
+    const auto& list = it->second;
+    double idf =
+        std::log((n_docs - list.size() + 0.5) / (list.size() + 0.5) + 1.0);
+    for (const Posting& p : list) {
+      double len = doc_lengths_.at(p.doc_id);
+      double tf = p.term_freq;
+      double bm25 = idf * (tf * (kBm25K1 + 1)) /
+                    (tf + kBm25K1 * (1 - kBm25B + kBm25B * len / avg_len));
+      scores[p.doc_id] += bm25;
+      ++matched_terms[p.doc_id];
+    }
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    if (require_all && matched_terms[doc] < terms.size()) continue;
+    hits.push_back({doc, score});
+  }
+  if (require_all && usable_terms < terms.size()) return {};
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+std::vector<SearchHit> InvertedIndex::Search(const std::string& query,
+                                             size_t top_k) const {
+  return RankedSearch(query, top_k, /*require_all=*/false);
+}
+
+std::vector<SearchHit> InvertedIndex::SearchAll(const std::string& query,
+                                                size_t top_k) const {
+  return RankedSearch(query, top_k, /*require_all=*/true);
+}
+
+std::vector<SearchHit> InvertedIndex::SearchPhrase(const std::string& phrase,
+                                                   size_t top_k) const {
+  std::vector<std::string> terms = Tokenize(phrase, opts_);
+  if (terms.empty()) return {};
+  if (terms.size() == 1) return SearchAll(phrase, top_k);
+
+  // Candidate docs: BM25-ranked conjunction (unlimited), then position check.
+  std::vector<SearchHit> candidates = RankedSearch(phrase, ~size_t{0}, true);
+  // Per-term posting lookup for position verification.
+  std::vector<const std::vector<Posting>*> lists;
+  for (const auto& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) return {};
+    lists.push_back(&it->second);
+  }
+  auto positions_of = [](const std::vector<Posting>& list,
+                         uint64_t doc) -> const std::vector<uint32_t>* {
+    for (const Posting& p : list) {
+      if (p.doc_id == doc) return &p.positions;
+    }
+    return nullptr;
+  };
+  std::vector<SearchHit> hits;
+  for (const SearchHit& cand : candidates) {
+    const std::vector<uint32_t>* first = positions_of(*lists[0], cand.doc_id);
+    if (!first) continue;
+    bool match = false;
+    for (uint32_t start : *first) {
+      bool all = true;
+      for (size_t t = 1; t < terms.size() && all; ++t) {
+        const std::vector<uint32_t>* pos = positions_of(*lists[t], cand.doc_id);
+        all = pos && std::binary_search(pos->begin(), pos->end(),
+                                        start + static_cast<uint32_t>(t));
+      }
+      if (all) {
+        match = true;
+        break;
+      }
+    }
+    if (match) hits.push_back(cand);
+    if (hits.size() >= top_k) break;
+  }
+  return hits;
+}
+
+std::vector<uint64_t> InvertedIndex::PostingList(const std::string& term) const {
+  std::vector<std::string> normalized = Tokenize(term, opts_);
+  if (normalized.empty()) return {};
+  auto it = postings_.find(normalized[0]);
+  if (it == postings_.end()) return {};
+  std::vector<uint64_t> docs;
+  docs.reserve(it->second.size());
+  for (const Posting& p : it->second) docs.push_back(p.doc_id);
+  std::sort(docs.begin(), docs.end());
+  return docs;
+}
+
+}  // namespace poly

@@ -1,0 +1,65 @@
+#ifndef POLY_ENGINES_TEXT_INVERTED_INDEX_H_
+#define POLY_ENGINES_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/text/tokenizer.h"
+
+namespace poly {
+
+/// One ranked search hit.
+struct SearchHit {
+  uint64_t doc_id = 0;
+  double score = 0;
+};
+
+/// In-memory inverted index with TF-IDF / BM25 ranking (§II-C "simple text
+/// search which we all know from web search engines"). Documents are
+/// arbitrary uint64 IDs — the text engine maps them to table row IDs.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(TokenizerOptions opts = TokenizerOptions())
+      : opts_(opts) {}
+
+  /// Indexes (or re-indexes) a document. Re-adding an ID replaces it.
+  void AddDocument(uint64_t doc_id, const std::string& text);
+  void RemoveDocument(uint64_t doc_id);
+
+  /// BM25-ranked disjunctive query; hits must match >= 1 term.
+  std::vector<SearchHit> Search(const std::string& query, size_t top_k = 10) const;
+  /// Conjunctive query: documents containing all terms, BM25-ranked.
+  std::vector<SearchHit> SearchAll(const std::string& query, size_t top_k = 10) const;
+
+  /// Phrase query: documents where the (normalized) terms occur as a
+  /// contiguous sequence, BM25-ranked. Uses positional postings.
+  std::vector<SearchHit> SearchPhrase(const std::string& phrase,
+                                      size_t top_k = 10) const;
+
+  /// Documents containing `term` (normalized through the tokenizer).
+  std::vector<uint64_t> PostingList(const std::string& term) const;
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  struct Posting {
+    uint64_t doc_id;
+    uint32_t term_freq;
+    std::vector<uint32_t> positions;  ///< token offsets within the document
+  };
+
+  std::vector<SearchHit> RankedSearch(const std::string& query, size_t top_k,
+                                      bool require_all) const;
+  double AvgDocLength() const;
+
+  TokenizerOptions opts_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<uint64_t, uint32_t> doc_lengths_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,196 @@
+#include "engines/text/text_analysis.h"
+
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace poly {
+
+namespace {
+
+bool IsCapitalized(const std::string& token) {
+  return !token.empty() && std::isupper(static_cast<unsigned char>(token[0]));
+}
+
+bool IsAllDigits(const std::string& token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+const std::unordered_set<std::string>& CompanySuffixes() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "inc", "corp", "gmbh", "ltd", "llc", "se", "ag", "co"};
+  return *kSet;
+}
+
+const std::unordered_map<std::string, double>& SentimentLexicon() {
+  static const auto* kLex = new std::unordered_map<std::string, double>{
+      {"good", 1},      {"great", 1.5},   {"excellent", 2},  {"love", 1.5},
+      {"like", 0.5},    {"fast", 1},      {"happy", 1},      {"best", 1.5},
+      {"amazing", 2},   {"reliable", 1},  {"efficient", 1},  {"win", 1},
+      {"bad", -1},      {"poor", -1},     {"terrible", -2},  {"hate", -1.5},
+      {"slow", -1},     {"broken", -1.5}, {"fail", -1.5},    {"failure", -1.5},
+      {"worst", -2},    {"awful", -2},    {"leak", -1},      {"problem", -1},
+      {"issue", -0.5},  {"delay", -1},    {"expensive", -0.5}};
+  return *kLex;
+}
+
+bool IsNegation(const std::string& token) {
+  return token == "not" || token == "no" || token == "never" || token == "n't";
+}
+
+}  // namespace
+
+const char* EntityKindName(Entity::Kind kind) {
+  switch (kind) {
+    case Entity::Kind::kPersonOrPlace: return "PERSON_OR_PLACE";
+    case Entity::Kind::kCompany: return "COMPANY";
+    case Entity::Kind::kMoney: return "MONEY";
+    case Entity::Kind::kNumber: return "NUMBER";
+    case Entity::Kind::kEmail: return "EMAIL";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<Entity> ExtractEntities(const std::string& text) {
+  std::vector<Entity> out;
+
+  // E-mail shapes work on the raw text (tokenizer would split the '@').
+  size_t at = text.find('@');
+  while (at != std::string::npos && at > 0) {
+    size_t start = at;
+    while (start > 0 && (std::isalnum(static_cast<unsigned char>(text[start - 1])) ||
+                         text[start - 1] == '.' || text[start - 1] == '_')) {
+      --start;
+    }
+    size_t end = at + 1;
+    while (end < text.size() && (std::isalnum(static_cast<unsigned char>(text[end])) ||
+                                 text[end] == '.' || text[end] == '-')) {
+      ++end;
+    }
+    std::string candidate = text.substr(start, end - start);
+    if (start < at && end > at + 1 && candidate.find('.', at - start) != std::string::npos) {
+      out.push_back({Entity::Kind::kEmail, candidate, start});
+    }
+    at = text.find('@', at + 1);
+  }
+
+  std::vector<std::string> tokens = RawTokens(text);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    // Money: "$123" is split to "123" by RawTokens, so look in raw text via
+    // the simpler rule: number followed by currency words, or EUR/USD prefix.
+    if (IsAllDigits(tok)) {
+      bool money = false;
+      if (i + 1 < tokens.size()) {
+        std::string next = ToLower(tokens[i + 1]);
+        money = next == "eur" || next == "usd" || next == "dollars" || next == "euros";
+      }
+      if (!money && i > 0) {
+        std::string prev = ToLower(tokens[i - 1]);
+        money = prev == "eur" || prev == "usd";
+      }
+      out.push_back({money ? Entity::Kind::kMoney : Entity::Kind::kNumber, tok, i});
+      continue;
+    }
+    // Capitalized run: join consecutive capitalized tokens (not at sentence
+    // start heuristics — kept simple and deterministic).
+    if (IsCapitalized(tok) && i > 0) {
+      size_t j = i;
+      std::string run;
+      while (j < tokens.size() && IsCapitalized(tokens[j])) {
+        if (!run.empty()) run += " ";
+        run += tokens[j];
+        ++j;
+      }
+      Entity::Kind kind = Entity::Kind::kPersonOrPlace;
+      if (j < tokens.size() && CompanySuffixes().count(ToLower(tokens[j]))) {
+        run += " " + tokens[j];
+        ++j;
+        kind = Entity::Kind::kCompany;
+      } else if (CompanySuffixes().count(ToLower(tokens[j - 1]))) {
+        kind = Entity::Kind::kCompany;
+      }
+      out.push_back({kind, run, i});
+      i = j - 1;
+    }
+  }
+  return out;
+}
+
+double SentimentScore(const std::string& text) {
+  TokenizerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  opts.min_token_length = 1;
+  std::vector<std::string> tokens = Tokenize(text, opts);
+  double score = 0;
+  double weight_sum = 0;
+  bool negated = false;
+  for (const auto& tok : tokens) {
+    if (IsNegation(tok)) {
+      negated = true;
+      continue;
+    }
+    auto it = SentimentLexicon().find(tok);
+    if (it != SentimentLexicon().end()) {
+      score += negated ? -it->second : it->second;
+      weight_sum += std::abs(it->second);
+    }
+    negated = false;  // negation scopes one content word
+  }
+  if (weight_sum == 0) return 0;
+  double normalized = score / weight_sum;
+  return std::max(-1.0, std::min(1.0, normalized));
+}
+
+void NaiveBayesClassifier::Train(const std::string& label, const std::string& text) {
+  ++label_docs_[label];
+  for (const auto& tok : Tokenize(text, opts_)) {
+    ++counts_[label][tok];
+    ++label_tokens_[label];
+    vocabulary_[tok] = true;
+  }
+}
+
+std::unordered_map<std::string, double> NaiveBayesClassifier::Scores(
+    const std::string& text) const {
+  std::unordered_map<std::string, double> scores;
+  if (label_docs_.empty()) return scores;
+  uint64_t total_docs = 0;
+  for (const auto& [_, n] : label_docs_) total_docs += n;
+  double vocab = static_cast<double>(vocabulary_.size());
+  std::vector<std::string> tokens = Tokenize(text, opts_);
+  for (const auto& [label, docs] : label_docs_) {
+    double score = std::log(static_cast<double>(docs) / total_docs);
+    double denom = static_cast<double>(label_tokens_.at(label)) + vocab;
+    const auto& term_counts = counts_.at(label);
+    for (const auto& tok : tokens) {
+      auto it = term_counts.find(tok);
+      double count = it != term_counts.end() ? it->second : 0;
+      score += std::log((count + 1.0) / denom);  // Laplace smoothing
+    }
+    scores[label] = score;
+  }
+  return scores;
+}
+
+std::string NaiveBayesClassifier::Classify(const std::string& text) const {
+  auto scores = Scores(text);
+  std::string best;
+  double best_score = -1e300;
+  for (const auto& [label, score] : scores) {
+    if (score > best_score || (score == best_score && label < best)) {
+      best = label;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace poly

@@ -1,0 +1,57 @@
+#ifndef POLY_ENGINES_TEXT_TEXT_ANALYSIS_H_
+#define POLY_ENGINES_TEXT_TEXT_ANALYSIS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/text/tokenizer.h"
+
+namespace poly {
+
+/// Extracted entity (§II-C: "we are able to extract entities (like names,
+/// addresses, companies, ...) and sentiments from documents with a rule
+/// based approach"). Entities become structured data combinable with the
+/// relational engine.
+struct Entity {
+  enum class Kind { kPersonOrPlace, kCompany, kMoney, kNumber, kEmail };
+  Kind kind;
+  std::string text;
+  size_t token_offset = 0;
+};
+
+const char* EntityKindName(Entity::Kind kind);
+
+/// Rule-based entity extractor: capitalized runs, a company-suffix
+/// gazetteer, currency amounts, bare numbers, e-mail shapes.
+std::vector<Entity> ExtractEntities(const std::string& text);
+
+/// Lexicon-based sentiment in [-1, 1] with simple negation handling.
+double SentimentScore(const std::string& text);
+
+/// Multinomial naive-Bayes text classifier (§II-C "text classification").
+class NaiveBayesClassifier {
+ public:
+  /// Adds a training document under `label`.
+  void Train(const std::string& label, const std::string& text);
+
+  /// Most likely label, or "" if untrained.
+  std::string Classify(const std::string& text) const;
+
+  /// Log-probability scores per label for inspection.
+  std::unordered_map<std::string, double> Scores(const std::string& text) const;
+
+  size_t num_labels() const { return label_docs_.size(); }
+
+ private:
+  TokenizerOptions opts_;
+  std::unordered_map<std::string, uint64_t> label_docs_;
+  std::unordered_map<std::string, uint64_t> label_tokens_;
+  // label -> term -> count
+  std::unordered_map<std::string, std::unordered_map<std::string, uint64_t>> counts_;
+  std::unordered_map<std::string, bool> vocabulary_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_TEXT_TEXT_ANALYSIS_H_

@@ -1,0 +1,57 @@
+#include "engines/text/text_engine.h"
+
+namespace poly {
+
+StatusOr<TextEngine> TextEngine::Create(ColumnTable* table, const std::string& column) {
+  POLY_ASSIGN_OR_RETURN(size_t idx, table->schema().IndexOf(column));
+  DataType type = table->schema().column(idx).type;
+  if (type != DataType::kString && type != DataType::kDocument) {
+    return Status::InvalidArgument("text engine needs a string column, got " +
+                                   std::string(DataTypeName(type)));
+  }
+  return TextEngine(table, idx);
+}
+
+uint64_t TextEngine::Refresh() {
+  uint64_t n = table_->num_versions();
+  uint64_t indexed = 0;
+  for (uint64_t r = indexed_until_; r < n; ++r) {
+    Value v = table_->GetValue(r, column_);
+    if (v.is_null()) continue;
+    index_.AddDocument(r, v.AsString());
+    ++indexed;
+  }
+  indexed_until_ = n;
+  return indexed;
+}
+
+double TextEngine::RowSentiment(uint64_t row) const {
+  Value v = table_->GetValue(row, column_);
+  if (v.is_null()) return 0;
+  return SentimentScore(v.AsString());
+}
+
+StatusOr<uint64_t> TextEngine::ExtractEntitiesTo(TransactionManager* tm,
+                                                 ColumnTable* target) {
+  if (target->schema().num_columns() != 3) {
+    return Status::InvalidArgument(
+        "entity target table must be (doc_row, kind, entity)");
+  }
+  auto txn = tm->Begin();
+  uint64_t written = 0;
+  for (uint64_t r = 0; r < indexed_until_; ++r) {
+    Value v = table_->GetValue(r, column_);
+    if (v.is_null()) continue;
+    for (const Entity& e : ExtractEntities(v.AsString())) {
+      POLY_RETURN_IF_ERROR(tm->Insert(
+          txn.get(), target,
+          {Value::Int(static_cast<int64_t>(r)), Value::Str(EntityKindName(e.kind)),
+           Value::Str(e.text)}));
+      ++written;
+    }
+  }
+  POLY_RETURN_IF_ERROR(tm->Commit(txn.get()));
+  return written;
+}
+
+}  // namespace poly

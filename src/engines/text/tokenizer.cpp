@@ -1,0 +1,96 @@
+#include "engines/text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace poly {
+
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but", "by",
+      "for",  "from", "has",  "have", "he",   "her",  "his",  "if",  "in",
+      "is",   "it",   "its",  "not",  "of",   "on",   "or",   "she", "so",
+      "that", "the",  "their", "then", "there", "they", "this", "to", "was",
+      "we",   "were", "which", "will", "with", "you"};
+  return *kSet;
+}
+
+bool EndsWithSuffix(const std::string& w, std::string_view suffix) {
+  return w.size() > suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+std::string StemWord(const std::string& word) {
+  std::string w = word;
+  // Order matters: longest suffixes first within each family.
+  if (EndsWithSuffix(w, "sses")) {
+    w.erase(w.size() - 2);  // classes -> class
+  } else if (EndsWithSuffix(w, "ies")) {
+    w.replace(w.size() - 3, 3, "y");  // companies -> company
+  } else if (EndsWithSuffix(w, "ss")) {
+    // keep: glass
+  } else if (EndsWithSuffix(w, "s") && w.size() > 3) {
+    w.erase(w.size() - 1);  // sensors -> sensor
+  }
+  if (EndsWithSuffix(w, "ment") && w.size() > 6) {
+    w.erase(w.size() - 4);  // management -> manage
+  } else if (EndsWithSuffix(w, "ness") && w.size() > 5) {
+    w.erase(w.size() - 4);
+  } else if (EndsWithSuffix(w, "tion") && w.size() > 5) {
+    w.replace(w.size() - 3, 3, "e");  // integration -> integrate
+  } else if (EndsWithSuffix(w, "ing") && w.size() > 5) {
+    w.erase(w.size() - 3);  // processing -> process
+    if (w.size() > 2 && w[w.size() - 1] == w[w.size() - 2] &&
+        !EndsWithSuffix(w, "ss") && !EndsWithSuffix(w, "ll")) {
+      w.erase(w.size() - 1);  // planning -> plan
+    }
+  } else if (EndsWithSuffix(w, "ed") && w.size() > 4) {
+    w.erase(w.size() - 2);  // merged -> merg (stems align across forms)
+  } else if (EndsWithSuffix(w, "ly") && w.size() > 4) {
+    w.erase(w.size() - 2);
+  }
+  // Final e-stripping so inflections converge on one stem
+  // (merge/merges/merged/merging -> "merg").
+  if (EndsWithSuffix(w, "e") && w.size() > 4) w.erase(w.size() - 1);
+  return w;
+}
+
+std::vector<std::string> RawTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '\'') {
+      current += ch;
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> Tokenize(std::string_view text, const TokenizerOptions& opts) {
+  std::vector<std::string> out;
+  for (std::string& raw : RawTokens(text)) {
+    std::string token = ToLower(raw);
+    if (token.size() < opts.min_token_length) continue;
+    if (opts.remove_stopwords && IsStopword(token)) continue;
+    if (opts.stem) token = StemWord(token);
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+}  // namespace poly

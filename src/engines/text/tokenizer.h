@@ -1,0 +1,37 @@
+#ifndef POLY_ENGINES_TEXT_TOKENIZER_H_
+#define POLY_ENGINES_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace poly {
+
+/// Tokenization + linguistic normalization for the text engine (§II-C:
+/// "many languages have to be supported natively with functionality like
+/// stemming"). ASCII-oriented: lowercases, splits on non-alphanumerics,
+/// optionally drops stopwords and applies a Porter-style suffix stemmer.
+struct TokenizerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  size_t min_token_length = 2;
+};
+
+/// English stopword test (small built-in list).
+bool IsStopword(std::string_view word);
+
+/// Porter-style suffix stripping (a compact subset: plurals, -ed, -ing,
+/// -ly, -ment, -ness, -tion). Input must already be lowercase.
+std::string StemWord(const std::string& word);
+
+/// Splits `text` into normalized tokens.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& opts = TokenizerOptions());
+
+/// Tokenizes without normalization (original casing, no stemming) — used by
+/// the rule-based entity extractor which needs capitalization.
+std::vector<std::string> RawTokens(std::string_view text);
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_TEXT_TOKENIZER_H_

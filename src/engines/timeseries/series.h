@@ -1,0 +1,26 @@
+#ifndef POLY_ENGINES_TIMESERIES_SERIES_H_
+#define POLY_ENGINES_TIMESERIES_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace poly {
+
+/// A plain in-memory time series: parallel timestamp/value arrays, sorted
+/// by timestamp. Timestamps are microseconds (matching DataType::kTimestamp).
+struct TimeSeries {
+  std::vector<int64_t> timestamps;
+  std::vector<double> values;
+
+  size_t size() const { return timestamps.size(); }
+  bool empty() const { return timestamps.empty(); }
+
+  void Append(int64_t ts, double value) {
+    timestamps.push_back(ts);
+    values.push_back(value);
+  }
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_TIMESERIES_SERIES_H_

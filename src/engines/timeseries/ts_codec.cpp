@@ -1,0 +1,189 @@
+#include "engines/timeseries/ts_codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace poly {
+
+void BitWriter::WriteBit(bool bit) {
+  size_t byte = bit_count_ / 8;
+  if (byte >= buf_.size()) buf_.push_back('\0');
+  if (bit) buf_[byte] = static_cast<char>(buf_[byte] | (1 << (7 - bit_count_ % 8)));
+  ++bit_count_;
+}
+
+void BitWriter::WriteBits(uint64_t value, int bits) {
+  for (int i = bits - 1; i >= 0; --i) WriteBit((value >> i) & 1);
+}
+
+StatusOr<bool> BitReader::ReadBit() {
+  size_t byte = pos_ / 8;
+  if (byte >= data_.size()) return Status::Corruption("bit stream underflow");
+  bool bit = (static_cast<unsigned char>(data_[byte]) >> (7 - pos_ % 8)) & 1;
+  ++pos_;
+  return bit;
+}
+
+StatusOr<uint64_t> BitReader::ReadBits(int bits) {
+  uint64_t v = 0;
+  for (int i = 0; i < bits; ++i) {
+    POLY_ASSIGN_OR_RETURN(bool bit, ReadBit());
+    v = (v << 1) | (bit ? 1 : 0);
+  }
+  return v;
+}
+
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, 8);
+  return u;
+}
+
+double BitsDouble(uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, 8);
+  return d;
+}
+
+// Delta-of-delta bucket encoding (Gorilla Table):
+//   '0'                      : dod == 0
+//   '10'  + 7 bits           : [-63, 64]
+//   '110' + 9 bits           : [-255, 256]
+//   '1110'+ 12 bits          : [-2047, 2048]
+//   '1111'+ 64 bits          : anything else
+void WriteDod(BitWriter* w, int64_t dod) {
+  if (dod == 0) {
+    w->WriteBit(false);
+  } else if (dod >= -63 && dod <= 64) {
+    w->WriteBits(0b10, 2);
+    w->WriteBits(static_cast<uint64_t>(dod + 63), 7);
+  } else if (dod >= -255 && dod <= 256) {
+    w->WriteBits(0b110, 3);
+    w->WriteBits(static_cast<uint64_t>(dod + 255), 9);
+  } else if (dod >= -2047 && dod <= 2048) {
+    w->WriteBits(0b1110, 4);
+    w->WriteBits(static_cast<uint64_t>(dod + 2047), 12);
+  } else {
+    w->WriteBits(0b1111, 4);
+    w->WriteBits(static_cast<uint64_t>(dod), 64);
+  }
+}
+
+StatusOr<int64_t> ReadDod(BitReader* r) {
+  POLY_ASSIGN_OR_RETURN(bool b0, r->ReadBit());
+  if (!b0) return static_cast<int64_t>(0);
+  POLY_ASSIGN_OR_RETURN(bool b1, r->ReadBit());
+  if (!b1) {
+    POLY_ASSIGN_OR_RETURN(uint64_t v, r->ReadBits(7));
+    return static_cast<int64_t>(v) - 63;
+  }
+  POLY_ASSIGN_OR_RETURN(bool b2, r->ReadBit());
+  if (!b2) {
+    POLY_ASSIGN_OR_RETURN(uint64_t v, r->ReadBits(9));
+    return static_cast<int64_t>(v) - 255;
+  }
+  POLY_ASSIGN_OR_RETURN(bool b3, r->ReadBit());
+  if (!b3) {
+    POLY_ASSIGN_OR_RETURN(uint64_t v, r->ReadBits(12));
+    return static_cast<int64_t>(v) - 2047;
+  }
+  POLY_ASSIGN_OR_RETURN(uint64_t v, r->ReadBits(64));
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+void CompressedSeries::Append(int64_t timestamp, double value) {
+  uint64_t vbits = DoubleBits(value);
+  if (count_ == 0) {
+    first_ts_ = timestamp;
+    bits_.WriteBits(static_cast<uint64_t>(timestamp), 64);
+    bits_.WriteBits(vbits, 64);
+    prev_ts_ = timestamp;
+    prev_delta_ = 0;
+    prev_value_bits_ = vbits;
+    ++count_;
+    return;
+  }
+  // Timestamp: delta-of-delta.
+  int64_t delta = timestamp - prev_ts_;
+  WriteDod(&bits_, delta - prev_delta_);
+  prev_delta_ = delta;
+  prev_ts_ = timestamp;
+
+  // Value: XOR scheme.
+  uint64_t x = vbits ^ prev_value_bits_;
+  if (x == 0) {
+    bits_.WriteBit(false);
+  } else {
+    bits_.WriteBit(true);
+    int leading = std::countl_zero(x);
+    int trailing = std::countr_zero(x);
+    if (leading > 31) leading = 31;
+    if (prev_leading_ >= 0 && leading >= prev_leading_ && trailing >= prev_trailing_) {
+      // Fits in the previous window: '0' + meaningful bits.
+      bits_.WriteBit(false);
+      int meaningful = 64 - prev_leading_ - prev_trailing_;
+      bits_.WriteBits(x >> prev_trailing_, meaningful);
+    } else {
+      // New window: '1' + 5 bits leading + 6 bits length + bits.
+      bits_.WriteBit(true);
+      int meaningful = 64 - leading - trailing;
+      bits_.WriteBits(static_cast<uint64_t>(leading), 5);
+      bits_.WriteBits(static_cast<uint64_t>(meaningful), 6);
+      bits_.WriteBits(x >> trailing, meaningful);
+      prev_leading_ = leading;
+      prev_trailing_ = trailing;
+    }
+  }
+  prev_value_bits_ = vbits;
+  ++count_;
+}
+
+StatusOr<TimeSeries> CompressedSeries::Decompress() const {
+  TimeSeries out;
+  if (count_ == 0) return out;
+  BitReader r(bits_.data());
+  POLY_ASSIGN_OR_RETURN(uint64_t ts0, r.ReadBits(64));
+  POLY_ASSIGN_OR_RETURN(uint64_t v0, r.ReadBits(64));
+  int64_t ts = static_cast<int64_t>(ts0);
+  uint64_t vbits = v0;
+  out.Append(ts, BitsDouble(vbits));
+  int64_t delta = 0;
+  int leading = 0, trailing = 0;
+  for (size_t i = 1; i < count_; ++i) {
+    POLY_ASSIGN_OR_RETURN(int64_t dod, ReadDod(&r));
+    delta += dod;
+    ts += delta;
+    POLY_ASSIGN_OR_RETURN(bool changed, r.ReadBit());
+    if (changed) {
+      POLY_ASSIGN_OR_RETURN(bool new_window, r.ReadBit());
+      if (new_window) {
+        POLY_ASSIGN_OR_RETURN(uint64_t lead, r.ReadBits(5));
+        POLY_ASSIGN_OR_RETURN(uint64_t len, r.ReadBits(6));
+        leading = static_cast<int>(lead);
+        int meaningful = static_cast<int>(len);
+        if (meaningful == 0) meaningful = 64;
+        trailing = 64 - leading - meaningful;
+        POLY_ASSIGN_OR_RETURN(uint64_t x, r.ReadBits(meaningful));
+        vbits ^= x << trailing;
+      } else {
+        int meaningful = 64 - leading - trailing;
+        POLY_ASSIGN_OR_RETURN(uint64_t x, r.ReadBits(meaningful));
+        vbits ^= x << trailing;
+      }
+    }
+    out.Append(ts, BitsDouble(vbits));
+  }
+  return out;
+}
+
+CompressedSeries CompressedSeries::FromSeries(const TimeSeries& ts) {
+  CompressedSeries c;
+  for (size_t i = 0; i < ts.size(); ++i) c.Append(ts.timestamps[i], ts.values[i]);
+  return c;
+}
+
+}  // namespace poly

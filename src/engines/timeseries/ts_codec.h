@@ -1,0 +1,74 @@
+#ifndef POLY_ENGINES_TIMESERIES_TS_CODEC_H_
+#define POLY_ENGINES_TIMESERIES_TS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engines/timeseries/series.h"
+
+namespace poly {
+
+/// Bit-granular writer used by the time-series codec.
+class BitWriter {
+ public:
+  void WriteBit(bool bit);
+  void WriteBits(uint64_t value, int bits);  ///< most-significant bit first
+  const std::string& data() const { return buf_; }
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::string buf_;
+  size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::string& data) : data_(data) {}
+  StatusOr<bool> ReadBit();
+  StatusOr<uint64_t> ReadBits(int bits);
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+/// Gorilla-style time-series compression (§II-F: "powerful compression
+/// mechanisms, which is especially useful for sensor data"):
+///  * timestamps: delta-of-delta with variable-length buckets
+///  * values: XOR with previous, leading/trailing-zero windows
+/// E7 measures the resulting compression factor on sensor-like streams.
+class CompressedSeries {
+ public:
+  void Append(int64_t timestamp, double value);
+
+  /// Decodes the full series.
+  StatusOr<TimeSeries> Decompress() const;
+
+  size_t num_points() const { return count_; }
+  /// Compressed payload size.
+  size_t SizeBytes() const { return bits_.data().size(); }
+  /// Uncompressed equivalent (16 bytes per point).
+  size_t RawBytes() const { return count_ * 16; }
+  double CompressionRatio() const {
+    return SizeBytes() == 0 ? 0 : static_cast<double>(RawBytes()) / SizeBytes();
+  }
+
+  /// Convenience: compress a whole series.
+  static CompressedSeries FromSeries(const TimeSeries& ts);
+
+ private:
+  BitWriter bits_;
+  size_t count_ = 0;
+  int64_t first_ts_ = 0;
+  int64_t prev_ts_ = 0;
+  int64_t prev_delta_ = 0;
+  uint64_t prev_value_bits_ = 0;
+  int prev_leading_ = -1;
+  int prev_trailing_ = -1;
+};
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_TIMESERIES_TS_CODEC_H_

@@ -1,0 +1,65 @@
+#ifndef POLY_ENGINES_TIMESERIES_TS_OPS_H_
+#define POLY_ENGINES_TIMESERIES_TS_OPS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engines/timeseries/series.h"
+#include "storage/column_table.h"
+
+namespace poly {
+
+/// Aggregation used when resampling buckets.
+enum class ResampleAgg { kMean, kSum, kMin, kMax, kLast, kCount };
+
+/// Time-series operators (§II-F: "resolution adoption, comparison
+/// functions, correlation, transformations, and others").
+
+/// Re-buckets a series to `bucket_micros` resolution ("resolution
+/// adoption"). Bucket timestamps are aligned down; empty buckets are
+/// omitted. Input must be sorted by time.
+TimeSeries Resample(const TimeSeries& ts, int64_t bucket_micros, ResampleAgg agg);
+
+/// Pearson correlation of two series after aligning both to the bucket
+/// grid (only buckets present in both count). Returns 0 with <2 shared
+/// buckets.
+double Correlation(const TimeSeries& a, const TimeSeries& b, int64_t bucket_micros);
+
+/// Simple moving average over a window of k points.
+TimeSeries MovingAverage(const TimeSeries& ts, size_t window);
+
+/// Pointwise difference v[i] - v[i-1] (length n-1).
+TimeSeries Difference(const TimeSeries& ts);
+
+/// Min-max normalization to [0, 1] (constant series maps to 0).
+TimeSeries Normalize(const TimeSeries& ts);
+
+/// Restricts to timestamps in [from, to).
+TimeSeries Slice(const TimeSeries& ts, int64_t from, int64_t to);
+
+/// Indexes of points whose value deviates more than `z_threshold` standard
+/// deviations from the mean of the surrounding window of `window` points
+/// (rolling z-score; the predictive-maintenance anomaly primitive of the
+/// §V-2 scenario). Points without a full preceding window are skipped.
+std::vector<size_t> DetectAnomalies(const TimeSeries& ts, size_t window,
+                                    double z_threshold);
+
+/// Summary statistics.
+struct SeriesStats {
+  size_t count = 0;
+  double mean = 0, stddev = 0, min = 0, max = 0;
+};
+SeriesStats ComputeStats(const TimeSeries& ts);
+
+/// Loads a series from a table's (timestamp, value) columns, optionally
+/// restricted to rows where `key_column` == key (the "elected sensor" of
+/// §II-F). Rows are sorted by time.
+StatusOr<TimeSeries> SeriesFromTable(const ColumnTable& table, const ReadView& view,
+                                     const std::string& ts_column,
+                                     const std::string& value_column,
+                                     const std::string& key_column = "",
+                                     int64_t key = 0);
+
+}  // namespace poly
+
+#endif  // POLY_ENGINES_TIMESERIES_TS_OPS_H_

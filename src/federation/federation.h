@@ -1,0 +1,103 @@
+#ifndef POLY_FEDERATION_FEDERATION_H_
+#define POLY_FEDERATION_FEDERATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hadoop/dfs.h"
+#include "query/expr.h"
+#include "query/result.h"
+#include "storage/database.h"
+#include "storage/mvcc.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+
+/// Smart Data Access (SDA, Figure 2/4): virtual tables backed by external
+/// systems, with optional predicate pushdown. E15 measures pushdown vs
+/// pull-everything on the simulated transfer counters.
+class ExternalSource {
+ public:
+  virtual ~ExternalSource() = default;
+
+  virtual const Schema& schema() const = 0;
+  /// True if the source can evaluate simple predicates itself.
+  virtual bool SupportsPushdown() const = 0;
+  /// Scans the source. If `predicate` is non-null and pushdown is
+  /// supported, only matching rows cross the wire; otherwise the caller
+  /// must filter. Implementations account transferred bytes.
+  virtual StatusOr<std::vector<Row>> Scan(const ExprPtr& predicate) = 0;
+  /// Bytes shipped from the remote side so far.
+  virtual uint64_t bytes_transferred() const = 0;
+};
+
+/// A remote Polyphony database reached over a simulated link — the
+/// "HANA talks to another system" case.
+class RemoteTableSource : public ExternalSource {
+ public:
+  /// `remote_db`/`remote_tm` model the other system; must outlive this.
+  RemoteTableSource(const Database* remote_db, const TransactionManager* remote_tm,
+                    std::string table, bool supports_pushdown);
+
+  const Schema& schema() const override { return schema_; }
+  bool SupportsPushdown() const override { return pushdown_; }
+  StatusOr<std::vector<Row>> Scan(const ExprPtr& predicate) override;
+  uint64_t bytes_transferred() const override { return bytes_; }
+
+ private:
+  const Database* db_;
+  const TransactionManager* tm_;
+  std::string table_;
+  bool pushdown_;
+  Schema schema_;
+  uint64_t bytes_ = 0;
+};
+
+/// A TSV file on the simulated DFS exposed as a virtual table — the
+/// "federated approach [...] queries on HDFS data" of §IV-C. Pushdown off:
+/// Hive-less raw files always ship whole.
+class DfsFileSource : public ExternalSource {
+ public:
+  static StatusOr<std::unique_ptr<DfsFileSource>> Open(SimulatedDfs* dfs,
+                                                       const std::string& path);
+
+  const Schema& schema() const override { return schema_; }
+  bool SupportsPushdown() const override { return false; }
+  StatusOr<std::vector<Row>> Scan(const ExprPtr& predicate) override;
+  uint64_t bytes_transferred() const override { return bytes_; }
+
+ private:
+  DfsFileSource(SimulatedDfs* dfs, std::string path) : dfs_(dfs), path_(std::move(path)) {}
+
+  SimulatedDfs* dfs_;
+  std::string path_;
+  Schema schema_;
+  uint64_t bytes_ = 0;
+};
+
+/// The federation engine: registry of named virtual tables plus a scan
+/// entry point that pushes predicates down when the source allows it and
+/// compensates locally when it does not.
+class FederationEngine {
+ public:
+  Status RegisterSource(const std::string& name, std::unique_ptr<ExternalSource> source);
+  Status Unregister(const std::string& name);
+
+  /// Scans a virtual table with local compensation filtering.
+  StatusOr<ResultSet> ScanVirtual(const std::string& name, const ExprPtr& predicate);
+
+  StatusOr<ExternalSource*> Source(const std::string& name) const;
+  std::vector<std::string> SourceNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<ExternalSource>> sources_;
+};
+
+/// Serialized row size model shared by sources (8 bytes per numeric cell,
+/// string length for strings) — the unit E10/E15 report.
+uint64_t EstimateRowBytes(const Row& row);
+
+}  // namespace poly
+
+#endif  // POLY_FEDERATION_FEDERATION_H_

@@ -1,0 +1,203 @@
+#include "hadoop/dfs.h"
+
+#include <algorithm>
+
+namespace poly {
+
+SimulatedDfs::SimulatedDfs() : SimulatedDfs(Options()) {}
+
+SimulatedDfs::SimulatedDfs(Options options) : options_(options) {
+  if (options_.num_data_nodes < 1) options_.num_data_nodes = 1;
+  if (options_.replication < 1) options_.replication = 1;
+  if (options_.replication > options_.num_data_nodes) {
+    options_.replication = options_.num_data_nodes;
+  }
+  nodes_alive_.assign(options_.num_data_nodes, true);
+}
+
+StatusOr<std::vector<int>> SimulatedDfs::PickNodes() {
+  std::vector<int> live;
+  for (int n = 0; n < static_cast<int>(nodes_alive_.size()); ++n) {
+    if (nodes_alive_[n]) live.push_back(n);
+  }
+  if (live.empty()) return Status::Unavailable("no live data nodes");
+  int replication = std::min<int>(options_.replication, static_cast<int>(live.size()));
+  std::vector<int> chosen;
+  for (int i = 0; i < replication; ++i) {
+    chosen.push_back(live[(next_node_rr_ + i) % live.size()]);
+  }
+  next_node_rr_ = (next_node_rr_ + 1) % static_cast<int>(live.size());
+  return chosen;
+}
+
+Status SimulatedDfs::WriteLocked(const std::string& path, const std::string& data) {
+  FileEntry entry;
+  entry.size = data.size();
+  for (size_t off = 0; off < data.size() || (off == 0 && data.empty());
+       off += options_.block_size) {
+    Block block;
+    block.id = next_block_id_++;
+    block.data = data.substr(off, options_.block_size);
+    POLY_ASSIGN_OR_RETURN(block.replicas, PickNodes());
+    entry.blocks.push_back(block.id);
+    blocks_.emplace(block.id, std::move(block));
+    if (data.empty()) break;
+  }
+  // Drop old blocks on overwrite.
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    for (uint64_t b : it->second.blocks) blocks_.erase(b);
+  }
+  files_[path] = std::move(entry);
+  return Status::OK();
+}
+
+Status SimulatedDfs::Write(const std::string& path, const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteLocked(path, data);
+}
+
+Status SimulatedDfs::Append(const std::string& path, const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return WriteLocked(path, data);
+  // Rewrite = read old + concat (simple but preserves block invariants).
+  std::string full;
+  full.reserve(it->second.size + data.size());
+  for (uint64_t b : it->second.blocks) full += blocks_.at(b).data;
+  full += data;
+  return WriteLocked(path, full);
+}
+
+void SimulatedDfs::ChargeRead(size_t bytes, size_t blocks) {
+  simulated_read_nanos_ += static_cast<double>(bytes) * options_.read_nanos_per_byte +
+                           static_cast<double>(blocks) * options_.seek_nanos_per_block;
+  bytes_read_ += bytes;
+}
+
+StatusOr<std::string> SimulatedDfs::Read(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no DFS file " + path);
+  std::string out;
+  out.reserve(it->second.size);
+  for (uint64_t id : it->second.blocks) {
+    const Block& block = blocks_.at(id);
+    bool available = false;
+    for (int n : block.replicas) available |= nodes_alive_[n];
+    if (!available) {
+      return Status::Unavailable("all replicas of a block of " + path + " are down");
+    }
+    out += block.data;
+  }
+  ChargeRead(out.size(), it->second.blocks.size());
+  return out;
+}
+
+StatusOr<std::string> SimulatedDfs::ReadBlock(const std::string& path,
+                                              size_t block_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no DFS file " + path);
+  if (block_index >= it->second.blocks.size()) {
+    return Status::OutOfRange("block index out of range");
+  }
+  const Block& block = blocks_.at(it->second.blocks[block_index]);
+  bool available = false;
+  for (int n : block.replicas) available |= nodes_alive_[n];
+  if (!available) return Status::Unavailable("block replicas down");
+  ChargeRead(block.data.size(), 1);
+  return block.data;
+}
+
+Status SimulatedDfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no DFS file " + path);
+  for (uint64_t b : it->second.blocks) blocks_.erase(b);
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool SimulatedDfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+std::vector<std::string> SimulatedDfs::ListFiles(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, _] : files_) {
+    if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+StatusOr<size_t> SimulatedDfs::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no DFS file " + path);
+  return it->second.size;
+}
+
+StatusOr<size_t> SimulatedDfs::NumBlocks(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no DFS file " + path);
+  return it->second.blocks.size();
+}
+
+StatusOr<std::vector<int>> SimulatedDfs::BlockLocations(const std::string& path,
+                                                        size_t block_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no DFS file " + path);
+  if (block_index >= it->second.blocks.size()) {
+    return Status::OutOfRange("block index out of range");
+  }
+  const Block& block = blocks_.at(it->second.blocks[block_index]);
+  std::vector<int> live;
+  for (int n : block.replicas) {
+    if (nodes_alive_[n]) live.push_back(n);
+  }
+  return live;
+}
+
+Status SimulatedDfs::KillDataNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node < 0 || node >= static_cast<int>(nodes_alive_.size())) {
+    return Status::InvalidArgument("no data node " + std::to_string(node));
+  }
+  nodes_alive_[node] = false;
+  return Status::OK();
+}
+
+Status SimulatedDfs::ReReplicate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, block] : blocks_) {
+    std::vector<int> live;
+    for (int n : block.replicas) {
+      if (nodes_alive_[n]) live.push_back(n);
+    }
+    if (live.empty()) {
+      return Status::Unavailable("block " + std::to_string(id) + " lost all replicas");
+    }
+    while (static_cast<int>(live.size()) < options_.replication) {
+      // Find a live node not already holding the block.
+      int candidate = -1;
+      for (int n = 0; n < static_cast<int>(nodes_alive_.size()); ++n) {
+        if (!nodes_alive_[n]) continue;
+        if (std::find(live.begin(), live.end(), n) == live.end()) {
+          candidate = n;
+          break;
+        }
+      }
+      if (candidate < 0) break;  // not enough live nodes for full replication
+      live.push_back(candidate);
+    }
+    block.replicas = live;
+  }
+  return Status::OK();
+}
+
+}  // namespace poly

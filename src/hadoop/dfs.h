@@ -1,0 +1,94 @@
+#ifndef POLY_HADOOP_DFS_H_
+#define POLY_HADOOP_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace poly {
+
+/// Simulated HDFS (§IV-C substitution): a namenode-style catalog of files
+/// split into fixed-size blocks, each replicated across simulated data
+/// nodes. "Reads" charge a configurable cold-storage cost so the tiering
+/// and federation experiments (E1, E15) see a realistic hot/cold gap.
+class SimulatedDfs {
+ public:
+  struct Options {
+    size_t block_size = 4 * 1024;      ///< bytes per block
+    int num_data_nodes = 4;
+    int replication = 2;
+    /// Simulated cost accounting (no real sleeping): ns charged per byte
+    /// read + flat ns per block access. Exposed via simulated_read_nanos().
+    double read_nanos_per_byte = 10.0;  ///< ~100 MB/s "disk"
+    double seek_nanos_per_block = 5e6;  ///< 5 ms per block "seek"
+  };
+
+  SimulatedDfs();
+  explicit SimulatedDfs(Options options);
+
+  /// Creates/overwrites a file.
+  Status Write(const std::string& path, const std::string& data);
+  /// Appends to an existing file (creates it if absent).
+  Status Append(const std::string& path, const std::string& data);
+  /// Reads a whole file (charges simulated cost).
+  StatusOr<std::string> Read(const std::string& path);
+  /// Reads one block of a file by index (charges simulated cost).
+  StatusOr<std::string> ReadBlock(const std::string& path, size_t block_index);
+
+  Status Delete(const std::string& path);
+  bool Exists(const std::string& path) const;
+  std::vector<std::string> ListFiles(const std::string& prefix = "") const;
+
+  StatusOr<size_t> FileSize(const std::string& path) const;
+  StatusOr<size_t> NumBlocks(const std::string& path) const;
+  /// Data nodes holding a given block (for locality-aware MapReduce).
+  StatusOr<std::vector<int>> BlockLocations(const std::string& path,
+                                            size_t block_index) const;
+
+  /// Marks a data node dead; its replicas become unavailable.
+  Status KillDataNode(int node);
+  /// Re-replicates under-replicated blocks onto surviving nodes.
+  Status ReReplicate();
+
+  int num_data_nodes() const { return static_cast<int>(nodes_alive_.size()); }
+  size_t block_size() const { return options_.block_size; }
+  /// Total simulated read cost accrued (nanoseconds).
+  double simulated_read_nanos() const { return simulated_read_nanos_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  struct Block {
+    uint64_t id;
+    std::string data;
+    std::vector<int> replicas;  ///< data node ids
+  };
+  struct FileEntry {
+    std::vector<uint64_t> blocks;
+    size_t size = 0;
+  };
+
+  /// Picks `replication` distinct live nodes round-robin.
+  StatusOr<std::vector<int>> PickNodes();
+  Status WriteLocked(const std::string& path, const std::string& data);
+  void ChargeRead(size_t bytes, size_t blocks);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileEntry> files_;
+  std::unordered_map<uint64_t, Block> blocks_;
+  std::vector<bool> nodes_alive_;
+  uint64_t next_block_id_ = 1;
+  int next_node_rr_ = 0;
+  double simulated_read_nanos_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_HADOOP_DFS_H_

@@ -1,0 +1,59 @@
+#ifndef POLY_HADOOP_MAPREDUCE_H_
+#define POLY_HADOOP_MAPREDUCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "hadoop/dfs.h"
+
+namespace poly {
+
+/// Key/value pair flowing between map and reduce.
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+/// Map task: one input line -> zero or more key/value pairs.
+using MapFn = std::function<std::vector<KeyValue>(const std::string& line)>;
+/// Reduce task: key + all values -> zero or more output lines.
+using ReduceFn = std::function<std::vector<std::string>(
+    const std::string& key, const std::vector<std::string>& values)>;
+
+/// Per-job execution metrics.
+struct MapReduceStats {
+  size_t map_tasks = 0;
+  size_t reduce_tasks = 0;
+  uint64_t map_output_pairs = 0;
+  uint64_t input_bytes = 0;
+};
+
+/// Line-oriented MapReduce over SimulatedDfs files (§IV-C substitution for
+/// the Hadoop runtime): one map task per DFS block, hash shuffle, parallel
+/// reducers, output written back to the DFS.
+class MapReduceJob {
+ public:
+  MapReduceJob(SimulatedDfs* dfs, ThreadPool* pool) : dfs_(dfs), pool_(pool) {}
+
+  /// Runs map/shuffle/reduce over `input_path`, writes sorted "key\tvalue"
+  /// lines to `output_path`. `num_reducers` partitions the shuffle.
+  StatusOr<MapReduceStats> Run(const std::string& input_path,
+                               const std::string& output_path, const MapFn& map_fn,
+                               const ReduceFn& reduce_fn, size_t num_reducers = 4);
+
+ private:
+  SimulatedDfs* dfs_;
+  ThreadPool* pool_;
+};
+
+/// Convenience: word-count style counting of the first tab-field.
+StatusOr<MapReduceStats> RunWordCount(SimulatedDfs* dfs, ThreadPool* pool,
+                                      const std::string& input_path,
+                                      const std::string& output_path);
+
+}  // namespace poly
+
+#endif  // POLY_HADOOP_MAPREDUCE_H_

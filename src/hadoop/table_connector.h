@@ -1,0 +1,46 @@
+#ifndef POLY_HADOOP_TABLE_CONNECTOR_H_
+#define POLY_HADOOP_TABLE_CONNECTOR_H_
+
+#include <string>
+
+#include "hadoop/dfs.h"
+#include "storage/column_table.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+
+/// File-based connector between the relational engine and the DFS (§IV-C:
+/// "As standard we provide a file-based connector [...] data from local
+/// HDFS nodes can be loaded into the local SAP HANA SOE nodes").
+///
+/// Format: tab-separated lines; first line is "name:TYPE" headers. NULLs
+/// are the literal \N.
+class DfsTableConnector {
+ public:
+  explicit DfsTableConnector(SimulatedDfs* dfs) : dfs_(dfs) {}
+
+  /// Exports the visible rows of `table` to a DFS file.
+  Status Export(const ColumnTable& table, const ReadView& view, const std::string& path);
+
+  /// Imports a DFS file into a new table owned by `db`. Rows are stamped
+  /// committed-at-load (bulk load, like the paper's data refinement flow).
+  StatusOr<ColumnTable*> Import(const std::string& path, const std::string& table_name,
+                                Database* db, TransactionManager* tm);
+
+  /// Appends the file's rows into an existing compatible table.
+  StatusOr<uint64_t> AppendTo(const std::string& path, ColumnTable* table,
+                              TransactionManager* tm);
+
+  /// Parses a header-bearing TSV payload into (schema, rows) — shared by
+  /// Import and the federation CSV source.
+  static StatusOr<std::pair<Schema, std::vector<Row>>> ParseTsv(const std::string& data);
+  /// Renders rows to the TSV format.
+  static std::string RenderTsv(const Schema& schema, const std::vector<Row>& rows);
+
+ private:
+  SimulatedDfs* dfs_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_HADOOP_TABLE_CONNECTOR_H_

@@ -1,0 +1,305 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace poly {
+
+namespace {
+
+/// Hash of a group key / join key.
+struct RowKeyHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 1469598103934665603ULL;
+    for (const auto& v : key) h = (h ^ v.Hash()) * 1099511628211ULL;
+    return h;
+  }
+};
+
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  int64_t sum_int = 0;
+  bool all_int = true;
+  bool has_value = false;
+  Value min, max;
+};
+
+/// If the predicate is `($col <op> literal)` over a main-store column, the
+/// sorted dictionary turns it into a value-ID range test — no value
+/// materialization. Returns false if the shape does not match.
+bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col_out,
+                         uint64_t* lo_out, uint64_t* hi_out) {
+  if (pred.kind() != ExprKind::kCompare) return false;
+  const ExprPtr& l = pred.left();
+  const ExprPtr& r = pred.right();
+  if (!l || !r) return false;
+  if (l->kind() != ExprKind::kColumn || r->kind() != ExprKind::kLiteral) return false;
+  if (pred.cmp_op() == CmpOp::kNe) return false;
+  size_t col = l->column_index();
+  if (col >= table.num_columns()) return false;
+  const SortedDictionary& dict = table.column(col).main_dictionary();
+  const Value& v = r->literal();
+  uint64_t lo = 0, hi = dict.size();
+  switch (pred.cmp_op()) {
+    case CmpOp::kEq:
+      lo = dict.LowerBound(v);
+      hi = dict.UpperBound(v);
+      break;
+    case CmpOp::kLt:
+      hi = dict.LowerBound(v);
+      break;
+    case CmpOp::kLe:
+      hi = dict.UpperBound(v);
+      break;
+    case CmpOp::kGt:
+      lo = dict.UpperBound(v);
+      break;
+    case CmpOp::kGe:
+      lo = dict.LowerBound(v);
+      break;
+    case CmpOp::kNe:
+      return false;
+  }
+  *col_out = col;
+  *lo_out = lo;
+  *hi_out = hi;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Executor::Execute(const PlanPtr& plan) {
+  if (!plan) return Status::InvalidArgument("null plan");
+  return Exec(*plan);
+}
+
+StatusOr<ResultSet> Executor::Exec(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan: return ExecScan(node);
+    case PlanKind::kFilter: return ExecFilter(node);
+    case PlanKind::kProject: return ExecProject(node);
+    case PlanKind::kHashJoin: return ExecHashJoin(node);
+    case PlanKind::kAggregate: return ExecAggregate(node);
+    case PlanKind::kSort: return ExecSort(node);
+    case PlanKind::kLimit: return ExecLimit(node);
+  }
+  return Status::Internal("unknown plan node");
+}
+
+Status Executor::ScanOneTable(const ColumnTable& table, const ExprPtr& predicate,
+                              ResultSet* out) {
+  ++stats_.partitions_scanned;
+  size_t ncols = table.num_columns();
+
+  size_t range_col = 0;
+  uint64_t lo = 0, hi = 0;
+  bool use_range =
+      predicate && TryIdRangePredicate(table, *predicate, &range_col, &lo, &hi);
+  if (use_range) ++stats_.id_range_scans;
+
+  uint64_t main_size = table.num_columns() ? table.column(0).main_size() : 0;
+  table.ScanVisible(view_, [&](uint64_t r) {
+    ++stats_.rows_scanned;
+    if (use_range && r < main_size) {
+      uint64_t id = table.column(range_col).MainId(r);
+      if (id < lo || id >= hi) return;
+    } else if (predicate) {
+      Row probe = table.GetRow(r);
+      if (!predicate->EvalBool(probe)) return;
+      ++stats_.rows_materialized;
+      out->rows.push_back(std::move(probe));
+      return;
+    }
+    Row row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) row.push_back(table.GetValue(r, c));
+    ++stats_.rows_materialized;
+    out->rows.push_back(std::move(row));
+  });
+  return Status::OK();
+}
+
+StatusOr<ResultSet> Executor::ExecScan(const PlanNode& node) {
+  ResultSet out;
+  // Partition list from the optimizer (aging-aware pruning, E12); falls back
+  // to the single named table.
+  std::vector<std::string> tables =
+      node.scan_partitions.empty() ? std::vector<std::string>{node.table}
+                                   : node.scan_partitions;
+  bool first = true;
+  for (const auto& name : tables) {
+    POLY_ASSIGN_OR_RETURN(ColumnTable * table, db_->GetTable(name));
+    if (first) {
+      for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+        out.column_names.push_back(table->schema().column(c).name);
+      }
+      first = false;
+    }
+    POLY_RETURN_IF_ERROR(ScanOneTable(*table, node.scan_predicate, &out));
+  }
+  return out;
+}
+
+StatusOr<ResultSet> Executor::ExecFilter(const PlanNode& node) {
+  POLY_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.children[0]));
+  ResultSet out;
+  out.column_names = in.column_names;
+  for (auto& row : in.rows) {
+    if (node.predicate->EvalBool(row)) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<ResultSet> Executor::ExecProject(const PlanNode& node) {
+  POLY_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.children[0]));
+  ResultSet out;
+  out.column_names = node.output_names;
+  out.rows.reserve(in.rows.size());
+  for (const auto& row : in.rows) {
+    Row projected;
+    projected.reserve(node.projections.size());
+    for (const auto& e : node.projections) projected.push_back(e->Eval(row));
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+StatusOr<ResultSet> Executor::ExecHashJoin(const PlanNode& node) {
+  POLY_ASSIGN_OR_RETURN(ResultSet left, Exec(*node.children[0]));
+  POLY_ASSIGN_OR_RETURN(ResultSet right, Exec(*node.children[1]));
+  if (node.left_key >= left.num_columns() || node.right_key >= right.num_columns()) {
+    return Status::InvalidArgument("join key out of range");
+  }
+  ResultSet out;
+  out.column_names = left.column_names;
+  out.column_names.insert(out.column_names.end(), right.column_names.begin(),
+                          right.column_names.end());
+
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  std::unordered_multimap<Value, size_t, ValueHash> build;
+  build.reserve(right.rows.size());
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    const Value& key = right.rows[i][node.right_key];
+    if (key.is_null()) continue;
+    build.emplace(key, i);
+  }
+  for (const auto& lrow : left.rows) {
+    const Value& key = lrow[node.left_key];
+    if (key.is_null()) continue;
+    auto [begin, end] = build.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      Row joined = lrow;
+      const Row& rrow = right.rows[it->second];
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+StatusOr<ResultSet> Executor::ExecAggregate(const PlanNode& node) {
+  POLY_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.children[0]));
+  ResultSet out;
+  for (size_t g : node.group_by) {
+    if (g >= in.num_columns()) return Status::InvalidArgument("group key out of range");
+    out.column_names.push_back(in.column_names[g]);
+  }
+  for (const auto& agg : node.aggregates) out.column_names.push_back(agg.output_name);
+
+  std::unordered_map<Row, std::vector<AggState>, RowKeyHash> groups;
+  auto update = [&](std::vector<AggState>& states, const Row& row) {
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      const AggSpec& spec = node.aggregates[a];
+      AggState& st = states[a];
+      Value v = spec.input ? spec.input->Eval(row) : Value::Int(1);
+      if (v.is_null()) continue;
+      ++st.count;
+      if (v.type() == DataType::kInt64) {
+        st.sum_int += v.AsInt();
+      } else {
+        st.all_int = false;
+      }
+      st.sum += v.NumericValue();
+      if (!st.has_value || v < st.min) st.min = v;
+      if (!st.has_value || st.max < v) st.max = v;
+      st.has_value = true;
+    }
+  };
+
+  for (const auto& row : in.rows) {
+    Row key;
+    key.reserve(node.group_by.size());
+    for (size_t g : node.group_by) key.push_back(row[g]);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(std::move(key), std::vector<AggState>(node.aggregates.size()))
+               .first;
+    }
+    update(it->second, row);
+  }
+  // Global aggregate over empty input still yields one row of zeros/nulls.
+  if (node.group_by.empty() && groups.empty()) {
+    groups.emplace(Row{}, std::vector<AggState>(node.aggregates.size()));
+  }
+
+  for (auto& [key, states] : groups) {
+    Row row = key;
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      const AggState& st = states[a];
+      switch (node.aggregates[a].func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int(static_cast<int64_t>(st.count)));
+          break;
+        case AggFunc::kSum:
+          if (!st.has_value) {
+            row.push_back(Value::Null());
+          } else if (st.all_int) {
+            row.push_back(Value::Int(st.sum_int));
+          } else {
+            row.push_back(Value::Dbl(st.sum));
+          }
+          break;
+        case AggFunc::kMin:
+          row.push_back(st.has_value ? st.min : Value::Null());
+          break;
+        case AggFunc::kMax:
+          row.push_back(st.has_value ? st.max : Value::Null());
+          break;
+        case AggFunc::kAvg:
+          row.push_back(st.count ? Value::Dbl(st.sum / static_cast<double>(st.count))
+                                 : Value::Null());
+          break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<ResultSet> Executor::ExecSort(const PlanNode& node) {
+  POLY_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.children[0]));
+  std::stable_sort(in.rows.begin(), in.rows.end(), [&](const Row& a, const Row& b) {
+    for (const auto& key : node.sort_keys) {
+      const Value& va = a[key.column];
+      const Value& vb = b[key.column];
+      if (va < vb) return key.ascending;
+      if (vb < va) return !key.ascending;
+    }
+    return false;
+  });
+  return in;
+}
+
+StatusOr<ResultSet> Executor::ExecLimit(const PlanNode& node) {
+  POLY_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.children[0]));
+  if (in.rows.size() > node.limit) in.rows.resize(node.limit);
+  return in;
+}
+
+}  // namespace poly

@@ -1,0 +1,50 @@
+#ifndef POLY_QUERY_EXECUTOR_H_
+#define POLY_QUERY_EXECUTOR_H_
+
+#include "query/plan.h"
+#include "query/result.h"
+#include "storage/database.h"
+#include "storage/mvcc.h"
+
+namespace poly {
+
+/// Counters exposed by the interpreted executor so experiments can report
+/// rows scanned/materialized (E10/E12 measure exactly these).
+struct ExecStats {
+  uint64_t rows_scanned = 0;      ///< row versions visited in scans
+  uint64_t rows_materialized = 0; ///< rows surviving scan predicates
+  uint64_t id_range_scans = 0;    ///< scans answered via dictionary ID ranges
+  uint64_t partitions_scanned = 0;
+};
+
+/// Vectorized-enough interpreted executor: every operator materializes its
+/// result (simple, predictable, and a fair baseline for the compiled path of
+/// E13). Reads run under snapshot-isolation `view`.
+class Executor {
+ public:
+  Executor(const Database* db, ReadView view) : db_(db), view_(view) {}
+
+  StatusOr<ResultSet> Execute(const PlanPtr& plan);
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  StatusOr<ResultSet> Exec(const PlanNode& node);
+  StatusOr<ResultSet> ExecScan(const PlanNode& node);
+  Status ScanOneTable(const ColumnTable& table, const ExprPtr& predicate,
+                      ResultSet* out);
+  StatusOr<ResultSet> ExecFilter(const PlanNode& node);
+  StatusOr<ResultSet> ExecProject(const PlanNode& node);
+  StatusOr<ResultSet> ExecHashJoin(const PlanNode& node);
+  StatusOr<ResultSet> ExecAggregate(const PlanNode& node);
+  StatusOr<ResultSet> ExecSort(const PlanNode& node);
+  StatusOr<ResultSet> ExecLimit(const PlanNode& node);
+
+  const Database* db_;
+  ReadView view_;
+  ExecStats stats_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_QUERY_EXECUTOR_H_

@@ -1,0 +1,259 @@
+#include "query/optimizer.h"
+
+namespace poly {
+
+namespace {
+
+bool IsLiteralBool(const ExprPtr& e, bool value) {
+  return e && e->kind() == ExprKind::kLiteral &&
+         e->literal().type() == DataType::kBool && e->literal().AsBool() == value;
+}
+
+bool IsConstant(const ExprPtr& e) {
+  if (!e) return false;
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumn:
+      return false;
+    case ExprKind::kIn:
+    case ExprKind::kIsNull:
+    case ExprKind::kLike:
+    case ExprKind::kNot:
+      return IsConstant(e->left());
+    default:
+      return IsConstant(e->left()) && IsConstant(e->right());
+  }
+}
+
+}  // namespace
+
+ExprPtr Optimizer::FoldConstants(const ExprPtr& e) {
+  if (!e || e->kind() == ExprKind::kLiteral || e->kind() == ExprKind::kColumn) return e;
+
+  if (IsConstant(e)) {
+    ++stats_.constants_folded;
+    return Expr::Literal(e->Eval(Row{}));
+  }
+
+  switch (e->kind()) {
+    case ExprKind::kAnd: {
+      ExprPtr l = FoldConstants(e->left());
+      ExprPtr r = FoldConstants(e->right());
+      if (IsLiteralBool(l, true)) return r;
+      if (IsLiteralBool(r, true)) return l;
+      if (IsLiteralBool(l, false) || IsLiteralBool(r, false)) {
+        ++stats_.constants_folded;
+        return Expr::Literal(Value::Boolean(false));
+      }
+      return Expr::And(std::move(l), std::move(r));
+    }
+    case ExprKind::kOr: {
+      ExprPtr l = FoldConstants(e->left());
+      ExprPtr r = FoldConstants(e->right());
+      if (IsLiteralBool(l, false)) return r;
+      if (IsLiteralBool(r, false)) return l;
+      if (IsLiteralBool(l, true) || IsLiteralBool(r, true)) {
+        ++stats_.constants_folded;
+        return Expr::Literal(Value::Boolean(true));
+      }
+      return Expr::Or(std::move(l), std::move(r));
+    }
+    case ExprKind::kNot:
+      return Expr::Not(FoldConstants(e->left()));
+    case ExprKind::kCompare:
+      return Expr::Compare(e->cmp_op(), FoldConstants(e->left()),
+                           FoldConstants(e->right()));
+    case ExprKind::kArithmetic:
+      return Expr::Arith(e->arith_op(), FoldConstants(e->left()),
+                         FoldConstants(e->right()));
+    default:
+      return e;
+  }
+}
+
+PlanPtr Optimizer::Optimize(const PlanPtr& plan) {
+  if (!plan) return plan;
+  return Rewrite(plan);
+}
+
+namespace {
+
+/// Splits a predicate into top-level conjuncts.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind() == ExprKind::kAnd) {
+    SplitConjuncts(e->left(), out);
+    SplitConjuncts(e->right(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out;
+  for (const ExprPtr& c : conjuncts) {
+    out = out ? Expr::And(out, c) : c;
+  }
+  return out;
+}
+
+/// Rewrites column indexes by `shift` (used to move predicates from the
+/// join output schema into the right input's schema). All referenced
+/// columns must be >= shift.
+ExprPtr ShiftColumns(const ExprPtr& e, size_t shift) {
+  if (!e) return e;
+  switch (e->kind()) {
+    case ExprKind::kColumn:
+      return Expr::Column(e->column_index() - shift);
+    case ExprKind::kLiteral:
+      return e;
+    case ExprKind::kCompare:
+      return Expr::Compare(e->cmp_op(), ShiftColumns(e->left(), shift),
+                           ShiftColumns(e->right(), shift));
+    case ExprKind::kAnd:
+      return Expr::And(ShiftColumns(e->left(), shift), ShiftColumns(e->right(), shift));
+    case ExprKind::kOr:
+      return Expr::Or(ShiftColumns(e->left(), shift), ShiftColumns(e->right(), shift));
+    case ExprKind::kNot:
+      return Expr::Not(ShiftColumns(e->left(), shift));
+    case ExprKind::kArithmetic:
+      return Expr::Arith(e->arith_op(), ShiftColumns(e->left(), shift),
+                         ShiftColumns(e->right(), shift));
+    case ExprKind::kLike:
+      return Expr::Like(ShiftColumns(e->left(), shift), e->pattern());
+    case ExprKind::kIn:
+      return Expr::In(ShiftColumns(e->left(), shift), e->candidates());
+    case ExprKind::kIsNull:
+      return Expr::IsNull(ShiftColumns(e->left(), shift));
+  }
+  return e;
+}
+
+/// Min column index referenced, or SIZE_MAX if none.
+size_t MinColumnIndex(const ExprPtr& e) {
+  if (!e) return SIZE_MAX;
+  if (e->kind() == ExprKind::kColumn) return e->column_index();
+  size_t lo = SIZE_MAX;
+  if (e->left()) lo = std::min(lo, MinColumnIndex(e->left()));
+  if (e->right()) lo = std::min(lo, MinColumnIndex(e->right()));
+  return lo;
+}
+
+/// Output width of a plan node, where derivable without catalog access
+/// (-1 if unknown). Joins/scans need the table schema, so this only has to
+/// work for the nodes a filter sits on top of after parsing: project and
+/// aggregate expose widths directly; others report unknown.
+int KnownWidth(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kProject:
+      return static_cast<int>(node.projections.size());
+    case PlanKind::kAggregate:
+      return static_cast<int>(node.group_by.size() + node.aggregates.size());
+    default:
+      return -1;
+  }
+}
+
+}  // namespace
+
+int Optimizer::PlanWidth(const PlanNode& node) const {
+  int known = KnownWidth(node);
+  if (known >= 0) return known;
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      if (db_ == nullptr) return -1;
+      auto t = db_->GetTable(node.scan_partitions.empty() ? node.table
+                                                          : node.scan_partitions[0]);
+      return t.ok() ? static_cast<int>((*t)->schema().num_columns()) : -1;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return PlanWidth(*node.children[0]);
+    case PlanKind::kHashJoin: {
+      int l = PlanWidth(*node.children[0]);
+      int r = PlanWidth(*node.children[1]);
+      return l >= 0 && r >= 0 ? l + r : -1;
+    }
+    default:
+      return -1;
+  }
+}
+
+PlanPtr Optimizer::Rewrite(const PlanPtr& node) {
+  // Rewrite children first (bottom-up).
+  auto copy = std::make_shared<PlanNode>(*node);
+  for (auto& child : copy->children) child = Rewrite(child);
+
+  if (copy->kind == PlanKind::kFilter) {
+    copy->predicate = FoldConstants(copy->predicate);
+    // Trivial filter elimination.
+    if (IsLiteralBool(copy->predicate, true)) return copy->children[0];
+    // Join pushdown: conjuncts that reference only one join input move
+    // below the join, where they can become scan predicates.
+    if (copy->children[0]->kind == PlanKind::kHashJoin) {
+      const PlanNode& join = *copy->children[0];
+      int left_width = PlanWidth(*join.children[0]);
+      if (left_width >= 0) {
+        std::vector<ExprPtr> conjuncts;
+        SplitConjuncts(copy->predicate, &conjuncts);
+        std::vector<ExprPtr> left_side, right_side, remaining;
+        for (const ExprPtr& c : conjuncts) {
+          int max_col = c->MaxColumnIndex();
+          size_t min_col = MinColumnIndex(c);
+          if (max_col >= 0 && max_col < left_width) {
+            left_side.push_back(c);
+          } else if (min_col != SIZE_MAX &&
+                     min_col >= static_cast<size_t>(left_width)) {
+            right_side.push_back(ShiftColumns(c, static_cast<size_t>(left_width)));
+          } else {
+            remaining.push_back(c);  // spans both sides (or no columns)
+          }
+        }
+        if (!left_side.empty() || !right_side.empty()) {
+          stats_.join_conjuncts_pushed +=
+              static_cast<int>(left_side.size() + right_side.size());
+          auto new_join = std::make_shared<PlanNode>(join);
+          if (!left_side.empty()) {
+            new_join->children[0] =
+                PlanBuilder::From(new_join->children[0]).Filter(AndAll(left_side)).Build();
+          }
+          if (!right_side.empty()) {
+            new_join->children[1] = PlanBuilder::From(new_join->children[1])
+                                        .Filter(AndAll(right_side))
+                                        .Build();
+          }
+          PlanPtr rebuilt = Rewrite(new_join);
+          if (remaining.empty()) return rebuilt;
+          return PlanBuilder::From(rebuilt).Filter(AndAll(remaining)).Build();
+        }
+      }
+    }
+    // Predicate pushdown: Filter(Scan) -> Scan with merged predicate.
+    if (copy->children[0]->kind == PlanKind::kScan) {
+      auto scan = std::make_shared<PlanNode>(*copy->children[0]);
+      scan->scan_predicate = scan->scan_predicate
+                                 ? Expr::And(scan->scan_predicate, copy->predicate)
+                                 : copy->predicate;
+      // The merged predicate may prune partitions the bare scan could not.
+      scan->scan_partitions.clear();
+      ++stats_.filters_pushed;
+      return Rewrite(scan);
+    }
+  }
+
+  if (copy->kind == PlanKind::kScan) {
+    if (copy->scan_predicate) copy->scan_predicate = FoldConstants(copy->scan_predicate);
+    if (pruner_ != nullptr && copy->scan_partitions.empty()) {
+      std::vector<std::string> parts = pruner_->Prune(copy->table, copy->scan_predicate);
+      if (!parts.empty()) {
+        copy->scan_partitions = std::move(parts);
+        ++stats_.partitions_pruned;
+      }
+    }
+  }
+  return copy;
+}
+
+}  // namespace poly

@@ -1,0 +1,125 @@
+#include "query/plan.h"
+
+namespace poly {
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      out += "Scan(" + table;
+      if (scan_predicate) out += ", pred=" + scan_predicate->ToString();
+      out += ")";
+      break;
+    case PlanKind::kFilter:
+      out += "Filter(" + (predicate ? predicate->ToString() : "true") + ")";
+      break;
+    case PlanKind::kProject: {
+      out += "Project(";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i) out += ", ";
+        out += output_names[i] + "=" + projections[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kHashJoin:
+      out += "HashJoin(left.$" + std::to_string(left_key) + " = right.$" +
+             std::to_string(right_key) + ")";
+      break;
+    case PlanKind::kAggregate: {
+      out += "Aggregate(groups=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) out += ",";
+        out += "$" + std::to_string(group_by[i]);
+      }
+      out += "], aggs=" + std::to_string(aggregates.size()) + ")";
+      break;
+    }
+    case PlanKind::kSort:
+      out += "Sort(" + std::to_string(sort_keys.size()) + " keys)";
+      break;
+    case PlanKind::kLimit:
+      out += "Limit(" + std::to_string(limit) + ")";
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) out += child->ToString(indent + 1);
+  return out;
+}
+
+PlanBuilder PlanBuilder::Scan(std::string table) {
+  PlanBuilder b;
+  b.root_ = std::make_shared<PlanNode>();
+  b.root_->kind = PlanKind::kScan;
+  b.root_->table = std::move(table);
+  return b;
+}
+
+PlanBuilder PlanBuilder::From(PlanPtr node) {
+  PlanBuilder b;
+  b.root_ = std::move(node);
+  return b;
+}
+
+PlanBuilder PlanBuilder::Filter(ExprPtr predicate) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kFilter;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Project(std::vector<ExprPtr> exprs,
+                                 std::vector<std::string> names) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kProject;
+  node->projections = std::move(exprs);
+  node->output_names = std::move(names);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::HashJoin(PlanPtr right, size_t left_key, size_t right_key) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kHashJoin;
+  node->left_key = left_key;
+  node->right_key = right_key;
+  node->children.push_back(std::move(root_));
+  node->children.push_back(std::move(right));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Aggregate(std::vector<size_t> group_by,
+                                   std::vector<AggSpec> aggs) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kAggregate;
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggs);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Sort(std::vector<SortKey> keys) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kSort;
+  node->sort_keys = std::move(keys);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Limit(size_t n) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kLimit;
+  node->limit = n;
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+}  // namespace poly

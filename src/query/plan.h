@@ -1,0 +1,99 @@
+#ifndef POLY_QUERY_PLAN_H_
+#define POLY_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+
+namespace poly {
+
+/// Logical/physical plan node kinds. Plans are trees built by PlanBuilder,
+/// rewritten by the Optimizer, and executed by the Executor (interpreted)
+/// or QueryCompiler (specialized kernels, §IV-A).
+enum class PlanKind {
+  kScan,       ///< table scan with optional pushed-down predicate
+  kFilter,
+  kProject,
+  kHashJoin,   ///< equi-join, builds hash table on the right input
+  kAggregate,  ///< optional group-by + aggregate functions
+  kSort,
+  kLimit,
+};
+
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate output: func over an input expression.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr input;  ///< may be null for COUNT(*)
+  std::string output_name;
+};
+
+/// One sort key over the node's input columns.
+struct SortKey {
+  size_t column = 0;
+  bool ascending = true;
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// Plan node. A plain struct (no behaviour): the executor interprets it.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table;
+  ExprPtr scan_predicate;                   ///< pushed down; may be null
+  std::vector<std::string> scan_partitions; ///< pruned partition list (aging)
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> output_names;
+
+  // kHashJoin
+  size_t left_key = 0;
+  size_t right_key = 0;
+
+  // kAggregate
+  std::vector<size_t> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  size_t limit = 0;
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// Fluent builder for plan trees.
+class PlanBuilder {
+ public:
+  static PlanBuilder Scan(std::string table);
+  /// Wraps an existing subtree (e.g. for joins).
+  static PlanBuilder From(PlanPtr node);
+
+  PlanBuilder Filter(ExprPtr predicate) &&;
+  PlanBuilder Project(std::vector<ExprPtr> exprs, std::vector<std::string> names) &&;
+  PlanBuilder HashJoin(PlanPtr right, size_t left_key, size_t right_key) &&;
+  PlanBuilder Aggregate(std::vector<size_t> group_by, std::vector<AggSpec> aggs) &&;
+  PlanBuilder Sort(std::vector<SortKey> keys) &&;
+  PlanBuilder Limit(size_t n) &&;
+
+  PlanPtr Build() && { return std::move(root_); }
+
+ private:
+  PlanPtr root_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_QUERY_PLAN_H_

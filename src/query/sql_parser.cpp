@@ -1,0 +1,603 @@
+#include "query/sql_parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace poly {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+struct Token {
+  enum class Kind { kIdent, kInt, kDouble, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;     // ident (uppercased copy in upper), symbol, string body
+  std::string upper;    // uppercase ident for keyword checks
+  int64_t int_value = 0;
+  double dbl_value = 0;
+};
+
+StatusOr<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                                sql[i] == '_' || sql[i] == '$' || sql[i] == '#')) {
+        ++i;
+      }
+      tok.kind = Token::Kind::kIdent;
+      tok.text = sql.substr(start, i - start);
+      tok.upper = tok.text;
+      for (char& ch : tok.upper) ch = static_cast<char>(std::toupper(ch));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < sql.size() && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                                sql[i] == '.')) {
+        if (sql[i] == '.') is_double = true;
+        ++i;
+      }
+      std::string num = sql.substr(start, i - start);
+      if (is_double) {
+        tok.kind = Token::Kind::kDouble;
+        tok.dbl_value = std::stod(num);
+      } else {
+        tok.kind = Token::Kind::kInt;
+        tok.int_value = std::stoll(num);
+      }
+    } else if (c == '\'') {
+      ++i;
+      std::string body;
+      while (i < sql.size() && sql[i] != '\'') {
+        body += sql[i++];
+      }
+      if (i >= sql.size()) return Status::InvalidArgument("unterminated string literal");
+      ++i;
+      tok.kind = Token::Kind::kString;
+      tok.text = std::move(body);
+    } else {
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "!=", "<>"};
+      tok.kind = Token::Kind::kSymbol;
+      tok.text = std::string(1, c);
+      for (const char* op : kTwoChar) {
+        if (sql.compare(i, 2, op) == 0) {
+          tok.text = op;
+          break;
+        }
+      }
+      i += tok.text.size();
+    }
+    tokens.push_back(std::move(tok));
+  }
+  tokens.push_back(Token{});  // kEnd sentinel
+  return tokens;
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Binding {
+  std::string table;   // table (qualifier) the column came from
+  std::string column;
+  size_t index;        // position in the combined input row
+};
+
+struct SelectItem {
+  bool star = false;
+  bool is_aggregate = false;
+  AggFunc agg_func = AggFunc::kCount;
+  ExprPtr expr;        // null for COUNT(*) / star
+  std::string name;    // output name
+};
+
+struct ParsedOrderKey {
+  std::string column;
+  bool ascending = true;
+};
+
+class ParserImpl {
+ public:
+  ParserImpl(const Database* db, std::vector<Token> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  StatusOr<PlanPtr> ParseSelect();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t p = pos_ + static_cast<size_t>(ahead);
+    return p < tokens_.size() ? tokens_[p] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtKeyword(const char* kw) const {
+    return Peek().kind == Token::Kind::kIdent && Peek().upper == kw;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return false;
+    Next();
+    return true;
+  }
+  bool ConsumeSymbol(const char* sym) {
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == sym) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* what) {
+    return Status::InvalidArgument("SQL parse error: expected " + std::string(what) +
+                                   " near '" + Peek().text + "'");
+  }
+
+  Status BindTable(const std::string& name);
+  StatusOr<size_t> ResolveColumn(const std::string& qualifier, const std::string& name);
+  StatusOr<ExprPtr> ParseColumnRef();
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+  StatusOr<ExprPtr> ParseOr();
+  StatusOr<ExprPtr> ParseAnd();
+  StatusOr<ExprPtr> ParseNot();
+  StatusOr<ExprPtr> ParseComparison();
+  StatusOr<ExprPtr> ParseAdditive();
+  StatusOr<ExprPtr> ParseMultiplicative();
+  StatusOr<ExprPtr> ParsePrimary();
+  StatusOr<Value> ParseLiteralValue();
+
+  StatusOr<SelectItem> ParseSelectItem();
+
+  const Database* db_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<Binding> bindings_;
+};
+
+Status ParserImpl::BindTable(const std::string& name) {
+  POLY_ASSIGN_OR_RETURN(ColumnTable * table, db_->GetTable(name));
+  size_t base = bindings_.size();
+  for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+    bindings_.push_back({name, table->schema().column(c).name, base + c});
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> ParserImpl::ResolveColumn(const std::string& qualifier,
+                                           const std::string& name) {
+  int found = -1;
+  for (const Binding& b : bindings_) {
+    if (b.column != name) continue;
+    if (!qualifier.empty() && b.table != qualifier) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column '" + name +
+                                     "' (qualify as <table>.<column>)");
+    }
+    found = static_cast<int>(b.index);
+  }
+  if (found < 0) {
+    return Status::NotFound("unknown column '" +
+                            (qualifier.empty() ? name : qualifier + "." + name) + "'");
+  }
+  return static_cast<size_t>(found);
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseColumnRef() {
+  if (Peek().kind != Token::Kind::kIdent) return Expect("column name");
+  std::string first = Next().text;
+  std::string qualifier, column;
+  if (ConsumeSymbol(".")) {
+    if (Peek().kind != Token::Kind::kIdent) return Expect("column after '.'");
+    qualifier = first;
+    column = Next().text;
+  } else {
+    column = first;
+  }
+  POLY_ASSIGN_OR_RETURN(size_t index, ResolveColumn(qualifier, column));
+  return Expr::Column(index);
+}
+
+StatusOr<Value> ParserImpl::ParseLiteralValue() {
+  const Token& tok = Peek();
+  switch (tok.kind) {
+    case Token::Kind::kInt: {
+      int64_t v = tok.int_value;
+      Next();
+      return Value::Int(v);
+    }
+    case Token::Kind::kDouble: {
+      double v = tok.dbl_value;
+      Next();
+      return Value::Dbl(v);
+    }
+    case Token::Kind::kString: {
+      std::string v = tok.text;
+      Next();
+      return Value::Str(std::move(v));
+    }
+    case Token::Kind::kIdent:
+      if (tok.upper == "TRUE") {
+        Next();
+        return Value::Boolean(true);
+      }
+      if (tok.upper == "FALSE") {
+        Next();
+        return Value::Boolean(false);
+      }
+      if (tok.upper == "NULL") {
+        Next();
+        return Value::Null();
+      }
+      return Expect("literal");
+    default:
+      return Expect("literal");
+  }
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseOr() {
+  POLY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (ConsumeKeyword("OR")) {
+    POLY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseAnd() {
+  POLY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (ConsumeKeyword("AND")) {
+    POLY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseNot() {
+  if (ConsumeKeyword("NOT")) {
+    POLY_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    return Expr::Not(std::move(inner));
+  }
+  return ParseComparison();
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseComparison() {
+  POLY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  if (ConsumeKeyword("LIKE")) {
+    if (Peek().kind != Token::Kind::kString) return Expect("pattern string after LIKE");
+    std::string pattern = Next().text;
+    return Expr::Like(std::move(lhs), std::move(pattern));
+  }
+  if (ConsumeKeyword("IN")) {
+    if (!ConsumeSymbol("(")) return Expect("'(' after IN");
+    std::vector<Value> candidates;
+    for (;;) {
+      POLY_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      candidates.push_back(std::move(v));
+      if (ConsumeSymbol(")")) break;
+      if (!ConsumeSymbol(",")) return Expect("',' or ')' in IN list");
+    }
+    return Expr::In(std::move(lhs), std::move(candidates));
+  }
+  if (ConsumeKeyword("IS")) {
+    bool negated = ConsumeKeyword("NOT");
+    if (!ConsumeKeyword("NULL")) return Expect("NULL after IS");
+    ExprPtr test = Expr::IsNull(std::move(lhs));
+    return negated ? Expr::Not(std::move(test)) : test;
+  }
+
+  static const std::unordered_map<std::string, CmpOp> kOps = {
+      {"=", CmpOp::kEq},  {"!=", CmpOp::kNe}, {"<>", CmpOp::kNe},
+      {"<", CmpOp::kLt},  {"<=", CmpOp::kLe}, {">", CmpOp::kGt},
+      {">=", CmpOp::kGe}};
+  if (Peek().kind == Token::Kind::kSymbol) {
+    auto it = kOps.find(Peek().text);
+    if (it != kOps.end()) {
+      Next();
+      POLY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expr::Compare(it->second, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseAdditive() {
+  POLY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    if (ConsumeSymbol("+")) {
+      POLY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Arith(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+    } else if (ConsumeSymbol("-")) {
+      POLY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Arith(ArithOp::kSub, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseMultiplicative() {
+  POLY_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+  for (;;) {
+    if (ConsumeSymbol("*")) {
+      POLY_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = Expr::Arith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+    } else if (ConsumeSymbol("/")) {
+      POLY_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = Expr::Arith(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+StatusOr<ExprPtr> ParserImpl::ParsePrimary() {
+  if (ConsumeSymbol("(")) {
+    POLY_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    if (!ConsumeSymbol(")")) return Expect("')'");
+    return inner;
+  }
+  if (ConsumeSymbol("-")) {  // unary minus on a numeric primary
+    POLY_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+    return Expr::Arith(ArithOp::kSub, Expr::Literal(Value::Int(0)), std::move(inner));
+  }
+  const Token& tok = Peek();
+  if (tok.kind == Token::Kind::kInt || tok.kind == Token::Kind::kDouble ||
+      tok.kind == Token::Kind::kString ||
+      (tok.kind == Token::Kind::kIdent &&
+       (tok.upper == "TRUE" || tok.upper == "FALSE" || tok.upper == "NULL"))) {
+    POLY_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+    return Expr::Literal(std::move(v));
+  }
+  if (tok.kind == Token::Kind::kIdent) return ParseColumnRef();
+  return Expect("expression");
+}
+
+StatusOr<SelectItem> ParserImpl::ParseSelectItem() {
+  SelectItem item;
+  if (ConsumeSymbol("*")) {
+    item.star = true;
+    return item;
+  }
+  // Aggregate function?
+  static const std::unordered_map<std::string, AggFunc> kAggs = {
+      {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum}, {"AVG", AggFunc::kAvg},
+      {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax}};
+  if (Peek().kind == Token::Kind::kIdent && Peek(1).kind == Token::Kind::kSymbol &&
+      Peek(1).text == "(") {
+    auto it = kAggs.find(Peek().upper);
+    if (it != kAggs.end()) {
+      std::string func_name = ToLower(Next().text);
+      Next();  // '('
+      item.is_aggregate = true;
+      item.agg_func = it->second;
+      if (item.agg_func == AggFunc::kCount && ConsumeSymbol("*")) {
+        item.expr = nullptr;
+        item.name = "count";
+      } else {
+        POLY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        item.name = func_name;
+      }
+      if (!ConsumeSymbol(")")) return Expect("')' after aggregate");
+      if (ConsumeKeyword("AS")) {
+        if (Peek().kind != Token::Kind::kIdent) return Expect("alias after AS");
+        item.name = Next().text;
+      }
+      return item;
+    }
+  }
+  // Plain expression; default name = resolved column name for bare
+  // (possibly qualified) column references.
+  POLY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  item.name = item.expr->kind() == ExprKind::kColumn
+                  ? bindings_[item.expr->column_index()].column
+                  : "expr";
+  if (ConsumeKeyword("AS")) {
+    if (Peek().kind != Token::Kind::kIdent) return Expect("alias after AS");
+    item.name = Next().text;
+  }
+  return item;
+}
+
+StatusOr<PlanPtr> ParserImpl::ParseSelect() {
+  if (!ConsumeKeyword("SELECT")) return Expect("SELECT");
+
+  // The select list references columns that are only known after FROM, so
+  // remember its token range and parse it afterwards.
+  size_t select_start = pos_;
+  int depth = 0;
+  while (Peek().kind != Token::Kind::kEnd) {
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == "(") ++depth;
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == ")") --depth;
+    if (depth == 0 && AtKeyword("FROM")) break;
+    Next();
+  }
+  size_t select_end = pos_;
+  if (!ConsumeKeyword("FROM")) return Expect("FROM");
+
+  // FROM + JOINs build the binding environment and the plan spine.
+  if (Peek().kind != Token::Kind::kIdent) return Expect("table name");
+  std::string first_table = Next().text;
+  POLY_RETURN_IF_ERROR(BindTable(first_table));
+  PlanPtr plan = PlanBuilder::Scan(first_table).Build();
+
+  while (ConsumeKeyword("JOIN")) {
+    if (Peek().kind != Token::Kind::kIdent) return Expect("table name after JOIN");
+    std::string join_table = Next().text;
+    size_t left_width = bindings_.size();
+    POLY_RETURN_IF_ERROR(BindTable(join_table));
+    if (!ConsumeKeyword("ON")) return Expect("ON");
+    POLY_ASSIGN_OR_RETURN(ExprPtr a, ParseColumnRef());
+    if (!ConsumeSymbol("=")) return Expect("'=' in join condition");
+    POLY_ASSIGN_OR_RETURN(ExprPtr b, ParseColumnRef());
+    size_t ia = a->column_index(), ib = b->column_index();
+    // One side must come from the joined table, the other from the left.
+    size_t left_key, right_key;
+    if (ia < left_width && ib >= left_width) {
+      left_key = ia;
+      right_key = ib - left_width;
+    } else if (ib < left_width && ia >= left_width) {
+      left_key = ib;
+      right_key = ia - left_width;
+    } else {
+      return Status::InvalidArgument("join condition must reference both sides");
+    }
+    plan = PlanBuilder::From(plan)
+               .HashJoin(PlanBuilder::Scan(join_table).Build(), left_key, right_key)
+               .Build();
+  }
+
+  // WHERE.
+  if (ConsumeKeyword("WHERE")) {
+    POLY_ASSIGN_OR_RETURN(ExprPtr predicate, ParseExpr());
+    plan = PlanBuilder::From(plan).Filter(std::move(predicate)).Build();
+  }
+
+  // GROUP BY.
+  std::vector<size_t> group_by;
+  bool has_group = false;
+  if (ConsumeKeyword("GROUP")) {
+    if (!ConsumeKeyword("BY")) return Expect("BY after GROUP");
+    has_group = true;
+    for (;;) {
+      POLY_ASSIGN_OR_RETURN(ExprPtr col, ParseColumnRef());
+      group_by.push_back(col->column_index());
+      if (!ConsumeSymbol(",")) break;
+    }
+  }
+
+  // ORDER BY / LIMIT (parsed now, applied after projection).
+  std::vector<ParsedOrderKey> order_keys;
+  if (ConsumeKeyword("ORDER")) {
+    if (!ConsumeKeyword("BY")) return Expect("BY after ORDER");
+    for (;;) {
+      if (Peek().kind != Token::Kind::kIdent) return Expect("column in ORDER BY");
+      ParsedOrderKey key;
+      key.column = Next().text;
+      if (ConsumeKeyword("DESC")) {
+        key.ascending = false;
+      } else {
+        ConsumeKeyword("ASC");
+      }
+      order_keys.push_back(std::move(key));
+      if (!ConsumeSymbol(",")) break;
+    }
+  }
+  bool has_limit = false;
+  size_t limit = 0;
+  if (ConsumeKeyword("LIMIT")) {
+    if (Peek().kind != Token::Kind::kInt) return Expect("integer after LIMIT");
+    has_limit = true;
+    limit = static_cast<size_t>(Next().int_value);
+  }
+  if (Peek().kind != Token::Kind::kEnd) {
+    if (ConsumeSymbol(";") && Peek().kind == Token::Kind::kEnd) {
+      // trailing semicolon ok
+    } else {
+      return Expect("end of statement");
+    }
+  }
+
+  // Now parse the deferred select list with bindings in place.
+  size_t resume = pos_;
+  pos_ = select_start;
+  std::vector<SelectItem> items;
+  for (;;) {
+    POLY_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    items.push_back(std::move(item));
+    if (!ConsumeSymbol(",")) break;
+  }
+  if (pos_ != select_end) return Expect("FROM after select list");
+  pos_ = resume;
+
+  bool has_aggregates = false;
+  for (const auto& item : items) has_aggregates |= item.is_aggregate;
+
+  std::vector<std::string> output_names;
+  if (has_aggregates || has_group) {
+    // Build the aggregate node, then a projection that reorders its output
+    // ([group cols..., aggs...]) into the SELECT order.
+    std::vector<AggSpec> aggs;
+    std::vector<ExprPtr> projections;
+    size_t agg_slot = 0;
+    for (const auto& item : items) {
+      if (item.star) {
+        return Status::InvalidArgument("SELECT * cannot be combined with aggregates");
+      }
+      if (item.is_aggregate) {
+        aggs.push_back({item.agg_func, item.expr, item.name});
+        projections.push_back(Expr::Column(group_by.size() + agg_slot));
+        ++agg_slot;
+      } else {
+        if (item.expr->kind() != ExprKind::kColumn) {
+          return Status::InvalidArgument(
+              "non-aggregate select items must be plain GROUP BY columns");
+        }
+        size_t col = item.expr->column_index();
+        size_t slot = group_by.size();
+        for (size_t g = 0; g < group_by.size(); ++g) {
+          if (group_by[g] == col) slot = g;
+        }
+        if (slot == group_by.size()) {
+          return Status::InvalidArgument("column '" + item.name +
+                                         "' must appear in GROUP BY");
+        }
+        projections.push_back(Expr::Column(slot));
+      }
+      output_names.push_back(item.name);
+    }
+    plan = PlanBuilder::From(plan)
+               .Aggregate(std::move(group_by), std::move(aggs))
+               .Project(std::move(projections), output_names)
+               .Build();
+  } else if (items.size() == 1 && items[0].star) {
+    for (const Binding& b : bindings_) output_names.push_back(b.column);
+    // No projection needed: scan/join output is already the full row.
+  } else {
+    std::vector<ExprPtr> projections;
+    for (const auto& item : items) {
+      if (item.star) {
+        return Status::InvalidArgument("'*' must be the only select item");
+      }
+      projections.push_back(item.expr);
+      output_names.push_back(item.name);
+    }
+    plan = PlanBuilder::From(plan).Project(std::move(projections), output_names).Build();
+  }
+
+  // ORDER BY resolves against the output schema.
+  if (!order_keys.empty()) {
+    std::vector<SortKey> keys;
+    for (const auto& parsed : order_keys) {
+      int idx = -1;
+      for (size_t i = 0; i < output_names.size(); ++i) {
+        if (output_names[i] == parsed.column) idx = static_cast<int>(i);
+      }
+      if (idx < 0) {
+        return Status::NotFound("ORDER BY column '" + parsed.column +
+                                "' is not in the select list");
+      }
+      keys.push_back({static_cast<size_t>(idx), parsed.ascending});
+    }
+    plan = PlanBuilder::From(plan).Sort(std::move(keys)).Build();
+  }
+  if (has_limit) plan = PlanBuilder::From(plan).Limit(limit).Build();
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<PlanPtr> SqlParser::Parse(const std::string& sql) const {
+  POLY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  ParserImpl parser(db_, std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace poly

@@ -1,0 +1,48 @@
+#ifndef POLY_QUERY_SQL_PARSER_H_
+#define POLY_QUERY_SQL_PARSER_H_
+
+#include <string>
+
+#include "query/plan.h"
+#include "storage/database.h"
+
+namespace poly {
+
+/// The "common SQL-like internal query language" of §II: every engine's
+/// surface language lowers to plans; this parser is the SQL entry point.
+///
+/// Supported grammar (case-insensitive keywords):
+///
+///   SELECT <item> [, <item>]...
+///   FROM <table>
+///   [JOIN <table> ON <col> = <col>]...
+///   [WHERE <expr>]
+///   [GROUP BY <col> [, <col>]...]
+///   [ORDER BY <output-col> [ASC|DESC] [, ...]]
+///   [LIMIT <n>]
+///
+///   item  := * | <expr> [AS <name>]
+///          | COUNT(*) | COUNT(<expr>) | SUM(<expr>) | AVG(<expr>)
+///          | MIN(<expr>) | MAX(<expr>)
+///   expr  := or-chain of AND/NOT/comparisons/arithmetic over columns,
+///            integer/double/string/boolean/NULL literals, parentheses,
+///            <expr> LIKE '<pattern>', <expr> IN (<literal>, ...),
+///            <expr> IS [NOT] NULL
+///
+/// Column names resolve against the FROM/JOIN tables; after a join, names
+/// may be qualified ("orders.id") to disambiguate. The resulting plan runs
+/// through the usual Optimizer/Executor/QueryCompiler pipeline.
+class SqlParser {
+ public:
+  explicit SqlParser(const Database* db) : db_(db) {}
+
+  /// Parses one SELECT statement into a plan.
+  StatusOr<PlanPtr> Parse(const std::string& sql) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_QUERY_SQL_PARSER_H_

@@ -1,0 +1,360 @@
+#include "soe/cluster.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "federation/federation.h"
+
+namespace poly {
+
+SoeCluster::SoeCluster(Options options)
+    : options_(options),
+      net_(options.net),
+      log_(SharedLog::Options{options.log_units, options.log_replication}, &net_) {
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<SoeNode>(i, options_.default_mode));
+    discovery_.RegisterNode(i);
+  }
+}
+
+Status SoeCluster::CreateTable(const std::string& name, const Schema& schema,
+                               const PartitionSpec& spec, int replication) {
+  if (replication < 1) replication = 1;
+  if (replication > static_cast<int>(nodes_.size())) {
+    return Status::InvalidArgument("replication exceeds cluster size");
+  }
+  POLY_RETURN_IF_ERROR(schema.IndexOf(spec.column).status());
+  CatalogService::TableInfo info;
+  info.schema = schema;
+  info.spec = spec;
+  info.replication = replication;
+  info.placement.resize(spec.num_partitions);
+  for (size_t p = 0; p < spec.num_partitions; ++p) {
+    for (int r = 0; r < replication; ++r) {
+      int node = (next_placement_ + r) % static_cast<int>(nodes_.size());
+      info.placement[p].push_back(node);
+      POLY_RETURN_IF_ERROR(nodes_[node]->HostPartition(name, p, schema));
+    }
+    next_placement_ = (next_placement_ + 1) % static_cast<int>(nodes_.size());
+  }
+  return catalog_.RegisterTable(name, std::move(info));
+}
+
+StatusOr<uint64_t> SoeCluster::CommitInserts(const std::string& table,
+                                             const std::vector<Row>& rows) {
+  POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
+  POLY_ASSIGN_OR_RETURN(size_t key_col, info->schema.IndexOf(info->spec.column));
+  SoeLogRecord record;
+  record.writes.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (row.size() != info->schema.num_columns()) {
+      return Status::InvalidArgument("row width mismatch for " + table);
+    }
+    SoeWrite w;
+    w.table = table;
+    w.partition = PartitionOf(row[key_col], info->spec);
+    w.row = row;
+    record.writes.push_back(std::move(w));
+  }
+  // v2transact: serialize + persist through the shared log; the offset is
+  // the global commit timestamp.
+  std::string encoded = record.Encode();
+  net_.Send(encoded.size());  // client -> broker
+  POLY_ASSIGN_OR_RETURN(uint64_t offset, log_.Append(std::move(encoded)));
+
+  // OLTP nodes hosting touched partitions incorporate the log in-line.
+  for (const SoeWrite& w : record.writes) {
+    for (int n : info->placement[w.partition]) {
+      if (!discovery_.IsAlive(n)) continue;
+      if (nodes_[n]->mode() != NodeMode::kOltp) continue;
+      POLY_RETURN_IF_ERROR(nodes_[n]->ApplyUpTo(log_, offset + 1));
+    }
+  }
+  return offset;
+}
+
+StatusOr<int> SoeCluster::RouteToNode(const CatalogService::TableInfo& info,
+                                      size_t partition) const {
+  for (int n : info.placement[partition]) {
+    if (discovery_.IsAlive(n)) return n;
+  }
+  return Status::Unavailable("no live replica for partition " + std::to_string(partition));
+}
+
+Status SoeCluster::SyncForRead(SoeNode* node) {
+  if (node->mode() == NodeMode::kOltp) {
+    return node->ApplyUpTo(log_, log_.Tail());
+  }
+  return Status::OK();  // OLAP nodes serve their (possibly stale) snapshot
+}
+
+namespace {
+
+/// Mergeable partial accumulator.
+struct Partial {
+  double sum = 0;
+  double count = 0;
+  Value min, max;
+  bool has_minmax = false;
+};
+
+/// What each user aggregate needs from the partials.
+struct AggPlanEntry {
+  AggFunc func;
+  size_t partial_index;  ///< index into the per-node partial column list
+};
+
+}  // namespace
+
+StatusOr<ResultSet> SoeCluster::DistributedAggregate(const std::string& table,
+                                                     const ExprPtr& predicate,
+                                                     const std::string& group_column,
+                                                     std::vector<AggSpec> aggregates) {
+  POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
+  last_stats_ = DistributedQueryStats{};
+  last_stats_.partitions = info->spec.num_partitions;
+
+  int group_col = -1;
+  if (!group_column.empty()) {
+    POLY_ASSIGN_OR_RETURN(size_t g, info->schema.IndexOf(group_column));
+    group_col = static_cast<int>(g);
+  }
+
+  // Rewrite user aggregates into mergeable partials: AVG -> SUM + COUNT;
+  // everything else maps 1:1. Partial i occupies one output column of the
+  // per-partition local aggregation.
+  std::vector<AggSpec> partial_aggs;
+  std::vector<AggPlanEntry> plan;
+  std::vector<AggFunc> partial_kind;
+  for (const AggSpec& agg : aggregates) {
+    if (agg.func == AggFunc::kAvg) {
+      plan.push_back({AggFunc::kAvg, partial_aggs.size()});
+      partial_aggs.push_back({AggFunc::kSum, agg.input, "s"});
+      partial_kind.push_back(AggFunc::kSum);
+      partial_aggs.push_back({AggFunc::kCount, agg.input, "c"});
+      partial_kind.push_back(AggFunc::kCount);
+    } else {
+      plan.push_back({agg.func, partial_aggs.size()});
+      partial_aggs.push_back({agg.func, agg.input, "p"});
+      partial_kind.push_back(agg.func);
+    }
+  }
+
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  std::unordered_map<Value, std::vector<Partial>, ValueHash> groups;
+  std::vector<Value> group_order;
+
+  std::unordered_map<int, uint64_t> node_nanos;
+  for (size_t p = 0; p < info->spec.num_partitions; ++p) {
+    POLY_ASSIGN_OR_RETURN(int n, RouteToNode(*info, p));
+    SoeNode* node = nodes_[n].get();
+    POLY_RETURN_IF_ERROR(SyncForRead(node));
+
+    PlanBuilder builder = PlanBuilder::Scan(PartitionTableName(table, p));
+    if (predicate) builder = std::move(builder).Filter(predicate);
+    std::vector<size_t> group_by;
+    if (group_col >= 0) group_by.push_back(static_cast<size_t>(group_col));
+    PlanPtr local_plan = std::move(builder).Aggregate(group_by, partial_aggs).Build();
+
+    net_.Send(256);  // task dispatch (coordinator -> node)
+    uint64_t before = node->busy_nanos();
+    POLY_ASSIGN_OR_RETURN(ResultSet partial, node->ExecuteLocal(local_plan));
+    uint64_t spent = node->busy_nanos() - before;
+    node_nanos[n] += spent;
+    last_stats_.total_exec_nanos += spent;
+    stats_.RecordQuery(n, 0, spent);
+
+    for (const Row& row : partial.rows) {
+      net_.Send(EstimateRowBytes(row));
+      last_stats_.result_bytes_gathered += EstimateRowBytes(row);
+      Value key = group_col >= 0 ? row[0] : Value::Null();
+      size_t base = group_col >= 0 ? 1 : 0;
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(key, std::vector<Partial>(partial_aggs.size())).first;
+        group_order.push_back(key);
+      }
+      std::vector<Partial>& acc = it->second;
+      for (size_t a = 0; a < partial_aggs.size(); ++a) {
+        const Value& v = row[base + a];
+        if (v.is_null()) continue;
+        Partial& part = acc[a];
+        switch (partial_kind[a]) {
+          case AggFunc::kSum:
+            part.sum += v.NumericValue();
+            part.count += 1;  // marks non-null
+            break;
+          case AggFunc::kCount:
+            part.count += v.NumericValue();
+            break;
+          case AggFunc::kMin:
+            if (!part.has_minmax || v < part.min) part.min = v;
+            part.has_minmax = true;
+            break;
+          case AggFunc::kMax:
+            if (!part.has_minmax || part.max < v) part.max = v;
+            part.has_minmax = true;
+            break;
+          case AggFunc::kAvg:
+            break;  // never a partial kind
+        }
+      }
+    }
+  }
+
+  last_stats_.nodes_used = node_nanos.size();
+  for (const auto& [_, nanos] : node_nanos) {
+    last_stats_.makespan_nanos = std::max(last_stats_.makespan_nanos, nanos);
+  }
+
+  // Finalize.
+  ResultSet out;
+  if (group_col >= 0) out.column_names.push_back(group_column);
+  for (const AggSpec& agg : aggregates) out.column_names.push_back(agg.output_name);
+  // Global aggregate with zero partial rows still yields one zero row.
+  if (group_col < 0 && group_order.empty()) {
+    groups.emplace(Value::Null(), std::vector<Partial>(partial_aggs.size()));
+    group_order.push_back(Value::Null());
+  }
+  for (const Value& key : group_order) {
+    const std::vector<Partial>& acc = groups[key];
+    Row row;
+    if (group_col >= 0) row.push_back(key);
+    for (const AggPlanEntry& entry : plan) {
+      const Partial& a = acc[entry.partial_index];
+      switch (entry.func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int(static_cast<int64_t>(a.count)));
+          break;
+        case AggFunc::kSum:
+          row.push_back(a.count > 0 ? Value::Dbl(a.sum) : Value::Null());
+          break;
+        case AggFunc::kMin:
+          row.push_back(a.has_minmax ? a.min : Value::Null());
+          break;
+        case AggFunc::kMax:
+          row.push_back(a.has_minmax ? a.max : Value::Null());
+          break;
+        case AggFunc::kAvg: {
+          const Partial& count_part = acc[entry.partial_index + 1];
+          row.push_back(count_part.count > 0
+                            ? Value::Dbl(a.sum / count_part.count)
+                            : Value::Null());
+          break;
+        }
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<ResultSet> SoeCluster::DistributedScan(const std::string& table,
+                                                const ExprPtr& predicate) {
+  POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
+  last_stats_ = DistributedQueryStats{};
+  last_stats_.partitions = info->spec.num_partitions;
+  ResultSet out;
+  for (size_t c = 0; c < info->schema.num_columns(); ++c) {
+    out.column_names.push_back(info->schema.column(c).name);
+  }
+  std::unordered_map<int, uint64_t> node_nanos;
+  for (size_t p = 0; p < info->spec.num_partitions; ++p) {
+    POLY_ASSIGN_OR_RETURN(int n, RouteToNode(*info, p));
+    SoeNode* node = nodes_[n].get();
+    POLY_RETURN_IF_ERROR(SyncForRead(node));
+    PlanBuilder builder = PlanBuilder::Scan(PartitionTableName(table, p));
+    if (predicate) builder = std::move(builder).Filter(predicate);
+    net_.Send(256);
+    uint64_t before = node->busy_nanos();
+    POLY_ASSIGN_OR_RETURN(ResultSet part, node->ExecuteLocal(std::move(builder).Build()));
+    node_nanos[n] += node->busy_nanos() - before;
+    for (Row& row : part.rows) {
+      uint64_t bytes = EstimateRowBytes(row);
+      net_.Send(bytes);
+      last_stats_.result_bytes_gathered += bytes;
+      out.rows.push_back(std::move(row));
+    }
+  }
+  last_stats_.nodes_used = node_nanos.size();
+  for (const auto& [_, nanos] : node_nanos) {
+    last_stats_.makespan_nanos = std::max(last_stats_.makespan_nanos, nanos);
+    last_stats_.total_exec_nanos += nanos;
+  }
+  return out;
+}
+
+Status SoeCluster::SetNodeMode(int node, NodeMode mode) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) {
+    return Status::InvalidArgument("no node " + std::to_string(node));
+  }
+  nodes_[node]->set_mode(mode);
+  return Status::OK();
+}
+
+Status SoeCluster::KillNode(int node) { return discovery_.MarkDown(node); }
+
+Status SoeCluster::RestartNode(int node) { return discovery_.MarkUp(node); }
+
+Status SoeCluster::Rebalance() {
+  // For every partition whose replica set contains dead nodes, place a new
+  // replica on the least-loaded live node not already hosting it, rebuilt
+  // by replaying the shared log (partitions are "prepackaged" for exactly
+  // this fast redistribution, §IV-B).
+  std::vector<int> live = discovery_.LiveNodes();
+  if (live.empty()) return Status::Unavailable("no live nodes");
+  for (const std::string& table : catalog_.TableNames()) {
+    POLY_ASSIGN_OR_RETURN(CatalogService::TableInfo * info, catalog_.MutableLookup(table));
+    for (size_t p = 0; p < info->placement.size(); ++p) {
+      std::vector<int>& replicas = info->placement[p];
+      int live_count = 0;
+      for (int n : replicas) {
+        if (discovery_.IsAlive(n)) ++live_count;
+      }
+      while (live_count < info->replication) {
+        // Least-hosting live candidate not already in the replica set.
+        int best = -1;
+        size_t best_hosted = ~size_t{0};
+        for (int n : live) {
+          bool already = false;
+          for (int r : replicas) already |= (r == n);
+          if (already) continue;
+          size_t hosted = nodes_[n]->HostedPartitions().size();
+          if (hosted < best_hosted) {
+            best_hosted = hosted;
+            best = n;
+          }
+        }
+        if (best < 0) break;  // not enough live nodes
+        POLY_RETURN_IF_ERROR(nodes_[best]->HostPartition(table, p, info->schema));
+        // History the node already skipped for this partition, then the
+        // shared tail it has not reached yet.
+        POLY_RETURN_IF_ERROR(nodes_[best]->BackfillPartition(log_, table, p));
+        POLY_RETURN_IF_ERROR(nodes_[best]->ApplyUpTo(log_, log_.Tail()));
+        replicas.push_back(best);
+        ++live_count;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> SoeCluster::PollNode(int node) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) {
+    return Status::InvalidArgument("no node " + std::to_string(node));
+  }
+  uint64_t before = nodes_[node]->records_applied();
+  POLY_RETURN_IF_ERROR(nodes_[node]->ApplyUpTo(log_, log_.Tail()));
+  uint64_t applied = nodes_[node]->records_applied() - before;
+  stats_.RecordApply(node, applied);
+  return applied;
+}
+
+uint64_t SoeCluster::Staleness(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return 0;
+  return log_.Tail() - nodes_[node]->applied_offset();
+}
+
+}  // namespace poly

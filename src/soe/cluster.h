@@ -1,0 +1,117 @@
+#ifndef POLY_SOE_CLUSTER_H_
+#define POLY_SOE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soe/node.h"
+#include "soe/services.h"
+#include "soe/shared_log.h"
+
+namespace poly {
+
+/// Statistics of one distributed query.
+struct DistributedQueryStats {
+  size_t partitions = 0;
+  size_t nodes_used = 0;
+  uint64_t result_bytes_gathered = 0;
+  uint64_t makespan_nanos = 0;  ///< max per-node local execution time
+  uint64_t total_exec_nanos = 0;
+};
+
+/// The SAP HANA SOE as one object graph (Figure 3): query-processing nodes
+/// (v2lqp), the distributed query coordinator (v2dqp), the transaction
+/// broker over the CORFU-style shared log (v2transact), the catalog/data
+/// discovery (v2catalog), discovery&auth (v2disc&auth), and the cluster
+/// manager with its statistics service (v2clustermgr, v2stats). Nodes are
+/// in-process objects; the network is cost-accounted (src/soe/network.h).
+class SoeCluster {
+ public:
+  struct Options {
+    int num_nodes = 4;
+    int log_units = 3;
+    int log_replication = 2;
+    NodeMode default_mode = NodeMode::kOltp;
+    SimulatedNetwork::Options net;
+  };
+
+  explicit SoeCluster(Options options);
+
+  // ---- DDL (catalog + cluster manager) ----
+
+  /// Creates a distributed table: registers schema+spec, places each
+  /// partition on `replication` nodes (round-robin), creates local tables.
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     const PartitionSpec& spec, int replication = 1);
+
+  // ---- Writes (transaction broker, v2transact) ----
+
+  /// Commits one transaction of inserts; returns its commit offset. OLTP
+  /// nodes hosting touched partitions apply synchronously; OLAP nodes lag
+  /// until Poll.
+  StatusOr<uint64_t> CommitInserts(const std::string& table, const std::vector<Row>& rows);
+  StatusOr<uint64_t> Insert(const std::string& table, const Row& row) {
+    return CommitInserts(table, {row});
+  }
+
+  // ---- Reads (distributed query coordinator, v2dqp) ----
+
+  /// Scatter/gather aggregate: predicate + aggregates (+ optional group-by
+  /// column) evaluated per partition, partials merged at the coordinator.
+  /// AVG is decomposed into SUM+COUNT for mergeability.
+  StatusOr<ResultSet> DistributedAggregate(const std::string& table,
+                                           const ExprPtr& predicate,
+                                           const std::string& group_column,
+                                           std::vector<AggSpec> aggregates);
+
+  /// Scatter/gather row collection.
+  StatusOr<ResultSet> DistributedScan(const std::string& table, const ExprPtr& predicate);
+
+  const DistributedQueryStats& last_query_stats() const { return last_stats_; }
+
+  // ---- Node lifecycle (cluster manager, v2clustermgr) ----
+
+  Status SetNodeMode(int node, NodeMode mode);
+  /// Simulates a node crash: discovery marks it down, queries fail over.
+  Status KillNode(int node);
+  Status RestartNode(int node);
+  /// Rebuilds all partitions of dead nodes onto live ones by replaying the
+  /// shared log (the prepackaged-partition redistribution of §IV-B).
+  Status Rebalance();
+
+  /// OLAP catch-up ("updates can be incorporated by regularly polling the
+  /// log"). Returns records applied.
+  StatusOr<uint64_t> PollNode(int node);
+  /// Commit offset lag of a node against the log tail.
+  uint64_t Staleness(int node) const;
+
+  // ---- Introspection ----
+  SoeNode* node(int id) { return nodes_[id].get(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  SharedLog& log() { return log_; }
+  SimulatedNetwork& network() { return net_; }
+  CatalogService& catalog() { return catalog_; }
+  DiscoveryService& discovery() { return discovery_; }
+  ClusterStatisticsService& statistics() { return stats_; }
+
+ private:
+  /// First live node hosting a partition (primary preferred).
+  StatusOr<int> RouteToNode(const CatalogService::TableInfo& info, size_t partition) const;
+  /// Brings an OLTP node up to the log tail before it serves a read.
+  Status SyncForRead(SoeNode* node);
+
+  Options options_;
+  SimulatedNetwork net_;
+  SharedLog log_;
+  CatalogService catalog_;
+  DiscoveryService discovery_;
+  ClusterStatisticsService stats_;
+  std::vector<std::unique_ptr<SoeNode>> nodes_;
+  int next_placement_ = 0;
+  DistributedQueryStats last_stats_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_CLUSTER_H_

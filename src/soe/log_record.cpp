@@ -1,0 +1,40 @@
+#include "soe/log_record.h"
+
+#include "types/value_serde.h"
+
+namespace poly {
+
+std::string SoeLogRecord::Encode() const {
+  Serializer s;
+  s.PutVarint(writes.size());
+  for (const SoeWrite& w : writes) {
+    s.PutString(w.table);
+    s.PutVarint(w.partition);
+    s.PutVarint(w.row.size());
+    for (const Value& v : w.row) WriteValue(&s, v);
+  }
+  return s.Release();
+}
+
+StatusOr<SoeLogRecord> SoeLogRecord::Decode(const std::string& data) {
+  Deserializer d(data);
+  SoeLogRecord rec;
+  POLY_ASSIGN_OR_RETURN(uint64_t n, d.GetVarint());
+  rec.writes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SoeWrite w;
+    POLY_ASSIGN_OR_RETURN(w.table, d.GetString());
+    POLY_ASSIGN_OR_RETURN(uint64_t part, d.GetVarint());
+    w.partition = part;
+    POLY_ASSIGN_OR_RETURN(uint64_t width, d.GetVarint());
+    w.row.reserve(width);
+    for (uint64_t c = 0; c < width; ++c) {
+      POLY_ASSIGN_OR_RETURN(Value v, ReadValue(&d));
+      w.row.push_back(std::move(v));
+    }
+    rec.writes.push_back(std::move(w));
+  }
+  return rec;
+}
+
+}  // namespace poly

@@ -1,0 +1,31 @@
+#ifndef POLY_SOE_LOG_RECORD_H_
+#define POLY_SOE_LOG_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serializer.h"
+#include "types/schema.h"
+
+namespace poly {
+
+/// One committed transaction as stored in the shared log: a batch of
+/// partition-addressed writes. The log offset doubles as the commit
+/// timestamp ("a transaction broker service executes, serializes, and
+/// persists transactions to a distributed shared log", §IV-B).
+struct SoeWrite {
+  std::string table;
+  size_t partition = 0;
+  Row row;
+};
+
+struct SoeLogRecord {
+  std::vector<SoeWrite> writes;
+
+  std::string Encode() const;
+  static StatusOr<SoeLogRecord> Decode(const std::string& data);
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_LOG_RECORD_H_

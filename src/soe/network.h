@@ -1,0 +1,51 @@
+#ifndef POLY_SOE_NETWORK_H_
+#define POLY_SOE_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace poly {
+
+/// Simulated cluster interconnect. Nodes are in-process (the substitution
+/// for a physical cluster), so the network does pure cost accounting: every
+/// message charges a latency plus bytes/bandwidth term to a virtual clock.
+/// Experiments report this modeled time alongside real wall time.
+class SimulatedNetwork {
+ public:
+  struct Options {
+    double latency_nanos = 50000;          ///< 50 µs per message (datacenter RTT/2)
+    double bandwidth_bytes_per_sec = 1e9;  ///< 1 GB/s links
+  };
+
+  SimulatedNetwork() : SimulatedNetwork(Options()) {}
+  explicit SimulatedNetwork(Options options) : options_(options) {}
+
+  /// Charges one message of `bytes` to the virtual clock.
+  void Send(uint64_t bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t messages() const { return messages_.load(std::memory_order_relaxed); }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+  /// Modeled transfer time of everything sent so far, in nanoseconds.
+  double simulated_nanos() const {
+    return static_cast<double>(messages()) * options_.latency_nanos +
+           static_cast<double>(bytes()) / options_.bandwidth_bytes_per_sec * 1e9;
+  }
+
+  void Reset() {
+    messages_.store(0);
+    bytes_.store(0);
+  }
+
+ private:
+  Options options_;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_NETWORK_H_

@@ -1,0 +1,81 @@
+#ifndef POLY_SOE_NODE_H_
+#define POLY_SOE_NODE_H_
+
+#include <set>
+#include <string>
+
+#include "query/executor.h"
+#include "soe/log_record.h"
+#include "soe/partition.h"
+#include "soe/shared_log.h"
+#include "storage/database.h"
+
+namespace poly {
+
+/// Consistency class of a database node (§IV-B): OLTP nodes incorporate
+/// the log synchronously inside the update/read path ("real time
+/// transactional update"); OLAP nodes apply it asynchronously, trading
+/// freshness for cheap reads ("not necessarily synchronously to the update
+/// request").
+enum class NodeMode { kOltp, kOlap };
+
+/// One SOE process (the v2lqp executable of Figure 3): a query service
+/// plus a data service over locally hosted horizontal partitions.
+class SoeNode {
+ public:
+  SoeNode(int id, NodeMode mode) : id_(id), mode_(mode) {}
+
+  SoeNode(const SoeNode&) = delete;
+  SoeNode& operator=(const SoeNode&) = delete;
+
+  int id() const { return id_; }
+  NodeMode mode() const { return mode_; }
+  void set_mode(NodeMode mode) { mode_ = mode; }
+
+  /// Data service: starts hosting a partition (creates the local table).
+  Status HostPartition(const std::string& table, size_t partition, const Schema& schema);
+  bool Hosts(const std::string& table, size_t partition) const;
+  std::vector<std::pair<std::string, size_t>> HostedPartitions() const;
+
+  /// Data service: applies log records [applied_offset, target) that touch
+  /// hosted partitions. The log offset+1 becomes the commit timestamp.
+  Status ApplyUpTo(const SharedLog& log, uint64_t target);
+
+  /// Replays [0, applied_offset) for one partition just added to this
+  /// node (used by Rebalance: the node is already past those offsets for
+  /// its other partitions, but the new partition needs the history).
+  Status BackfillPartition(const SharedLog& log, const std::string& table,
+                           size_t partition);
+
+  uint64_t applied_offset() const { return applied_offset_; }
+
+  /// Query service: executes a plan against local partition tables.
+  /// Returns the result and accumulates scan statistics.
+  StatusOr<ResultSet> ExecuteLocal(const PlanPtr& plan);
+
+  /// Local rows of one hosted partition (all committed via the log).
+  StatusOr<uint64_t> PartitionRowCount(const std::string& table, size_t partition) const;
+
+  const Database& db() const { return db_; }
+
+  uint64_t rows_scanned() const { return rows_scanned_; }
+  uint64_t queries_served() const { return queries_served_; }
+  uint64_t records_applied() const { return records_applied_; }
+  /// Real nanoseconds this node spent executing queries (for makespan).
+  uint64_t busy_nanos() const { return busy_nanos_; }
+
+ private:
+  int id_;
+  NodeMode mode_;
+  Database db_;
+  std::set<std::pair<std::string, size_t>> hosted_;
+  uint64_t applied_offset_ = 0;
+  uint64_t rows_scanned_ = 0;
+  uint64_t queries_served_ = 0;
+  uint64_t records_applied_ = 0;
+  uint64_t busy_nanos_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_NODE_H_

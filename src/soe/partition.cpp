@@ -1,0 +1,20 @@
+#include "soe/partition.h"
+
+namespace poly {
+
+size_t PartitionOf(const Value& key, const PartitionSpec& spec) {
+  if (spec.kind == PartitionSpec::Kind::kHash) {
+    return key.Hash() % spec.num_partitions;
+  }
+  size_t i = 0;
+  for (; i < spec.range_bounds.size(); ++i) {
+    if (key < spec.range_bounds[i]) break;
+  }
+  return i;
+}
+
+std::string PartitionTableName(const std::string& table, size_t partition) {
+  return table + "#p" + std::to_string(partition);
+}
+
+}  // namespace poly

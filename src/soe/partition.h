@@ -1,0 +1,47 @@
+#ifndef POLY_SOE_PARTITION_H_
+#define POLY_SOE_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace poly {
+
+/// Multi-level horizontal partitioning (§IV-B: "the scale-out extension
+/// supports multi-level horizontal partitioning (range and hash)").
+struct PartitionSpec {
+  enum class Kind { kHash, kRange };
+  Kind kind = Kind::kHash;
+  std::string column;             ///< partitioning key
+  size_t num_partitions = 1;      ///< for hash
+  std::vector<Value> range_bounds;  ///< for range: partition i covers
+                                    ///< [bounds[i-1], bounds[i]); num = bounds+1
+
+  static PartitionSpec Hash(std::string column, size_t num_partitions) {
+    PartitionSpec s;
+    s.kind = Kind::kHash;
+    s.column = std::move(column);
+    s.num_partitions = num_partitions;
+    return s;
+  }
+  static PartitionSpec Range(std::string column, std::vector<Value> bounds) {
+    PartitionSpec s;
+    s.kind = Kind::kRange;
+    s.column = std::move(column);
+    s.range_bounds = std::move(bounds);
+    s.num_partitions = s.range_bounds.size() + 1;
+    return s;
+  }
+};
+
+/// Partition index of a key value under a spec.
+size_t PartitionOf(const Value& key, const PartitionSpec& spec);
+
+/// Local table name of one partition on a node.
+std::string PartitionTableName(const std::string& table, size_t partition);
+
+}  // namespace poly
+
+#endif  // POLY_SOE_PARTITION_H_

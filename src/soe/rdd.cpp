@@ -1,0 +1,153 @@
+#include "soe/rdd.h"
+
+#include <unordered_map>
+
+namespace poly {
+
+SoeRdd SoeRdd::FromTable(SoeCluster* cluster, std::string table) {
+  SoeRdd rdd;
+  rdd.cluster_ = cluster;
+  rdd.table_ = std::move(table);
+  return rdd;
+}
+
+SoeRdd SoeRdd::Where(ExprPtr predicate) const {
+  SoeRdd out = *this;
+  if (!out.stages_.empty()) {
+    // A framework stage already intervened; the engine cannot see through
+    // it, so the predicate joins the framework stages instead.
+    Stage stage;
+    ExprPtr p = std::move(predicate);
+    stage.filter = [p](const Row& row) { return p->EvalBool(row); };
+    out.stages_.push_back(std::move(stage));
+    return out;
+  }
+  out.pushed_predicate_ = out.pushed_predicate_
+                              ? Expr::And(out.pushed_predicate_, std::move(predicate))
+                              : std::move(predicate);
+  return out;
+}
+
+SoeRdd SoeRdd::Filter(RowPredicate predicate) const {
+  SoeRdd out = *this;
+  Stage stage;
+  stage.filter = std::move(predicate);
+  out.stages_.push_back(std::move(stage));
+  return out;
+}
+
+SoeRdd SoeRdd::Map(RowMapper mapper) const {
+  SoeRdd out = *this;
+  Stage stage;
+  stage.mapper = std::move(mapper);
+  out.stages_.push_back(std::move(stage));
+  return out;
+}
+
+StatusOr<std::vector<Row>> SoeRdd::Collect() const {
+  POLY_ASSIGN_OR_RETURN(ResultSet rs,
+                        cluster_->DistributedScan(table_, pushed_predicate_));
+  std::vector<Row> rows = std::move(rs.rows);
+  for (const Stage& stage : stages_) {
+    std::vector<Row> next;
+    next.reserve(rows.size());
+    for (Row& row : rows) {
+      if (stage.filter) {
+        if (stage.filter(row)) next.push_back(std::move(row));
+      } else {
+        next.push_back(stage.mapper(row));
+      }
+    }
+    rows = std::move(next);
+  }
+  return rows;
+}
+
+StatusOr<uint64_t> SoeRdd::Count() const {
+  if (FullyPushable()) {
+    AggSpec cnt{AggFunc::kCount, nullptr, "cnt"};
+    POLY_ASSIGN_OR_RETURN(
+        ResultSet rs, cluster_->DistributedAggregate(table_, pushed_predicate_, "", {cnt}));
+    return static_cast<uint64_t>(rs.rows[0][0].AsInt());
+  }
+  POLY_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect());
+  return rows.size();
+}
+
+StatusOr<ResultSet> SoeRdd::AggregateByKey(const std::string& group_column,
+                                           std::vector<AggSpec> aggregates) const {
+  if (FullyPushable()) {
+    return cluster_->DistributedAggregate(table_, pushed_predicate_, group_column,
+                                          std::move(aggregates));
+  }
+  // Framework-side fallback: collect, then group/aggregate here. Only SUM,
+  // COUNT, MIN, MAX, AVG over numeric inputs — same as the engine.
+  POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info,
+                        cluster_->catalog().Lookup(table_));
+  POLY_ASSIGN_OR_RETURN(size_t group_col, info->schema.IndexOf(group_column));
+  POLY_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect());
+
+  struct Acc {
+    uint64_t count = 0;
+    double sum = 0;
+    bool has = false;
+    Value min, max;
+  };
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  std::unordered_map<Value, std::vector<Acc>, ValueHash> groups;
+  std::vector<Value> order;
+  for (const Row& row : rows) {
+    if (group_col >= row.size()) {
+      return Status::InvalidArgument("map stage dropped the group column");
+    }
+    const Value& key = row[group_col];
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, std::vector<Acc>(aggregates.size())).first;
+      order.push_back(key);
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      Acc& acc = it->second[a];
+      Value v = aggregates[a].input ? aggregates[a].input->Eval(row) : Value::Int(1);
+      if (v.is_null()) continue;
+      ++acc.count;
+      acc.sum += v.NumericValue();
+      if (!acc.has || v < acc.min) acc.min = v;
+      if (!acc.has || acc.max < v) acc.max = v;
+      acc.has = true;
+    }
+  }
+  ResultSet out;
+  out.column_names.push_back(group_column);
+  for (const auto& agg : aggregates) out.column_names.push_back(agg.output_name);
+  for (const Value& key : order) {
+    Row row = {key};
+    const auto& accs = groups[key];
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const Acc& acc = accs[a];
+      switch (aggregates[a].func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int(static_cast<int64_t>(acc.count)));
+          break;
+        case AggFunc::kSum:
+          row.push_back(acc.has ? Value::Dbl(acc.sum) : Value::Null());
+          break;
+        case AggFunc::kMin:
+          row.push_back(acc.has ? acc.min : Value::Null());
+          break;
+        case AggFunc::kMax:
+          row.push_back(acc.has ? acc.max : Value::Null());
+          break;
+        case AggFunc::kAvg:
+          row.push_back(acc.count ? Value::Dbl(acc.sum / acc.count) : Value::Null());
+          break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace poly

@@ -1,0 +1,124 @@
+#include "soe/services.h"
+
+namespace poly {
+
+Status CatalogService::RegisterTable(const std::string& name, TableInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name)) return Status::AlreadyExists("table '" + name + "' in catalog");
+  tables_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+StatusOr<const CatalogService::TableInfo*> CatalogService::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no catalog entry '" + name + "'");
+  return &it->second;
+}
+
+StatusOr<CatalogService::TableInfo*> CatalogService::MutableLookup(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no catalog entry '" + name + "'");
+  return &it->second;
+}
+
+std::vector<std::string> CatalogService::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+void DiscoveryService::RegisterNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_[node] = true;
+}
+
+Status DiscoveryService::MarkDown(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return Status::NotFound("unknown node " + std::to_string(node));
+  it->second = false;
+  return Status::OK();
+}
+
+Status DiscoveryService::MarkUp(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return Status::NotFound("unknown node " + std::to_string(node));
+  it->second = true;
+  return Status::OK();
+}
+
+bool DiscoveryService::IsAlive(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second;
+}
+
+std::vector<int> DiscoveryService::LiveNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (const auto& [node, alive] : nodes_) {
+    if (alive) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<int> DiscoveryService::AllNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (const auto& [node, _] : nodes_) out.push_back(node);
+  return out;
+}
+
+void DiscoveryService::AddCredential(const std::string& principal,
+                                     const std::string& secret) {
+  std::lock_guard<std::mutex> lock(mu_);
+  credentials_[principal] = secret;
+}
+
+bool DiscoveryService::Authorize(const std::string& principal,
+                                 const std::string& secret) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = credentials_.find(principal);
+  return it != credentials_.end() && it->second == secret;
+}
+
+void ClusterStatisticsService::RecordQuery(int node, uint64_t rows_scanned,
+                                           uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeStats& s = stats_[node];
+  ++s.queries;
+  s.rows_scanned += rows_scanned;
+  s.busy_nanos += nanos;
+}
+
+void ClusterStatisticsService::RecordApply(int node, uint64_t records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[node].records_applied += records;
+}
+
+ClusterStatisticsService::NodeStats ClusterStatisticsService::Stats(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(node);
+  return it == stats_.end() ? NodeStats{} : it->second;
+}
+
+int ClusterStatisticsService::Hotspot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int hot = -1;
+  uint64_t best = 0;
+  for (const auto& [node, s] : stats_) {
+    if (s.busy_nanos >= best) {
+      best = s.busy_nanos;
+      hot = node;
+    }
+  }
+  return hot;
+}
+
+}  // namespace poly

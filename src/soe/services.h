@@ -1,0 +1,82 @@
+#ifndef POLY_SOE_SERVICES_H_
+#define POLY_SOE_SERVICES_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "soe/partition.h"
+
+namespace poly {
+
+/// Catalog + data-discovery service (Figure 3, v2catalog): schemas,
+/// partition specs, and the partition -> node placement map.
+class CatalogService {
+ public:
+  struct TableInfo {
+    Schema schema;
+    PartitionSpec spec;
+    int replication = 1;
+    /// partition -> node ids, primary first.
+    std::vector<std::vector<int>> placement;
+  };
+
+  Status RegisterTable(const std::string& name, TableInfo info);
+  StatusOr<const TableInfo*> Lookup(const std::string& name) const;
+  StatusOr<TableInfo*> MutableLookup(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TableInfo> tables_;
+};
+
+/// Cluster discovery + authorization service (Figure 3, v2disc&auth):
+/// which services/nodes exist and are alive, and who may talk to them.
+class DiscoveryService {
+ public:
+  void RegisterNode(int node);
+  Status MarkDown(int node);
+  Status MarkUp(int node);
+  bool IsAlive(int node) const;
+  std::vector<int> LiveNodes() const;
+  std::vector<int> AllNodes() const;
+
+  /// Credential store: principal -> secret.
+  void AddCredential(const std::string& principal, const std::string& secret);
+  bool Authorize(const std::string& principal, const std::string& secret) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, bool> nodes_;
+  std::map<std::string, std::string> credentials_;
+};
+
+/// Cluster statistics service (Figure 3, v2stats): per-node counters the
+/// cluster manager uses "to identify hotspots or to monitor performance
+/// goals".
+class ClusterStatisticsService {
+ public:
+  void RecordQuery(int node, uint64_t rows_scanned, uint64_t nanos);
+  void RecordApply(int node, uint64_t records);
+
+  struct NodeStats {
+    uint64_t queries = 0;
+    uint64_t rows_scanned = 0;
+    uint64_t busy_nanos = 0;
+    uint64_t records_applied = 0;
+  };
+  NodeStats Stats(int node) const;
+  /// Node with the most accumulated busy time (hotspot), or -1.
+  int Hotspot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, NodeStats> stats_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_SERVICES_H_

@@ -1,0 +1,131 @@
+#include "soe/shared_log.h"
+
+#include <algorithm>
+
+namespace poly {
+
+SharedLog::SharedLog(Options options, SimulatedNetwork* net)
+    : options_(options), net_(net) {
+  if (options_.num_log_units < 1) options_.num_log_units = 1;
+  if (options_.replication < 1) options_.replication = 1;
+  if (options_.replication > options_.num_log_units) {
+    options_.replication = options_.num_log_units;
+  }
+  units_.resize(options_.num_log_units);
+  unit_alive_.assign(options_.num_log_units, true);
+}
+
+std::vector<int> SharedLog::ReplicasOf(uint64_t offset) const {
+  std::vector<int> replicas;
+  for (int i = 0; i < options_.replication; ++i) {
+    replicas.push_back(static_cast<int>((offset + i) % units_.size()));
+  }
+  return replicas;
+}
+
+StatusOr<uint64_t> SharedLog::Append(std::string record) {
+  // Sequencer: one atomic fetch — the CORFU fast path.
+  uint64_t offset = sequencer_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> replicas = ReplicasOf(offset);
+  int written = 0;
+  for (int unit : replicas) {
+    if (!unit_alive_[unit]) continue;
+    units_[unit][offset] = record;
+    if (net_) net_->Send(record.size() + 16);
+    ++written;
+  }
+  if (written == 0) {
+    return Status::Unavailable("all replicas for log offset " + std::to_string(offset) +
+                               " are down");
+  }
+  return offset;
+}
+
+StatusOr<std::string> SharedLog::Read(uint64_t offset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int unit : ReplicasOf(offset)) {
+    if (!unit_alive_[unit]) continue;
+    auto it = units_[unit].find(offset);
+    if (it != units_[unit].end()) {
+      if (net_) net_->Send(it->second.size() + 16);
+      return it->second;
+    }
+  }
+  // Re-replication may have placed copies outside the deterministic chain;
+  // fall back to asking every live unit before declaring the offset lost.
+  for (size_t unit = 0; unit < units_.size(); ++unit) {
+    if (!unit_alive_[unit]) continue;
+    auto it = units_[unit].find(offset);
+    if (it != units_[unit].end()) {
+      if (net_) net_->Send(it->second.size() + 16);
+      return it->second;
+    }
+  }
+  if (offset >= sequencer_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange("offset beyond log tail");
+  }
+  return Status::Unavailable("log offset " + std::to_string(offset) + " unavailable");
+}
+
+StatusOr<std::vector<std::string>> SharedLog::ReadRange(uint64_t from, uint64_t to) const {
+  std::vector<std::string> out;
+  out.reserve(to > from ? to - from : 0);
+  for (uint64_t off = from; off < to; ++off) {
+    POLY_ASSIGN_OR_RETURN(std::string rec, Read(off));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+uint64_t SharedLog::Tail() const { return sequencer_.load(std::memory_order_acquire); }
+
+Status SharedLog::KillUnit(int unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (unit < 0 || unit >= static_cast<int>(units_.size())) {
+    return Status::InvalidArgument("no log unit " + std::to_string(unit));
+  }
+  unit_alive_[unit] = false;
+  return Status::OK();
+}
+
+Status SharedLog::ReReplicate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t tail = sequencer_.load(std::memory_order_acquire);
+  for (uint64_t off = 0; off < tail; ++off) {
+    // Find one live copy anywhere (previous repairs may have moved it off
+    // the deterministic chain).
+    const std::string* copy = nullptr;
+    for (size_t unit = 0; unit < units_.size(); ++unit) {
+      if (!unit_alive_[unit]) continue;
+      auto it = units_[unit].find(off);
+      if (it != units_[unit].end()) {
+        copy = &it->second;
+        break;
+      }
+    }
+    if (copy == nullptr) {
+      return Status::Unavailable("log offset " + std::to_string(off) + " lost");
+    }
+    // Count live holders; top up onto other live units.
+    int holders = 0;
+    for (size_t u = 0; u < units_.size(); ++u) {
+      if (unit_alive_[u] && units_[u].count(off)) ++holders;
+    }
+    for (size_t u = 0; u < units_.size() && holders < options_.replication; ++u) {
+      if (!unit_alive_[u] || units_[u].count(off)) continue;
+      units_[u][off] = *copy;
+      if (net_) net_->Send(copy->size() + 16);
+      ++holders;
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t SharedLog::records_stored(int unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (unit < 0 || unit >= static_cast<int>(units_.size())) return 0;
+  return units_[unit].size();
+}
+
+}  // namespace poly

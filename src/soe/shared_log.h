@@ -1,0 +1,66 @@
+#ifndef POLY_SOE_SHARED_LOG_H_
+#define POLY_SOE_SHARED_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "soe/network.h"
+
+namespace poly {
+
+/// CORFU-style distributed shared log (§IV-B, [15]): a sequencer hands out
+/// globally ordered offsets; each offset maps deterministically to a
+/// replica set of log-unit nodes; readers tail the log. "The log stores
+/// all changes in a transactional consistent way"; the transaction broker
+/// (transaction_broker.h) serializes transactions through Append.
+class SharedLog {
+ public:
+  struct Options {
+    int num_log_units = 3;
+    int replication = 2;
+  };
+
+  /// `net` may be null (no accounting).
+  explicit SharedLog(Options options, SimulatedNetwork* net = nullptr);
+  SharedLog() : SharedLog(Options()) {}
+
+  /// Appends a record; returns its global offset (0-based, dense).
+  StatusOr<uint64_t> Append(std::string record);
+
+  /// Reads one record (from any live replica).
+  StatusOr<std::string> Read(uint64_t offset) const;
+
+  /// Reads [from, to) in order; stops early at a hole (never happens with
+  /// the built-in sequencer) or a lost offset.
+  StatusOr<std::vector<std::string>> ReadRange(uint64_t from, uint64_t to) const;
+
+  /// One past the last appended offset ("high-water mark").
+  uint64_t Tail() const;
+
+  /// Fails a log unit; offsets survive while >= 1 replica lives.
+  Status KillUnit(int unit);
+  /// Copies under-replicated offsets onto surviving units.
+  Status ReReplicate();
+
+  int num_units() const { return static_cast<int>(units_.size()); }
+  uint64_t records_stored(int unit) const;
+
+ private:
+  /// Deterministic replica set of an offset (round-robin chains).
+  std::vector<int> ReplicasOf(uint64_t offset) const;
+
+  Options options_;
+  SimulatedNetwork* net_;
+  mutable std::mutex mu_;
+  std::atomic<uint64_t> sequencer_{0};
+  std::vector<std::map<uint64_t, std::string>> units_;  ///< unit -> offset -> record
+  std::vector<bool> unit_alive_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_SHARED_LOG_H_

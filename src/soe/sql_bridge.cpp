@@ -1,0 +1,149 @@
+#include "soe/sql_bridge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/sql_parser.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+
+namespace {
+
+/// Applies Sort and Limit nodes to a materialized result.
+void ApplySort(const std::vector<SortKey>& keys, ResultSet* rs) {
+  std::stable_sort(rs->rows.begin(), rs->rows.end(), [&](const Row& a, const Row& b) {
+    for (const SortKey& key : keys) {
+      if (a[key.column] < b[key.column]) return key.ascending;
+      if (b[key.column] < a[key.column]) return !key.ascending;
+    }
+    return false;
+  });
+}
+
+}  // namespace
+
+namespace {
+
+/// Collects the scan nodes of a plan (in-order).
+void CollectScans(const PlanNode& node, std::vector<const PlanNode*>* out) {
+  if (node.kind == PlanKind::kScan) out->push_back(&node);
+  for (const auto& child : node.children) CollectScans(*child, out);
+}
+
+}  // namespace
+
+StatusOr<ResultSet> SoeSqlBridge::GatherAndExecute(const PlanPtr& plan) {
+  std::vector<const PlanNode*> scans;
+  CollectScans(*plan, &scans);
+  // Predicate pushdown to the cluster is safe only when a table is scanned
+  // once; a table scanned twice gathers unfiltered.
+  std::map<std::string, int> scan_count;
+  for (const PlanNode* scan : scans) ++scan_count[scan->table];
+
+  Database staging;
+  TransactionManager staging_tm;
+  for (const PlanNode* scan : scans) {
+    if (staging.GetTable(scan->table).ok()) continue;  // already staged
+    POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info,
+                          cluster_->catalog().Lookup(scan->table));
+    ExprPtr pushdown =
+        scan_count[scan->table] == 1 ? scan->scan_predicate : nullptr;
+    POLY_ASSIGN_OR_RETURN(ResultSet gathered,
+                          cluster_->DistributedScan(scan->table, pushdown));
+    POLY_ASSIGN_OR_RETURN(ColumnTable * t,
+                          staging.CreateTable(scan->table, info->schema));
+    auto txn = staging_tm.Begin();
+    for (const Row& row : gathered.rows) {
+      POLY_RETURN_IF_ERROR(staging_tm.Insert(txn.get(), t, row));
+    }
+    POLY_RETURN_IF_ERROR(staging_tm.Commit(txn.get()));
+  }
+  Executor exec(&staging, staging_tm.AutoCommitView());
+  return exec.Execute(plan);
+}
+
+StatusOr<ResultSet> SoeSqlBridge::Execute(const std::string& sql) {
+  // Shell database: one empty table per catalog entry so the parser can
+  // bind column names against the distributed schemas.
+  Database shell;
+  for (const std::string& name : cluster_->catalog().TableNames()) {
+    POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info,
+                          cluster_->catalog().Lookup(name));
+    POLY_RETURN_IF_ERROR(shell.CreateTable(name, info->schema).status());
+  }
+  SqlParser parser(&shell);
+  POLY_ASSIGN_OR_RETURN(PlanPtr plan, parser.Parse(sql));
+  Optimizer opt(nullptr, &shell);
+  plan = opt.Optimize(plan);
+
+  // Peel residual coordinator-side operators off the top.
+  size_t limit = 0;
+  bool has_limit = false;
+  std::vector<SortKey> sort_keys;
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> output_names;
+  bool has_project = false;
+  const PlanNode* node = plan.get();
+  if (node->kind == PlanKind::kLimit) {
+    has_limit = true;
+    limit = node->limit;
+    node = node->children[0].get();
+  }
+  if (node->kind == PlanKind::kSort) {
+    sort_keys = node->sort_keys;
+    node = node->children[0].get();
+  }
+  if (node->kind == PlanKind::kProject) {
+    has_project = true;
+    projections = node->projections;
+    output_names = node->output_names;
+    node = node->children[0].get();
+  }
+
+  ResultSet rs;
+  if (node->kind == PlanKind::kAggregate &&
+      node->children[0]->kind == PlanKind::kScan && node->group_by.size() <= 1) {
+    // Fast path: fully distributed partial aggregation.
+    const PlanNode& agg = *node;
+    const PlanNode& scan = *agg.children[0];
+    POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info,
+                          cluster_->catalog().Lookup(scan.table));
+    std::string group_column;
+    if (!agg.group_by.empty()) {
+      group_column = info->schema.column(agg.group_by[0]).name;
+    }
+    POLY_ASSIGN_OR_RETURN(rs, cluster_->DistributedAggregate(
+                                  scan.table, scan.scan_predicate, group_column,
+                                  agg.aggregates));
+  } else if (node->kind == PlanKind::kScan) {
+    POLY_ASSIGN_OR_RETURN(rs,
+                          cluster_->DistributedScan(node->table, node->scan_predicate));
+  } else {
+    // Gather-and-execute: ship each base table's (predicate-filtered) rows
+    // to the coordinator, stage them, run the remaining plan locally.
+    POLY_ASSIGN_OR_RETURN(rs, GatherAndExecute(plan));
+    return rs;  // plan already includes project/sort/limit
+  }
+
+  // Residual projection (column refs / expressions over the gathered rows).
+  if (has_project) {
+    ResultSet projected;
+    projected.column_names = output_names;
+    projected.rows.reserve(rs.rows.size());
+    for (const Row& row : rs.rows) {
+      Row out;
+      out.reserve(projections.size());
+      for (const ExprPtr& e : projections) out.push_back(e->Eval(row));
+      projected.rows.push_back(std::move(out));
+    }
+    rs = std::move(projected);
+  }
+  if (!sort_keys.empty()) ApplySort(sort_keys, &rs);
+  if (has_limit && rs.rows.size() > limit) rs.rows.resize(limit);
+  return rs;
+}
+
+}  // namespace poly

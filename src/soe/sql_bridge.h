@@ -1,0 +1,43 @@
+#ifndef POLY_SOE_SQL_BRIDGE_H_
+#define POLY_SOE_SQL_BRIDGE_H_
+
+#include <string>
+
+#include "soe/cluster.h"
+
+namespace poly {
+
+/// The paper's third pillar: "a powerful orchestration [...] to provide a
+/// single point of entry" (§VI). This bridge lets one SQL string run
+/// against a distributed SOE table: the statement is parsed against the
+/// cluster catalog, the scan/filter/aggregate core is executed by the
+/// distributed query coordinator (v2dqp), and residual projection/sort/
+/// limit run at the entry point.
+///
+/// Execution strategy:
+///  * single-table aggregates run fully distributed (partial aggregation on
+///    the nodes, merge at the coordinator);
+///  * plain scans run as distributed scatter/gather;
+///  * everything else (JOINs, multi-key GROUP BY, ...) uses gather-and-
+///    execute: each referenced table's rows are gathered with its pushed-
+///    down predicate, staged at the entry point, and the full plan runs on
+///    the single-node executor — the paper's "one single execution plan"
+///    with the coordinator as the final operator site.
+class SoeSqlBridge {
+ public:
+  explicit SoeSqlBridge(SoeCluster* cluster) : cluster_(cluster) {}
+
+  StatusOr<ResultSet> Execute(const std::string& sql);
+
+ private:
+  /// Fallback: gathers every referenced table (with per-table predicate
+  /// pushdown) into a coordinator-local staging database and runs the full
+  /// plan there.
+  StatusOr<ResultSet> GatherAndExecute(const PlanPtr& plan);
+
+  SoeCluster* cluster_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_SQL_BRIDGE_H_

@@ -1,0 +1,28 @@
+#ifndef POLY_STORAGE_BACKUP_H_
+#define POLY_STORAGE_BACKUP_H_
+
+#include <string>
+
+#include "storage/database.h"
+
+namespace poly {
+
+/// Whole-database snapshot backup/restore (§II: "all the state of the art
+/// capabilities like backup, recovery" [1]). The snapshot captures every
+/// column table with full MVCC stamps; combined with the redo log it gives
+/// the classic snapshot+log recovery pair.
+
+/// Serializes all column tables of `db` into one buffer.
+std::string SerializeDatabase(const Database& db);
+
+/// Rebuilds a database from a snapshot buffer into `out` (must be empty of
+/// conflicting table names).
+Status DeserializeDatabase(const std::string& snapshot, Database* out);
+
+/// File-based convenience wrappers.
+Status BackupDatabaseToFile(const Database& db, const std::string& path);
+Status RestoreDatabaseFromFile(const std::string& path, Database* out);
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_BACKUP_H_

@@ -1,0 +1,122 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <map>
+
+namespace poly {
+
+uint64_t Column::Append(const Value& v) {
+  uint64_t id = delta_dict_.GetOrAdd(v);
+  delta_ids_.push_back(id);
+  return main_ids_.size() + delta_ids_.size() - 1;
+}
+
+Value Column::Get(uint64_t row) const {
+  if (row < main_ids_.size()) {
+    return main_dict_.At(main_ids_.Get(row));
+  }
+  return delta_dict_.At(delta_ids_[row - main_ids_.size()]);
+}
+
+ColumnMergeStats Column::Merge(bool hint_generated_order) {
+  ColumnMergeStats stats;
+  if (delta_ids_.empty() && delta_dict_.size() == 0) return stats;
+
+  // Sort the delta's distinct values and remember old-delta-ID -> rank.
+  std::vector<uint64_t> order(delta_dict_.size());
+  for (uint64_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    return delta_dict_.At(a) < delta_dict_.At(b);
+  });
+  std::vector<Value> sorted_delta_values;
+  sorted_delta_values.reserve(order.size());
+  // Old delta id -> position in sorted_delta_values.
+  std::vector<uint64_t> delta_rank(order.size());
+  for (uint64_t rank = 0; rank < order.size(); ++rank) {
+    sorted_delta_values.push_back(delta_dict_.At(order[rank]));
+    delta_rank[order[rank]] = rank;
+  }
+
+  // Delta values already present in main must not be duplicated; compute,
+  // for each sorted delta value, either its existing main ID or its slot in
+  // the merged dictionary.
+  bool disjoint_and_greater =
+      hint_generated_order && main_dict_.AllGreaterThanMax(sorted_delta_values);
+
+  if (disjoint_and_greater) {
+    // Fast path (§III / E11): append to the dictionary; existing main value
+    // IDs stay valid, so only the (cheap) width check can force a repack.
+    uint64_t old_dict_size = main_dict_.size();
+    main_dict_.AppendGreater(sorted_delta_values);
+    int needed_bits = BitsFor(main_dict_.size() == 0 ? 0 : main_dict_.size() - 1);
+    int width = compress_main_ ? needed_bits : 64;
+    if (width != main_ids_.bits()) {
+      main_ids_ = main_ids_.Repack(width);
+    }
+    for (uint64_t delta_id : delta_ids_) {
+      main_ids_.Append(old_dict_size + delta_rank[delta_id]);
+    }
+    stats.fast_path = true;
+    stats.dict_entries_moved = sorted_delta_values.size();
+  } else {
+    // General path: two-way merge of old dictionary and sorted delta values,
+    // then re-encode every existing main ID through the remap table.
+    const std::vector<Value>& old_values = main_dict_.values();
+    std::vector<Value> merged;
+    merged.reserve(old_values.size() + sorted_delta_values.size());
+    std::vector<uint64_t> old_remap(old_values.size());
+    std::vector<uint64_t> delta_remap(sorted_delta_values.size());
+    size_t i = 0, j = 0;
+    while (i < old_values.size() || j < sorted_delta_values.size()) {
+      bool take_old;
+      bool equal = false;
+      if (i >= old_values.size()) {
+        take_old = false;
+      } else if (j >= sorted_delta_values.size()) {
+        take_old = true;
+      } else if (old_values[i] < sorted_delta_values[j]) {
+        take_old = true;
+      } else if (sorted_delta_values[j] < old_values[i]) {
+        take_old = false;
+      } else {
+        take_old = true;
+        equal = true;
+      }
+      uint64_t new_id = merged.size();
+      if (take_old) {
+        merged.push_back(old_values[i]);
+        old_remap[i++] = new_id;
+        if (equal) delta_remap[j++] = new_id;
+      } else {
+        merged.push_back(sorted_delta_values[j]);
+        delta_remap[j++] = new_id;
+      }
+    }
+    int needed_bits = BitsFor(merged.empty() ? 0 : merged.size() - 1);
+    int width = compress_main_ ? needed_bits : 64;
+    BitPackedVector new_ids(width);
+    new_ids.Reserve(main_ids_.size() + delta_ids_.size());
+    for (uint64_t r = 0; r < main_ids_.size(); ++r) {
+      new_ids.Append(old_remap[main_ids_.Get(r)]);
+      ++stats.ids_reencoded;
+    }
+    for (uint64_t delta_id : delta_ids_) {
+      new_ids.Append(delta_remap[delta_rank[delta_id]]);
+    }
+    main_dict_ = SortedDictionary(std::move(merged));
+    main_ids_ = std::move(new_ids);
+    stats.dict_entries_moved = main_dict_.size();
+  }
+
+  delta_dict_.Clear();
+  delta_ids_.clear();
+  delta_ids_.shrink_to_fit();
+  return stats;
+}
+
+size_t Column::MemoryBytes() const {
+  return main_dict_.MemoryBytes() + main_ids_.MemoryBytes() +
+         delta_dict_.MemoryBytes() + delta_ids_.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace poly

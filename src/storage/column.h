@@ -1,0 +1,77 @@
+#ifndef POLY_STORAGE_COLUMN_H_
+#define POLY_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitpack.h"
+#include "storage/dictionary.h"
+#include "types/value.h"
+
+namespace poly {
+
+/// Statistics about one delta→main merge of a single column, reported so
+/// experiment E11 can compare the generated-key-order fast path with the
+/// general re-encode path.
+struct ColumnMergeStats {
+  bool fast_path = false;       ///< dictionary appended, main IDs untouched
+  uint64_t ids_reencoded = 0;   ///< how many existing main IDs were rewritten
+  uint64_t dict_entries_moved = 0;
+};
+
+/// One column of a column-store table: an immutable, dictionary-compressed
+/// main part plus a write-optimized delta part (§II-A, §III, [8]).
+///
+/// Physical layout:
+///   main  = SortedDictionary + bit-packed value-ID vector
+///   delta = DeltaDictionary (insertion order) + plain value-ID vector
+/// Row position r < main_size() reads from main, else from delta.
+class Column {
+ public:
+  /// `compress_main`: SOE nodes relax reference compression for cheaper
+  /// (more energy-efficient) decoding (§IV-A); false stores 64-bit IDs.
+  explicit Column(bool compress_main = true) : compress_main_(compress_main) {}
+
+  /// Appends a value to the delta; returns the global row position.
+  uint64_t Append(const Value& v);
+
+  /// Value at global row position.
+  Value Get(uint64_t row) const;
+
+  uint64_t size() const { return main_ids_.size() + delta_ids_.size(); }
+  uint64_t main_size() const { return main_ids_.size(); }
+  uint64_t delta_size() const { return delta_ids_.size(); }
+
+  const SortedDictionary& main_dictionary() const { return main_dict_; }
+  const DeltaDictionary& delta_dictionary() const { return delta_dict_; }
+
+  /// Raw main value ID (row < main_size()).
+  uint64_t MainId(uint64_t row) const { return main_ids_.Get(row); }
+  /// Raw delta value ID (index into delta rows).
+  uint64_t DeltaId(uint64_t i) const { return delta_ids_[i]; }
+
+  /// Decodes main value IDs [begin, end) into `out`.
+  void DecodeMainIds(uint64_t begin, uint64_t end, uint64_t* out) const {
+    main_ids_.Decode(begin, end, out);
+  }
+
+  /// Merges delta into main, rebuilding or appending to the dictionary.
+  /// `hint_generated_order` declares the §III application knowledge that new
+  /// keys sort after all existing ones; the merge verifies the hint and
+  /// falls back to the general path if it does not hold.
+  ColumnMergeStats Merge(bool hint_generated_order = false);
+
+  /// Approximate heap bytes of dictionary + ID storage.
+  size_t MemoryBytes() const;
+
+ private:
+  bool compress_main_;
+  SortedDictionary main_dict_;
+  BitPackedVector main_ids_{1};
+  DeltaDictionary delta_dict_;
+  std::vector<uint64_t> delta_ids_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_COLUMN_H_

@@ -1,0 +1,186 @@
+#include "storage/column_table.h"
+
+#include "types/value_serde.h"
+
+namespace poly {
+
+ColumnTable::ColumnTable(std::string name, Schema schema, bool compress_main)
+    : name_(std::move(name)), schema_(std::move(schema)), compress_main_(compress_main) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(compress_main_);
+  }
+}
+
+StatusOr<uint64_t> ColumnTable::AppendVersion(const Row& values, uint64_t cts_stamp) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row width " + std::to_string(values.size()) +
+                                   " != schema width " +
+                                   std::to_string(columns_.size()) + " for table " +
+                                   name_);
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (values[c].is_null() && !schema_.column(c).nullable) {
+      return Status::InvalidArgument("null in non-nullable column " +
+                                     schema_.column(c).name);
+    }
+    columns_[c].Append(values[c]);
+  }
+  cts_.push_back(cts_stamp);
+  dts_.push_back(kNoStamp);
+  return cts_.size() - 1;
+}
+
+Status ColumnTable::SetDeleteStamp(uint64_t row, uint64_t stamp) {
+  if (row >= dts_.size()) return Status::OutOfRange("row out of range");
+  if (dts_[row] != kNoStamp) {
+    return Status::Aborted("write-write conflict on " + name_ + " row " +
+                           std::to_string(row));
+  }
+  dts_[row] = stamp;
+  return Status::OK();
+}
+
+void ColumnTable::ResolveCreateStamp(uint64_t row, uint64_t commit_ts) {
+  cts_[row] = commit_ts;
+}
+
+void ColumnTable::ResolveDeleteStamp(uint64_t row, uint64_t commit_ts) {
+  dts_[row] = commit_ts;
+}
+
+void ColumnTable::ClearDeleteStamp(uint64_t row) { dts_[row] = kNoStamp; }
+
+Row ColumnTable::GetRow(uint64_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.Get(row));
+  return out;
+}
+
+uint64_t ColumnTable::CountVisible(const ReadView& view) const {
+  uint64_t count = 0;
+  ScanVisible(view, [&](uint64_t) { ++count; });
+  return count;
+}
+
+Status ColumnTable::AddColumn(ColumnDef def) {
+  if (schema_.Contains(def.name)) {
+    return Status::AlreadyExists("column '" + def.name + "' exists in " + name_);
+  }
+  if (!def.nullable) {
+    return Status::InvalidArgument("late-added columns must be nullable");
+  }
+  Column col(compress_main_);
+  for (uint64_t r = 0; r < cts_.size(); ++r) col.Append(Value::Null());
+  columns_.push_back(std::move(col));
+  schema_.AddColumn(std::move(def));
+  return Status::OK();
+}
+
+TableMergeStats ColumnTable::Merge() {
+  TableMergeStats stats;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    stats.rows_moved = std::max(stats.rows_moved, columns_[c].delta_size());
+    ColumnMergeStats cs = columns_[c].Merge(schema_.column(c).generated_key_order);
+    if (cs.fast_path) {
+      ++stats.columns_fast_path;
+    } else {
+      ++stats.columns_general_path;
+    }
+    stats.ids_reencoded += cs.ids_reencoded;
+  }
+  return stats;
+}
+
+uint64_t ColumnTable::Vacuum(uint64_t watermark) {
+  std::vector<uint64_t> survivors;
+  survivors.reserve(cts_.size());
+  for (uint64_t r = 0; r < cts_.size(); ++r) {
+    bool dead = dts_[r] != kNoStamp && !StampIsUncommitted(dts_[r]) &&
+                dts_[r] <= watermark;
+    if (!dead) survivors.push_back(r);
+  }
+  uint64_t removed = cts_.size() - survivors.size();
+  if (removed == 0) return 0;
+
+  std::vector<Column> new_columns;
+  new_columns.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column col(compress_main_);
+    for (uint64_t r : survivors) col.Append(columns_[c].Get(r));
+    col.Merge(schema_.column(c).generated_key_order);
+    new_columns.push_back(std::move(col));
+  }
+  std::vector<uint64_t> new_cts, new_dts;
+  new_cts.reserve(survivors.size());
+  new_dts.reserve(survivors.size());
+  for (uint64_t r : survivors) {
+    new_cts.push_back(cts_[r]);
+    new_dts.push_back(dts_[r]);
+  }
+  columns_ = std::move(new_columns);
+  cts_ = std::move(new_cts);
+  dts_ = std::move(new_dts);
+  return removed;
+}
+
+size_t ColumnTable::MemoryBytes() const {
+  size_t bytes = cts_.capacity() * sizeof(uint64_t) * 2;
+  for (const auto& col : columns_) bytes += col.MemoryBytes();
+  return bytes;
+}
+
+void ColumnTable::SaveTo(Serializer* out) const {
+  out->PutString(name_);
+  out->PutVarint(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    const ColumnDef& def = schema_.column(c);
+    out->PutString(def.name);
+    out->PutU8(static_cast<uint8_t>(def.type));
+    out->PutU8(def.nullable ? 1 : 0);
+    out->PutU8(def.generated_key_order ? 1 : 0);
+  }
+  out->PutVarint(cts_.size());
+  for (uint64_t r = 0; r < cts_.size(); ++r) {
+    out->PutU64(cts_[r]);
+    out->PutU64(dts_[r]);
+    for (const auto& col : columns_) {
+      WriteValue(out, col.Get(r));
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<ColumnTable>> ColumnTable::LoadFrom(Deserializer* in) {
+  POLY_ASSIGN_OR_RETURN(std::string name, in->GetString());
+  POLY_ASSIGN_OR_RETURN(uint64_t ncols, in->GetVarint());
+  Schema schema;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    ColumnDef def;
+    POLY_ASSIGN_OR_RETURN(def.name, in->GetString());
+    POLY_ASSIGN_OR_RETURN(uint8_t type, in->GetU8());
+    def.type = static_cast<DataType>(type);
+    POLY_ASSIGN_OR_RETURN(uint8_t nullable, in->GetU8());
+    def.nullable = nullable != 0;
+    POLY_ASSIGN_OR_RETURN(uint8_t gko, in->GetU8());
+    def.generated_key_order = gko != 0;
+    schema.AddColumn(std::move(def));
+  }
+  auto table = std::make_unique<ColumnTable>(std::move(name), std::move(schema));
+  POLY_ASSIGN_OR_RETURN(uint64_t nrows, in->GetVarint());
+  for (uint64_t r = 0; r < nrows; ++r) {
+    POLY_ASSIGN_OR_RETURN(uint64_t cts, in->GetU64());
+    POLY_ASSIGN_OR_RETURN(uint64_t dts, in->GetU64());
+    Row row;
+    row.reserve(ncols);
+    for (uint64_t c = 0; c < ncols; ++c) {
+      POLY_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+      row.push_back(std::move(v));
+    }
+    POLY_ASSIGN_OR_RETURN(uint64_t rid, table->AppendVersion(row, cts));
+    if (dts != kNoStamp) table->dts_[rid] = dts;
+  }
+  return table;
+}
+
+}  // namespace poly

@@ -1,0 +1,115 @@
+#ifndef POLY_STORAGE_COLUMN_TABLE_H_
+#define POLY_STORAGE_COLUMN_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serializer.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/mvcc.h"
+#include "types/schema.h"
+
+namespace poly {
+
+/// Aggregate result of merging every column of a table.
+struct TableMergeStats {
+  uint64_t rows_moved = 0;
+  uint64_t columns_fast_path = 0;
+  uint64_t columns_general_path = 0;
+  uint64_t ids_reencoded = 0;
+};
+
+/// A main-memory column-store table (§II-A): one Column per schema column
+/// plus table-level MVCC stamp vectors. Row versions are append-only; an
+/// UPDATE is a delete-stamp on the old version plus a new version.
+///
+/// Thread model: concurrent readers are safe against each other; writers
+/// must be serialized by the caller (the TransactionManager holds a table
+/// write latch). Merge requires a quiesced table (no in-flight writers).
+class ColumnTable {
+ public:
+  ColumnTable(std::string name, Schema schema, bool compress_main = true);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a new row version stamped with `cts_stamp` (an in-flight txn
+  /// stamp or, for bulk loads, a committed timestamp). Returns the row ID.
+  /// Row width must match the schema.
+  StatusOr<uint64_t> AppendVersion(const Row& values, uint64_t cts_stamp);
+
+  /// Marks a row version deleted with `stamp`. Fails with Aborted if the
+  /// version already carries any delete stamp (first-writer-wins conflict).
+  Status SetDeleteStamp(uint64_t row, uint64_t stamp);
+
+  /// Commit/abort support: rewrite an in-flight stamp.
+  void ResolveCreateStamp(uint64_t row, uint64_t commit_ts);
+  void ResolveDeleteStamp(uint64_t row, uint64_t commit_ts);
+  void ClearDeleteStamp(uint64_t row);
+
+  uint64_t cts(uint64_t row) const { return cts_[row]; }
+  uint64_t dts(uint64_t row) const { return dts_[row]; }
+
+  /// Total row versions (visible or not).
+  uint64_t num_versions() const { return cts_.size(); }
+  uint64_t num_columns() const { return columns_.size(); }
+
+  Value GetValue(uint64_t row, size_t col) const { return columns_[col].Get(row); }
+  Row GetRow(uint64_t row) const;
+
+  const Column& column(size_t col) const { return columns_[col]; }
+  Column& mutable_column(size_t col) { return columns_[col]; }
+
+  /// Invokes fn(row_id) for every version visible in `view`.
+  template <typename F>
+  void ScanVisible(const ReadView& view, F&& fn) const {
+    uint64_t n = cts_.size();
+    for (uint64_t r = 0; r < n; ++r) {
+      if (view.RowVisible(cts_[r], dts_[r])) fn(r);
+    }
+  }
+
+  /// Number of versions visible in `view`.
+  uint64_t CountVisible(const ReadView& view) const;
+
+  /// Appends a new column; existing row versions read NULL in it. This is
+  /// the §II-H flexible-table mechanism: "metadata about unknown columns
+  /// are automatically created as soon as records with values for new
+  /// columns are inserted".
+  Status AddColumn(ColumnDef def);
+
+  /// Merges every column's delta into its main part. Columns flagged
+  /// generated_key_order in the schema attempt the append fast path.
+  /// Caller must guarantee no concurrent writers.
+  TableMergeStats Merge();
+
+  /// Garbage-collects row versions that are invisible to every snapshot at
+  /// or after `watermark` (the TransactionManager's OldestActiveSnapshot):
+  /// versions with a committed delete stamp <= watermark. Returns the number
+  /// of versions removed. WARNING: surviving rows are renumbered — external
+  /// row IDs (indexes, graph views) must be rebuilt. Caller must guarantee
+  /// no concurrent access.
+  uint64_t Vacuum(uint64_t watermark);
+
+  /// Bytes across all columns plus MVCC vectors.
+  size_t MemoryBytes() const;
+
+  /// Serializes schema + all row versions with stamps (for the extended
+  /// storage tier, DFS export, and recovery snapshots).
+  void SaveTo(Serializer* out) const;
+  static StatusOr<std::unique_ptr<ColumnTable>> LoadFrom(Deserializer* in);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  bool compress_main_;
+  std::vector<Column> columns_;
+  std::vector<uint64_t> cts_;
+  std::vector<uint64_t> dts_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_COLUMN_TABLE_H_

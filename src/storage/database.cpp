@@ -1,0 +1,76 @@
+#include "storage/database.h"
+
+namespace poly {
+
+StatusOr<ColumnTable*> Database::CreateTable(const std::string& name, Schema schema,
+                                             bool compress_main) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) || row_tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  auto table = std::make_unique<ColumnTable>(name, std::move(schema), compress_main);
+  ColumnTable* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+StatusOr<RowTable*> Database::CreateRowTable(const std::string& name, Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) || row_tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  auto table = std::make_unique<RowTable>(name, std::move(schema));
+  RowTable* ptr = table.get();
+  row_tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+StatusOr<ColumnTable*> Database::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return it->second.get();
+}
+
+StatusOr<RowTable*> Database::GetRowTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = row_tables_.find(name);
+  if (it == row_tables_.end()) return Status::NotFound("no row table '" + name + "'");
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(name) > 0) return Status::OK();
+  if (row_tables_.erase(name) > 0) return Status::OK();
+  return Status::NotFound("no table '" + name + "'");
+}
+
+Status Database::AdoptTable(std::unique_ptr<ColumnTable> table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = table->name();
+  if (tables_.count(name) || row_tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size() + row_tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  for (const auto& [name, _] : row_tables_) names.push_back(name);
+  return names;
+}
+
+size_t Database::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [_, t] : tables_) bytes += t->MemoryBytes();
+  for (const auto& [_, t] : row_tables_) bytes += t->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace poly

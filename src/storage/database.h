@@ -1,0 +1,49 @@
+#ifndef POLY_STORAGE_DATABASE_H_
+#define POLY_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_table.h"
+#include "storage/row_table.h"
+
+namespace poly {
+
+/// In-memory catalog of column tables (plus row-store baselines for the
+/// experiments). The single-node analogue of the SOE catalog service.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a column table; fails with AlreadyExists on a name clash.
+  StatusOr<ColumnTable*> CreateTable(const std::string& name, Schema schema,
+                                     bool compress_main = true);
+  /// Creates a row-store table (baseline engine).
+  StatusOr<RowTable*> CreateRowTable(const std::string& name, Schema schema);
+
+  StatusOr<ColumnTable*> GetTable(const std::string& name) const;
+  StatusOr<RowTable*> GetRowTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  /// Adopts an externally built table (used by recovery and tier movement).
+  Status AdoptTable(std::unique_ptr<ColumnTable> table);
+
+  std::vector<std::string> TableNames() const;
+  size_t MemoryBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ColumnTable>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<RowTable>> row_tables_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_DATABASE_H_

@@ -1,0 +1,75 @@
+#ifndef POLY_STORAGE_DICTIONARY_H_
+#define POLY_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "types/value.h"
+
+namespace poly {
+
+/// Sorted domain dictionary of a main-store column (§III): all distinct
+/// values in sort order; the column itself stores bit-packed indexes
+/// ("value IDs") into this dictionary. Sortedness makes range predicates a
+/// pair of binary searches over value IDs.
+class SortedDictionary {
+ public:
+  SortedDictionary() = default;
+  /// Builds from values that are already sorted and distinct.
+  explicit SortedDictionary(std::vector<Value> sorted_distinct);
+
+  /// Value ID of `v` if present.
+  std::optional<uint64_t> Lookup(const Value& v) const;
+  /// First value ID whose value is >= v (may equal size()).
+  uint64_t LowerBound(const Value& v) const;
+  /// First value ID whose value is > v (may equal size()).
+  uint64_t UpperBound(const Value& v) const;
+
+  const Value& At(uint64_t id) const { return values_[id]; }
+  uint64_t size() const { return values_.size(); }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// True if every value in `other_sorted` is strictly greater than our max.
+  /// This is the §III "generated key order" merge fast path test: when it
+  /// holds, the merged dictionary is simply this dictionary + the new values
+  /// appended, and no existing value ID changes.
+  bool AllGreaterThanMax(const std::vector<Value>& other_sorted) const;
+
+  /// Appends values that are sorted and all greater than the current max.
+  void AppendGreater(const std::vector<Value>& sorted_values);
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Unsorted append dictionary of a delta-store column: first-come IDs with a
+/// hash lookup, so inserts never shift existing IDs (writes stay cheap; the
+/// merge pays the sorting cost instead, §III).
+class DeltaDictionary {
+ public:
+  /// Returns the ID of v, inserting it if new.
+  uint64_t GetOrAdd(const Value& v);
+  std::optional<uint64_t> Lookup(const Value& v) const;
+
+  const Value& At(uint64_t id) const { return values_[id]; }
+  uint64_t size() const { return values_.size(); }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Clear();
+  size_t MemoryBytes() const;
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  std::vector<Value> values_;
+  std::unordered_map<Value, uint64_t, ValueHash> index_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_DICTIONARY_H_

@@ -1,0 +1,47 @@
+#ifndef POLY_STORAGE_MVCC_H_
+#define POLY_STORAGE_MVCC_H_
+
+#include <cstdint>
+
+namespace poly {
+
+/// MVCC stamp encoding. A row version carries a create stamp (CTS) and a
+/// delete stamp (DTS). While the writing transaction is in flight the stamp
+/// is kTxnBit | txn_id; commit rewrites it in place to the commit timestamp,
+/// so a stamp with kTxnBit set is always uncommitted.
+constexpr uint64_t kTxnBit = 1ULL << 63;
+constexpr uint64_t kNoStamp = 0;  ///< DTS value meaning "never deleted"
+
+inline bool StampIsUncommitted(uint64_t stamp) { return (stamp & kTxnBit) != 0; }
+inline uint64_t StampTxnId(uint64_t stamp) { return stamp & ~kTxnBit; }
+inline uint64_t MakeTxnStamp(uint64_t txn_id) { return kTxnBit | txn_id; }
+
+/// Snapshot-isolation read view: what a statement running in transaction
+/// `txn_id` with snapshot `snapshot_ts` is allowed to see.
+struct ReadView {
+  uint64_t snapshot_ts = 0;
+  uint64_t txn_id = 0;
+
+  /// A committed stamp is visible if it happened at or before the snapshot;
+  /// an uncommitted stamp is visible only to its own transaction.
+  bool StampVisible(uint64_t stamp) const {
+    if (stamp == kNoStamp) return false;
+    if (StampIsUncommitted(stamp)) return StampTxnId(stamp) == txn_id;
+    return stamp <= snapshot_ts;
+  }
+
+  /// Row version with (cts, dts) is alive for this view.
+  bool RowVisible(uint64_t cts, uint64_t dts) const {
+    return StampVisible(cts) && !StampVisible(dts);
+  }
+};
+
+/// A view that sees every committed version regardless of age and no
+/// uncommitted ones — used by merge and by OLAP nodes applying the log.
+inline ReadView LatestCommittedView() {
+  return ReadView{~kTxnBit, /*txn_id=*/0};
+}
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_MVCC_H_

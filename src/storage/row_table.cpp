@@ -1,0 +1,38 @@
+#include "storage/row_table.h"
+
+namespace poly {
+
+StatusOr<uint64_t> RowTable::AppendVersion(const Row& values, uint64_t cts_stamp) {
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row width mismatch for table " + name_);
+  }
+  rows_.push_back(values);
+  cts_.push_back(cts_stamp);
+  dts_.push_back(kNoStamp);
+  return rows_.size() - 1;
+}
+
+Status RowTable::SetDeleteStamp(uint64_t row, uint64_t stamp) {
+  if (row >= dts_.size()) return Status::OutOfRange("row out of range");
+  if (dts_[row] != kNoStamp) {
+    return Status::Aborted("write-write conflict on " + name_ + " row " +
+                           std::to_string(row));
+  }
+  dts_[row] = stamp;
+  return Status::OK();
+}
+
+size_t RowTable::MemoryBytes() const {
+  size_t bytes = cts_.capacity() * sizeof(uint64_t) * 2 + rows_.capacity() * sizeof(Row);
+  for (const auto& row : rows_) {
+    bytes += row.capacity() * sizeof(Value);
+    for (const auto& v : row) {
+      if (v.type() == DataType::kString || v.type() == DataType::kDocument) {
+        bytes += v.AsString().capacity();
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace poly

@@ -1,0 +1,63 @@
+#ifndef POLY_STORAGE_ROW_TABLE_H_
+#define POLY_STORAGE_ROW_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/mvcc.h"
+#include "types/schema.h"
+
+namespace poly {
+
+/// Row-oriented table with the same MVCC protocol as ColumnTable. This is
+/// the baseline for experiments E2/E3: the paper's §II-A claim is that one
+/// column store can carry *both* workloads that traditionally needed a row
+/// OLTP store plus a replicated column OLAP store.
+class RowTable {
+ public:
+  RowTable(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  StatusOr<uint64_t> AppendVersion(const Row& values, uint64_t cts_stamp);
+  Status SetDeleteStamp(uint64_t row, uint64_t stamp);
+  void ResolveCreateStamp(uint64_t row, uint64_t commit_ts) { cts_[row] = commit_ts; }
+  void ResolveDeleteStamp(uint64_t row, uint64_t commit_ts) { dts_[row] = commit_ts; }
+  void ClearDeleteStamp(uint64_t row) { dts_[row] = kNoStamp; }
+
+  uint64_t cts(uint64_t row) const { return cts_[row]; }
+  uint64_t dts(uint64_t row) const { return dts_[row]; }
+  uint64_t num_versions() const { return rows_.size(); }
+
+  const Row& GetRow(uint64_t row) const { return rows_[row]; }
+  Value GetValue(uint64_t row, size_t col) const { return rows_[row][col]; }
+
+  template <typename F>
+  void ScanVisible(const ReadView& view, F&& fn) const {
+    for (uint64_t r = 0; r < rows_.size(); ++r) {
+      if (view.RowVisible(cts_[r], dts_[r])) fn(r);
+    }
+  }
+
+  uint64_t CountVisible(const ReadView& view) const {
+    uint64_t n = 0;
+    ScanVisible(view, [&](uint64_t) { ++n; });
+    return n;
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<uint64_t> cts_;
+  std::vector<uint64_t> dts_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_ROW_TABLE_H_

@@ -1,0 +1,148 @@
+#include "streaming/streaming.h"
+
+#include <algorithm>
+
+namespace poly {
+
+TumblingWindow::TumblingWindow(int64_t window_micros, size_t value_index, int key_index,
+                               int64_t allowed_lateness)
+    : window_micros_(window_micros > 0 ? window_micros : 1),
+      value_index_(value_index),
+      key_index_(key_index),
+      lateness_(allowed_lateness) {}
+
+std::vector<WindowResult> TumblingWindow::CloseThrough(int64_t watermark) {
+  std::vector<WindowResult> out;
+  while (!open_.empty()) {
+    auto it = open_.begin();
+    int64_t window_end = it->first + window_micros_;
+    if (window_end > watermark) break;
+    for (const auto& [key, acc] : it->second) {
+      WindowResult r;
+      r.window_start = it->first;
+      r.key = key;
+      r.count = acc.count;
+      r.sum = acc.sum;
+      r.min = acc.min;
+      r.max = acc.max;
+      out.push_back(std::move(r));
+    }
+    open_.erase(it);
+  }
+  return out;
+}
+
+std::vector<WindowResult> TumblingWindow::OnEvent(const StreamEvent& event) {
+  int64_t watermark =
+      max_event_time_ == INT64_MIN ? INT64_MIN : max_event_time_ - lateness_;
+  if (event.timestamp < watermark &&
+      event.timestamp / window_micros_ * window_micros_ + window_micros_ <= watermark) {
+    // The window this event belongs to has already been emitted.
+    ++late_events_;
+    return {};
+  }
+  max_event_time_ = std::max(max_event_time_, event.timestamp);
+
+  int64_t start = event.timestamp / window_micros_ * window_micros_;
+  if (event.timestamp < 0 && event.timestamp % window_micros_ != 0) {
+    start -= window_micros_;  // floor division for negative timestamps
+  }
+  Value key = key_index_ >= 0 && static_cast<size_t>(key_index_) < event.values.size()
+                  ? event.values[key_index_]
+                  : Value::Null();
+  double v = value_index_ < event.values.size()
+                 ? event.values[value_index_].NumericValue()
+                 : 0.0;
+  Accum& acc = open_[start][key];
+  if (acc.count == 0) {
+    acc.min = acc.max = v;
+  } else {
+    acc.min = std::min(acc.min, v);
+    acc.max = std::max(acc.max, v);
+  }
+  ++acc.count;
+  acc.sum += v;
+
+  return CloseThrough(max_event_time_ - lateness_);
+}
+
+std::vector<WindowResult> TumblingWindow::Flush() {
+  return CloseThrough(INT64_MAX);
+}
+
+StreamPipeline& StreamPipeline::Filter(EventPredicate predicate) {
+  Stage s;
+  s.filter = std::move(predicate);
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+StreamPipeline& StreamPipeline::Map(EventMapper mapper) {
+  Stage s;
+  s.mapper = std::move(mapper);
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+StreamPipeline& StreamPipeline::Window(std::unique_ptr<TumblingWindow> window,
+                                       WindowSink sink) {
+  Stage s;
+  s.window_index = static_cast<int>(windows_.size());
+  windows_.push_back({std::move(window), std::move(sink)});
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+StreamPipeline& StreamPipeline::Sink(EventSink sink) {
+  sinks_.push_back(std::move(sink));
+  return *this;
+}
+
+void StreamPipeline::Push(const StreamEvent& event) {
+  ++events_in_;
+  StreamEvent current = event;
+  for (const Stage& stage : stages_) {
+    if (stage.filter) {
+      if (!stage.filter(current)) return;
+    } else if (stage.mapper) {
+      current = stage.mapper(current);
+    } else {
+      WindowStage& ws = windows_[static_cast<size_t>(stage.window_index)];
+      for (const WindowResult& result : ws.window->OnEvent(current)) {
+        ws.sink(result);
+      }
+    }
+  }
+  ++events_out_;
+  for (const EventSink& sink : sinks_) sink(current);
+}
+
+void StreamPipeline::PushBatch(const std::vector<StreamEvent>& events) {
+  for (const StreamEvent& e : events) Push(e);
+}
+
+void StreamPipeline::Finish() {
+  for (WindowStage& ws : windows_) {
+    for (const WindowResult& result : ws.window->Flush()) ws.sink(result);
+  }
+}
+
+StreamPipeline::EventSink TableStreamSink::AsSink() {
+  return [this](const StreamEvent& event) {
+    if (!status_.ok()) return;
+    Row row;
+    row.reserve(event.values.size() + 1);
+    row.push_back(Value::Timestamp(event.timestamp));
+    row.insert(row.end(), event.values.begin(), event.values.end());
+    auto txn = tm_->Begin();
+    Status s = tm_->Insert(txn.get(), table_, row);
+    if (s.ok()) s = tm_->Commit(txn.get());
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    ++rows_written_;
+  };
+}
+
+}  // namespace poly

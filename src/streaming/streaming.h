@@ -1,0 +1,143 @@
+#ifndef POLY_STREAMING_STREAMING_H_
+#define POLY_STREAMING_STREAMING_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_table.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+
+/// Streaming engine (Figure 4: "HANA Streaming Engine (ESP)"; Figure 1's
+/// "Streaming" ingestion edge): events flow through a small operator
+/// pipeline — filter, transform, windowed aggregation — and land in column
+/// tables, which is how high-throughput sensor/twitter-style feeds reach
+/// the relational world.
+///
+/// An event is a Row tagged with an event timestamp (microseconds).
+struct StreamEvent {
+  int64_t timestamp = 0;
+  Row values;
+};
+
+/// Result of a closed window.
+struct WindowResult {
+  int64_t window_start = 0;  ///< inclusive, aligned to window size
+  Value key;                 ///< group key (Null when ungrouped)
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Tumbling-window aggregator over one numeric field, optionally grouped by
+/// a key field. Events may arrive slightly out of order within
+/// `allowed_lateness`; windows close when the watermark (max event time -
+/// lateness) passes their end, which is when results are emitted.
+class TumblingWindow {
+ public:
+  /// `value_index`: row position of the aggregated numeric field;
+  /// `key_index`: row position of the group key, or -1 for one global group.
+  TumblingWindow(int64_t window_micros, size_t value_index, int key_index = -1,
+                 int64_t allowed_lateness = 0);
+
+  /// Feeds one event; returns any windows that closed as a consequence.
+  std::vector<WindowResult> OnEvent(const StreamEvent& event);
+
+  /// Closes every open window regardless of watermark (end of stream).
+  std::vector<WindowResult> Flush();
+
+  /// Events that arrived behind the watermark and were dropped.
+  uint64_t late_events() const { return late_events_; }
+
+ private:
+  struct Accum {
+    uint64_t count = 0;
+    double sum = 0, min = 0, max = 0;
+  };
+
+  std::vector<WindowResult> CloseThrough(int64_t watermark);
+
+  int64_t window_micros_;
+  size_t value_index_;
+  int key_index_;
+  int64_t lateness_;
+  int64_t max_event_time_ = INT64_MIN;
+  uint64_t late_events_ = 0;
+  // window start -> key -> accumulator (std::map: windows close in order).
+  std::map<int64_t, std::map<Value, Accum>> open_;
+};
+
+/// A push-based stream pipeline: source -> stages -> sinks. Stages run in
+/// arrival order; sinks receive what survives. Not thread-safe (one
+/// ingestion thread, like one ESP project stream).
+class StreamPipeline {
+ public:
+  using EventPredicate = std::function<bool(const StreamEvent&)>;
+  using EventMapper = std::function<StreamEvent(const StreamEvent&)>;
+  using EventSink = std::function<void(const StreamEvent&)>;
+  using WindowSink = std::function<void(const WindowResult&)>;
+
+  StreamPipeline& Filter(EventPredicate predicate);
+  StreamPipeline& Map(EventMapper mapper);
+  /// Adds a windowed aggregation; closed windows go to `sink`.
+  StreamPipeline& Window(std::unique_ptr<TumblingWindow> window, WindowSink sink);
+  /// Raw event sink (e.g. append to a table).
+  StreamPipeline& Sink(EventSink sink);
+
+  /// Pushes one event through the pipeline.
+  void Push(const StreamEvent& event);
+  /// Pushes a batch (events are processed in the given order).
+  void PushBatch(const std::vector<StreamEvent>& events);
+  /// End of stream: flushes all windows into their sinks.
+  void Finish();
+
+  uint64_t events_in() const { return events_in_; }
+  uint64_t events_out() const { return events_out_; }
+
+ private:
+  struct WindowStage {
+    std::unique_ptr<TumblingWindow> window;
+    WindowSink sink;
+  };
+  struct Stage {
+    EventPredicate filter;  // exactly one member set
+    EventMapper mapper;
+    int window_index = -1;
+  };
+
+  std::vector<Stage> stages_;
+  std::vector<WindowStage> windows_;
+  std::vector<EventSink> sinks_;
+  uint64_t events_in_ = 0;
+  uint64_t events_out_ = 0;
+};
+
+/// Sink adaptor: appends surviving events into a column table as committed
+/// rows (timestamp column first, then the event values). The table schema
+/// must be (ts TIMESTAMP, ...event columns). This is the Figure 1
+/// streaming-to-store ingestion edge.
+class TableStreamSink {
+ public:
+  TableStreamSink(TransactionManager* tm, ColumnTable* table) : tm_(tm), table_(table) {}
+
+  StreamPipeline::EventSink AsSink();
+  uint64_t rows_written() const { return rows_written_; }
+  /// First error encountered while writing, if any.
+  const Status& status() const { return status_; }
+
+ private:
+  TransactionManager* tm_;
+  ColumnTable* table_;
+  uint64_t rows_written_ = 0;
+  Status status_;
+};
+
+}  // namespace poly
+
+#endif  // POLY_STREAMING_STREAMING_H_

@@ -1,0 +1,67 @@
+#include "txn/redo_log.h"
+
+#include <cstdio>
+
+#include "common/serializer.h"
+
+namespace poly {
+
+StatusOr<std::unique_ptr<RedoLog>> RedoLog::OpenFile(const std::string& path) {
+  auto log = std::make_unique<RedoLog>();
+  log->path_ = path;
+  // Touch the file so ReadFile on a fresh log succeeds.
+  FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Status::IOError("cannot open redo log " + path);
+  std::fclose(f);
+  return log;
+}
+
+Status RedoLog::Append(std::string record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!path_.empty()) {
+    FILE* f = std::fopen(path_.c_str(), "ab");
+    if (f == nullptr) return Status::IOError("cannot append to redo log " + path_);
+    uint32_t len = static_cast<uint32_t>(record.size());
+    std::fwrite(&len, sizeof(len), 1, f);
+    std::fwrite(record.data(), 1, record.size(), f);
+    std::fclose(f);
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status RedoLog::Sync() { return Status::OK(); }
+
+Status RedoLog::ForEach(const std::function<Status(const std::string&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : records_) {
+    POLY_RETURN_IF_ERROR(fn(r));
+  }
+  return Status::OK();
+}
+
+uint64_t RedoLog::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+StatusOr<std::vector<std::string>> RedoLog::ReadFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open redo log " + path);
+  std::vector<std::string> records;
+  for (;;) {
+    uint32_t len = 0;
+    size_t got = std::fread(&len, sizeof(len), 1, f);
+    if (got != 1) break;
+    std::string rec(len, '\0');
+    if (std::fread(rec.data(), 1, len, f) != len) {
+      std::fclose(f);
+      return Status::Corruption("truncated redo record in " + path);
+    }
+    records.push_back(std::move(rec));
+  }
+  std::fclose(f);
+  return records;
+}
+
+}  // namespace poly

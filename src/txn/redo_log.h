@@ -1,0 +1,56 @@
+#ifndef POLY_TXN_REDO_LOG_H_
+#define POLY_TXN_REDO_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace poly {
+
+/// Record kinds in the single-node redo log.
+enum class RedoKind : uint8_t {
+  kCreateTable = 1,
+  kInsert = 2,
+  kDelete = 3,
+  kCommit = 4,
+};
+
+/// Append-only redo log. Records live in memory and are optionally mirrored
+/// to a file so recovery can be exercised across a simulated crash. The SOE
+/// distributed shared log (src/soe/shared_log.h) is the scale-out sibling of
+/// this component.
+class RedoLog {
+ public:
+  /// Memory-only log.
+  RedoLog() = default;
+  /// File-backed log (append mode). Existing content is preserved.
+  static StatusOr<std::unique_ptr<RedoLog>> OpenFile(const std::string& path);
+
+  /// Appends one serialized record.
+  Status Append(std::string record);
+
+  /// Flushes file-backed storage (no-op for memory logs).
+  Status Sync();
+
+  /// Invokes fn on every record in append order.
+  Status ForEach(const std::function<Status(const std::string&)>& fn) const;
+
+  uint64_t num_records() const;
+
+  /// Reads all records back from the file (for recovery after "restart").
+  static StatusOr<std::vector<std::string>> ReadFile(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> records_;
+  std::string path_;  // empty = memory-only
+};
+
+}  // namespace poly
+
+#endif  // POLY_TXN_REDO_LOG_H_

@@ -1,0 +1,242 @@
+#include "txn/transaction_manager.h"
+
+#include "common/serializer.h"
+#include "types/value_serde.h"
+
+namespace poly {
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  auto txn = std::make_unique<Transaction>();
+  txn->id_ = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  txn->snapshot_ts_ = clock_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_snapshots_[txn->id_] = txn->snapshot_ts_;
+  }
+  return txn;
+}
+
+Status TransactionManager::AppendLog(std::string record) {
+  if (log_ == nullptr) return Status::OK();
+  return log_->Append(std::move(record));
+}
+
+Status TransactionManager::Insert(Transaction* txn, ColumnTable* table,
+                                  const Row& values) {
+  if (txn->state_ != TxnState::kActive) return Status::InvalidArgument("txn not active");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  POLY_ASSIGN_OR_RETURN(uint64_t row,
+                        table->AppendVersion(values, MakeTxnStamp(txn->id_)));
+  txn->writes_.push_back({table, row, /*is_delete=*/false});
+  return AppendLog(EncodeInsert(txn->id_, table->name(), values));
+}
+
+Status TransactionManager::Insert(Transaction* txn, RowTable* table, const Row& values) {
+  if (txn->state_ != TxnState::kActive) return Status::InvalidArgument("txn not active");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  POLY_ASSIGN_OR_RETURN(uint64_t row,
+                        table->AppendVersion(values, MakeTxnStamp(txn->id_)));
+  txn->writes_.push_back({table, row, /*is_delete=*/false});
+  return AppendLog(EncodeInsert(txn->id_, table->name(), values));
+}
+
+Status TransactionManager::Delete(Transaction* txn, ColumnTable* table, uint64_t row) {
+  if (txn->state_ != TxnState::kActive) return Status::InvalidArgument("txn not active");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!txn->View().RowVisible(table->cts(row), table->dts(row))) {
+    return Status::Aborted("row not visible to transaction");
+  }
+  POLY_RETURN_IF_ERROR(table->SetDeleteStamp(row, MakeTxnStamp(txn->id_)));
+  txn->writes_.push_back({table, row, /*is_delete=*/true});
+  return AppendLog(EncodeDelete(txn->id_, table->name(), row));
+}
+
+Status TransactionManager::Delete(Transaction* txn, RowTable* table, uint64_t row) {
+  if (txn->state_ != TxnState::kActive) return Status::InvalidArgument("txn not active");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!txn->View().RowVisible(table->cts(row), table->dts(row))) {
+    return Status::Aborted("row not visible to transaction");
+  }
+  POLY_RETURN_IF_ERROR(table->SetDeleteStamp(row, MakeTxnStamp(txn->id_)));
+  txn->writes_.push_back({table, row, /*is_delete=*/true});
+  return AppendLog(EncodeDelete(txn->id_, table->name(), row));
+}
+
+Status TransactionManager::Update(Transaction* txn, ColumnTable* table, uint64_t row,
+                                  const Row& values) {
+  POLY_RETURN_IF_ERROR(Delete(txn, table, row));
+  return Insert(txn, table, values);
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) return Status::InvalidArgument("txn not active");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  uint64_t commit_ts = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (const auto& op : txn->writes_) {
+    std::visit(
+        [&](auto* table) {
+          if (op.is_delete) {
+            table->ResolveDeleteStamp(op.row, commit_ts);
+          } else {
+            table->ResolveCreateStamp(op.row, commit_ts);
+          }
+        },
+        op.table);
+  }
+  txn->commit_ts_ = commit_ts;
+  txn->state_ = TxnState::kCommitted;
+  {
+    std::lock_guard<std::mutex> snap_lock(mu_);
+    active_snapshots_.erase(txn->id_);
+  }
+  POLY_RETURN_IF_ERROR(AppendLog(EncodeCommit(txn->id_, commit_ts)));
+  return log_ ? log_->Sync() : Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) return Status::InvalidArgument("txn not active");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Undo in reverse: inserted versions become permanently invisible
+  // (cts stays an uncommitted stamp of a dead txn); delete stamps clear.
+  for (auto it = txn->writes_.rbegin(); it != txn->writes_.rend(); ++it) {
+    std::visit(
+        [&](auto* table) {
+          if (it->is_delete) table->ClearDeleteStamp(it->row);
+        },
+        it->table);
+  }
+  txn->state_ = TxnState::kAborted;
+  std::lock_guard<std::mutex> snap_lock(mu_);
+  active_snapshots_.erase(txn->id_);
+  return Status::OK();
+}
+
+Status TransactionManager::LogCreateTable(const std::string& name, const Schema& schema) {
+  return AppendLog(EncodeCreateTable(name, schema));
+}
+
+uint64_t TransactionManager::OldestActiveSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t oldest = clock_.load(std::memory_order_acquire);
+  for (const auto& [_, snap] : active_snapshots_) oldest = std::min(oldest, snap);
+  return oldest;
+}
+
+std::string TransactionManager::EncodeInsert(uint64_t txn_id, const std::string& table,
+                                             const Row& values) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(RedoKind::kInsert));
+  s.PutU64(txn_id);
+  s.PutString(table);
+  s.PutVarint(values.size());
+  for (const auto& v : values) WriteValue(&s, v);
+  return s.Release();
+}
+
+std::string TransactionManager::EncodeDelete(uint64_t txn_id, const std::string& table,
+                                             uint64_t row) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(RedoKind::kDelete));
+  s.PutU64(txn_id);
+  s.PutString(table);
+  s.PutU64(row);
+  return s.Release();
+}
+
+std::string TransactionManager::EncodeCommit(uint64_t txn_id, uint64_t commit_ts) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(RedoKind::kCommit));
+  s.PutU64(txn_id);
+  s.PutU64(commit_ts);
+  return s.Release();
+}
+
+std::string TransactionManager::EncodeCreateTable(const std::string& name,
+                                                  const Schema& schema) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(RedoKind::kCreateTable));
+  s.PutString(name);
+  s.PutVarint(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnDef& def = schema.column(c);
+    s.PutString(def.name);
+    s.PutU8(static_cast<uint8_t>(def.type));
+    s.PutU8(def.nullable ? 1 : 0);
+    s.PutU8(def.generated_key_order ? 1 : 0);
+  }
+  return s.Release();
+}
+
+Status TransactionManager::Recover(const std::vector<std::string>& records,
+                                   Database* db) {
+  // Pass 1: commit timestamps of committed transactions.
+  std::unordered_map<uint64_t, uint64_t> commit_ts;
+  for (const auto& rec : records) {
+    Deserializer d(rec);
+    POLY_ASSIGN_OR_RETURN(uint8_t kind, d.GetU8());
+    if (static_cast<RedoKind>(kind) == RedoKind::kCommit) {
+      POLY_ASSIGN_OR_RETURN(uint64_t txn_id, d.GetU64());
+      POLY_ASSIGN_OR_RETURN(uint64_t ts, d.GetU64());
+      commit_ts[txn_id] = ts;
+    }
+  }
+  // Pass 2: replay. Inserts/deletes of committed txns are applied with their
+  // final commit timestamps; uncommitted writes are skipped entirely, but
+  // their inserts still occupy a row slot so later row IDs line up.
+  for (const auto& rec : records) {
+    Deserializer d(rec);
+    POLY_ASSIGN_OR_RETURN(uint8_t kind_raw, d.GetU8());
+    RedoKind kind = static_cast<RedoKind>(kind_raw);
+    switch (kind) {
+      case RedoKind::kCreateTable: {
+        POLY_ASSIGN_OR_RETURN(std::string name, d.GetString());
+        POLY_ASSIGN_OR_RETURN(uint64_t ncols, d.GetVarint());
+        Schema schema;
+        for (uint64_t c = 0; c < ncols; ++c) {
+          ColumnDef def;
+          POLY_ASSIGN_OR_RETURN(def.name, d.GetString());
+          POLY_ASSIGN_OR_RETURN(uint8_t type, d.GetU8());
+          def.type = static_cast<DataType>(type);
+          POLY_ASSIGN_OR_RETURN(uint8_t nullable, d.GetU8());
+          def.nullable = nullable != 0;
+          POLY_ASSIGN_OR_RETURN(uint8_t gko, d.GetU8());
+          def.generated_key_order = gko != 0;
+          schema.AddColumn(std::move(def));
+        }
+        POLY_RETURN_IF_ERROR(db->CreateTable(name, std::move(schema)).status());
+        break;
+      }
+      case RedoKind::kInsert: {
+        POLY_ASSIGN_OR_RETURN(uint64_t txn_id, d.GetU64());
+        POLY_ASSIGN_OR_RETURN(std::string table_name, d.GetString());
+        POLY_ASSIGN_OR_RETURN(uint64_t nvals, d.GetVarint());
+        Row row;
+        row.reserve(nvals);
+        for (uint64_t i = 0; i < nvals; ++i) {
+          POLY_ASSIGN_OR_RETURN(Value v, ReadValue(&d));
+          row.push_back(std::move(v));
+        }
+        POLY_ASSIGN_OR_RETURN(ColumnTable * table, db->GetTable(table_name));
+        auto it = commit_ts.find(txn_id);
+        uint64_t stamp = it != commit_ts.end() ? it->second : MakeTxnStamp(txn_id);
+        POLY_RETURN_IF_ERROR(table->AppendVersion(row, stamp).status());
+        break;
+      }
+      case RedoKind::kDelete: {
+        POLY_ASSIGN_OR_RETURN(uint64_t txn_id, d.GetU64());
+        POLY_ASSIGN_OR_RETURN(std::string table_name, d.GetString());
+        POLY_ASSIGN_OR_RETURN(uint64_t row, d.GetU64());
+        auto it = commit_ts.find(txn_id);
+        if (it == commit_ts.end()) break;  // uncommitted delete: no effect
+        POLY_ASSIGN_OR_RETURN(ColumnTable * table, db->GetTable(table_name));
+        POLY_RETURN_IF_ERROR(table->SetDeleteStamp(row, it->second));
+        break;
+      }
+      case RedoKind::kCommit:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace poly

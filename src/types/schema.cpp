@@ -1,0 +1,36 @@
+#include "types/schema.h"
+
+namespace poly {
+
+Schema::Schema(std::vector<ColumnDef> columns) {
+  for (auto& c : columns) AddColumn(std::move(c));
+}
+
+void Schema::AddColumn(ColumnDef def) {
+  index_[def.name] = columns_.size();
+  columns_.push_back(std::move(def));
+}
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column named '" + name + "'");
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace poly

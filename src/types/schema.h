@@ -1,0 +1,58 @@
+#ifndef POLY_TYPES_SCHEMA_H_
+#define POLY_TYPES_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace poly {
+
+/// One column definition. `generated_key_order` is the §III application
+/// hint: keys of this column arrive in generation order (e.g. "<context> +
+/// incrementing counter"), so the dictionary merge may append instead of
+/// re-sorting (experiment E11).
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = true;
+  bool generated_key_order = false;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, DataType t, bool null_ok = true)
+      : name(std::move(n)), type(t), nullable(null_ok) {}
+};
+
+/// Ordered collection of column definitions with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  /// Appends a column (used by flexible tables, §II-H, where a DML insert
+  /// with an unseen column name implicitly extends the schema).
+  void AddColumn(ColumnDef def);
+
+  /// Index of a column by name, or NotFound.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// A materialized row crossing the query surface.
+using Row = std::vector<Value>;
+
+}  // namespace poly
+
+#endif  // POLY_TYPES_SCHEMA_H_

@@ -1,0 +1,71 @@
+#include "types/value_serde.h"
+
+namespace poly {
+
+void WriteValue(Serializer* out, const Value& v) {
+  out->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kInt64:
+      out->PutI64(v.AsInt());
+      break;
+    case DataType::kTimestamp:
+      out->PutI64(v.AsTimestamp());
+      break;
+    case DataType::kDouble:
+      out->PutDouble(v.AsDouble());
+      break;
+    case DataType::kBool:
+      out->PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case DataType::kString:
+    case DataType::kDocument:
+      out->PutString(v.AsString());
+      break;
+    case DataType::kGeoPoint:
+      out->PutDouble(v.AsGeoPoint().lon);
+      out->PutDouble(v.AsGeoPoint().lat);
+      break;
+  }
+}
+
+StatusOr<Value> ReadValue(Deserializer* in) {
+  POLY_ASSIGN_OR_RETURN(uint8_t tag, in->GetU8());
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kInt64: {
+      POLY_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+      return Value::Int(v);
+    }
+    case DataType::kTimestamp: {
+      POLY_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+      return Value::Timestamp(v);
+    }
+    case DataType::kDouble: {
+      POLY_ASSIGN_OR_RETURN(double v, in->GetDouble());
+      return Value::Dbl(v);
+    }
+    case DataType::kBool: {
+      POLY_ASSIGN_OR_RETURN(uint8_t v, in->GetU8());
+      return Value::Boolean(v != 0);
+    }
+    case DataType::kString: {
+      POLY_ASSIGN_OR_RETURN(std::string s, in->GetString());
+      return Value::Str(std::move(s));
+    }
+    case DataType::kDocument: {
+      POLY_ASSIGN_OR_RETURN(std::string s, in->GetString());
+      return Value::Document(std::move(s));
+    }
+    case DataType::kGeoPoint: {
+      POLY_ASSIGN_OR_RETURN(double lon, in->GetDouble());
+      POLY_ASSIGN_OR_RETURN(double lat, in->GetDouble());
+      return Value::GeoPoint(lon, lat);
+    }
+  }
+  return Status::Corruption("unknown value tag " + std::to_string(tag));
+}
+
+}  // namespace poly

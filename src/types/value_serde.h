@@ -1,0 +1,18 @@
+#ifndef POLY_TYPES_VALUE_SERDE_H_
+#define POLY_TYPES_VALUE_SERDE_H_
+
+#include "common/serializer.h"
+#include "types/value.h"
+
+namespace poly {
+
+/// Appends a type-tagged encoding of `v` (used by the redo log, the shared
+/// log, DFS blocks, and network messages).
+void WriteValue(Serializer* out, const Value& v);
+
+/// Decodes a value written by WriteValue.
+StatusOr<Value> ReadValue(Deserializer* in);
+
+}  // namespace poly
+
+#endif  // POLY_TYPES_VALUE_SERDE_H_

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "bfl/business_functions.h"
+#include "federation/federation.h"
+#include "hadoop/table_connector.h"
+
+namespace poly {
+namespace {
+
+class FederationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s({ColumnDef("id", DataType::kInt64), ColumnDef("amount", DataType::kDouble)});
+    remote_table_ = *remote_db_.CreateTable("sales", s);
+    auto txn = remote_tm_.Begin();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(remote_tm_.Insert(txn.get(), remote_table_,
+                                    {Value::Int(i), Value::Dbl(i * 2.0)}).ok());
+    }
+    ASSERT_TRUE(remote_tm_.Commit(txn.get()).ok());
+  }
+
+  ExprPtr SmallIdPredicate() {
+    return Expr::Compare(CmpOp::kLt, Expr::Column(0), Expr::Literal(Value::Int(10)));
+  }
+
+  Database remote_db_;
+  TransactionManager remote_tm_;
+  ColumnTable* remote_table_ = nullptr;
+};
+
+TEST_F(FederationFixture, PushdownShipsOnlyMatches) {
+  FederationEngine fed;
+  ASSERT_TRUE(fed.RegisterSource("v_sales",
+                                 std::make_unique<RemoteTableSource>(
+                                     &remote_db_, &remote_tm_, "sales", true))
+                  .ok());
+  auto rs = fed.ScanVirtual("v_sales", SmallIdPredicate());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->num_rows(), 10u);
+  ExternalSource* src = *fed.Source("v_sales");
+  EXPECT_EQ(src->bytes_transferred(), 10u * 16u);  // 2 numeric cells/row
+}
+
+TEST_F(FederationFixture, NoPushdownShipsEverythingThenCompensates) {
+  FederationEngine fed;
+  ASSERT_TRUE(fed.RegisterSource("v_sales",
+                                 std::make_unique<RemoteTableSource>(
+                                     &remote_db_, &remote_tm_, "sales", false))
+                  .ok());
+  auto rs = fed.ScanVirtual("v_sales", SmallIdPredicate());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->num_rows(), 10u);  // same answer...
+  ExternalSource* src = *fed.Source("v_sales");
+  EXPECT_EQ(src->bytes_transferred(), 100u * 16u);  // ...but 10x the traffic
+}
+
+TEST_F(FederationFixture, DfsFileSourceExposesTsvAsVirtualTable) {
+  SimulatedDfs dfs;
+  ASSERT_TRUE(dfs.Write("/ext/data.tsv", "k:INT64\tv:DOUBLE\n1\t1.5\n2\t2.5\n").ok());
+  auto src = DfsFileSource::Open(&dfs, "/ext/data.tsv");
+  ASSERT_TRUE(src.ok());
+  FederationEngine fed;
+  ASSERT_TRUE(fed.RegisterSource("v_ext", std::move(*src)).ok());
+  auto all = fed.ScanVirtual("v_ext", nullptr);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 2u);
+  // Predicate is compensated locally (files can't push down).
+  auto filtered = fed.ScanVirtual(
+      "v_ext", Expr::Compare(CmpOp::kGt, Expr::Column(1), Expr::Literal(Value::Dbl(2.0))));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_rows(), 1u);
+}
+
+TEST_F(FederationFixture, RegistryLifecycle) {
+  FederationEngine fed;
+  ASSERT_TRUE(fed.RegisterSource("a", std::make_unique<RemoteTableSource>(
+                                          &remote_db_, &remote_tm_, "sales", true))
+                  .ok());
+  EXPECT_FALSE(fed.RegisterSource("a", std::make_unique<RemoteTableSource>(
+                                           &remote_db_, &remote_tm_, "sales", true))
+                   .ok());
+  EXPECT_EQ(fed.SourceNames(), std::vector<std::string>{"a"});
+  EXPECT_FALSE(fed.ScanVirtual("ghost", nullptr).ok());
+  ASSERT_TRUE(fed.Unregister("a").ok());
+  EXPECT_FALSE(fed.Unregister("a").ok());
+}
+
+// ---------- Business function library ----------
+
+TEST(CurrencyTest, DirectInverseAndTriangulated) {
+  CurrencyConverter fx;
+  fx.AddRate("USD", "EUR", 0, 0.9);
+  fx.AddRate("GBP", "EUR", 0, 1.2);
+  EXPECT_DOUBLE_EQ(*fx.Convert(100, "USD", "EUR", 10), 90.0);
+  // Inverse derived automatically.
+  EXPECT_NEAR(*fx.Convert(90, "EUR", "USD", 10), 100.0, 1e-9);
+  // USD -> GBP triangulates through EUR.
+  EXPECT_NEAR(*fx.Convert(100, "USD", "GBP", 10), 100 * 0.9 / 1.2, 1e-9);
+  EXPECT_DOUBLE_EQ(*fx.Convert(5, "EUR", "EUR", 10), 5.0);
+  EXPECT_FALSE(fx.Convert(1, "USD", "JPY", 10).ok());
+}
+
+TEST(CurrencyTest, DateEffectiveRates) {
+  CurrencyConverter fx;
+  fx.AddRate("USD", "EUR", 100, 0.8);
+  fx.AddRate("USD", "EUR", 200, 0.9);
+  EXPECT_DOUBLE_EQ(*fx.Rate("USD", "EUR", 150, "EUR"), 0.8);
+  EXPECT_DOUBLE_EQ(*fx.Rate("USD", "EUR", 200, "EUR"), 0.9);
+  EXPECT_DOUBLE_EQ(*fx.Rate("USD", "EUR", 500, "EUR"), 0.9);
+  EXPECT_FALSE(fx.Rate("USD", "EUR", 50, "EUR").ok());  // before first rate
+}
+
+TEST(CurrencyTest, ConvertedSumPushdown) {
+  Database db;
+  TransactionManager tm;
+  Schema s({ColumnDef("amount", DataType::kDouble), ColumnDef("currency", DataType::kString)});
+  ColumnTable* t = *db.CreateTable("orders", s);
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Dbl(100), Value::Str("USD")}).ok());
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Dbl(50), Value::Str("EUR")}).ok());
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Dbl(10), Value::Str("GBP")}).ok());
+  ASSERT_TRUE(tm.Commit(txn.get()).ok());
+
+  CurrencyConverter fx;
+  fx.AddRate("USD", "EUR", 0, 0.9);
+  fx.AddRate("GBP", "EUR", 0, 1.2);
+  auto total = fx.ConvertedSum(*t, tm.AutoCommitView(), "amount", "currency", "EUR", 10);
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(*total, 100 * 0.9 + 50 + 10 * 1.2);
+  // Unknown currency in the data surfaces as an error.
+  auto txn2 = tm.Begin();
+  ASSERT_TRUE(tm.Insert(txn2.get(), t, {Value::Dbl(1), Value::Str("XXX")}).ok());
+  ASSERT_TRUE(tm.Commit(txn2.get()).ok());
+  EXPECT_FALSE(fx.ConvertedSum(*t, tm.AutoCommitView(), "amount", "currency", "EUR", 10).ok());
+}
+
+TEST(UnitTest, ConversionsWithinDimension) {
+  UnitConverter uc;
+  uc.AddUnit("m", "m", 1);
+  uc.AddUnit("km", "m", 1000);
+  uc.AddUnit("cm", "m", 0.01);
+  uc.AddUnit("kg", "kg", 1);
+  EXPECT_DOUBLE_EQ(*uc.Convert(2, "km", "m"), 2000.0);
+  EXPECT_DOUBLE_EQ(*uc.Convert(2000, "cm", "km"), 0.02);
+  EXPECT_DOUBLE_EQ(*uc.Convert(5, "m", "m"), 5.0);
+  EXPECT_FALSE(uc.Convert(1, "km", "kg").ok());  // different dimensions
+  EXPECT_FALSE(uc.Convert(1, "mi", "m").ok());
+}
+
+TEST(FactoryCalendarTest, WorkingDays) {
+  FactoryCalendar cal;
+  // Day 0 = Thu 1970-01-01. Day 1 = Fri, 2 = Sat, 3 = Sun, 4 = Mon.
+  EXPECT_TRUE(cal.IsWorkingDay(0));
+  EXPECT_TRUE(cal.IsWorkingDay(1));
+  EXPECT_FALSE(cal.IsWorkingDay(2));
+  EXPECT_FALSE(cal.IsWorkingDay(3));
+  EXPECT_TRUE(cal.IsWorkingDay(4));
+  cal.AddHoliday(4);
+  EXPECT_FALSE(cal.IsWorkingDay(4));
+  // Next working day after Thu 0, skipping Fri-holiday? Add 1 working day
+  // from day 1 (Fri): weekend + Monday holiday -> Tuesday (day 5).
+  EXPECT_EQ(cal.AddWorkingDays(1, 1), 5);
+  // Working days in the first week [0, 7): Thu, Fri, Tue(5), Wed(6) = 4
+  // minus Monday holiday.
+  EXPECT_EQ(cal.CountWorkingDays(0, 7), 4);
+}
+
+}  // namespace
+}  // namespace poly

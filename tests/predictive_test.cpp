@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "engines/predictive/apriori.h"
+#include "engines/predictive/forecast.h"
+#include "engines/predictive/kmeans.h"
+
+namespace poly {
+namespace {
+
+TEST(AprioriTest, FindsFrequentPairs) {
+  // beer+diapers in 3 of 4 baskets.
+  std::vector<std::vector<int64_t>> txns = {
+      {1, 2, 3}, {1, 2}, {1, 2, 4}, {3, 4}};
+  Apriori ap(0.5);
+  auto itemsets = ap.FrequentItemsets(txns);
+  bool pair12 = false;
+  for (const auto& is : itemsets) {
+    if (is.items == std::vector<int64_t>{1, 2}) {
+      pair12 = true;
+      EXPECT_EQ(is.support, 3u);
+    }
+  }
+  EXPECT_TRUE(pair12);
+}
+
+TEST(AprioriTest, MinSupportPrunes) {
+  std::vector<std::vector<int64_t>> txns = {{1, 2}, {1, 3}, {1, 4}, {1, 5}};
+  Apriori strict(0.9);
+  auto itemsets = strict.FrequentItemsets(txns);
+  ASSERT_EQ(itemsets.size(), 1u);  // only {1}
+  EXPECT_EQ(itemsets[0].items, std::vector<int64_t>{1});
+}
+
+TEST(AprioriTest, DuplicateItemsInBasketCountOnce) {
+  std::vector<std::vector<int64_t>> txns = {{1, 1, 1}, {2}};
+  Apriori ap(0.4);
+  auto itemsets = ap.FrequentItemsets(txns);
+  for (const auto& is : itemsets) {
+    if (is.items == std::vector<int64_t>{1}) {
+      EXPECT_EQ(is.support, 1u);
+    }
+  }
+}
+
+TEST(AprioriTest, TripleItemsets) {
+  std::vector<std::vector<int64_t>> txns;
+  for (int i = 0; i < 10; ++i) txns.push_back({1, 2, 3});
+  txns.push_back({4});
+  Apriori ap(0.5);
+  auto itemsets = ap.FrequentItemsets(txns);
+  bool triple = false;
+  for (const auto& is : itemsets) {
+    if (is.items == std::vector<int64_t>{1, 2, 3}) triple = true;
+  }
+  EXPECT_TRUE(triple);
+}
+
+TEST(AprioriTest, RulesHaveSaneMetrics) {
+  std::vector<std::vector<int64_t>> txns = {
+      {1, 2}, {1, 2}, {1, 2}, {1, 3}, {2, 3}};
+  Apriori ap(0.2);
+  auto rules = ap.Rules(txns, 0.7);
+  ASSERT_FALSE(rules.empty());
+  for (const auto& r : rules) {
+    EXPECT_GE(r.confidence, 0.7);
+    EXPECT_LE(r.confidence, 1.0);
+    EXPECT_GT(r.support, 0);
+    EXPECT_GT(r.lift, 0);
+  }
+  // 2 -> 1 has confidence 3/4.
+  bool found = false;
+  for (const auto& r : rules) {
+    if (r.lhs == std::vector<int64_t>{2} && r.rhs == std::vector<int64_t>{1}) {
+      EXPECT_NEAR(r.confidence, 0.75, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ForecastTest, SesFlatForecast) {
+  auto f = SimpleExpSmoothing({10, 10, 10, 10}, 0.5, 3);
+  ASSERT_TRUE(f.ok());
+  for (double v : *f) EXPECT_NEAR(v, 10.0, 1e-9);
+  EXPECT_FALSE(SimpleExpSmoothing({}, 0.5, 1).ok());
+  EXPECT_FALSE(SimpleExpSmoothing({1}, 1.5, 1).ok());
+}
+
+TEST(ForecastTest, HoltTracksLinearTrend) {
+  std::vector<double> series;
+  for (int i = 0; i < 50; ++i) series.push_back(5.0 + 2.0 * i);
+  auto f = HoltLinear(series, 0.8, 0.8, 3);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR((*f)[0], 5.0 + 2.0 * 50, 0.5);
+  EXPECT_NEAR((*f)[2], 5.0 + 2.0 * 52, 0.5);
+}
+
+TEST(ForecastTest, HoltWintersCapturesSeasonality) {
+  // Period-4 seasonal pattern on a mild upward trend.
+  std::vector<double> season = {10, 20, 30, 15};
+  std::vector<double> series;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (double s : season) series.push_back(s + cycle * 1.0);
+  }
+  auto f = HoltWinters(series, 4, 0.3, 0.1, 0.2, 4);
+  ASSERT_TRUE(f.ok());
+  // Forecast keeps the seasonal ordering: position 2 of the season is max.
+  EXPECT_GT((*f)[2], (*f)[0]);
+  EXPECT_GT((*f)[2], (*f)[3]);
+  EXPECT_FALSE(HoltWinters(series, 4, 0.3, 0.1, 0.2, 4).status().ok() == false);
+  EXPECT_FALSE(HoltWinters({1, 2, 3}, 4, 0.3, 0.1, 0.2, 1).ok());
+}
+
+TEST(ForecastTest, LinearFitRecoversLine) {
+  std::vector<double> series;
+  for (int i = 0; i < 20; ++i) series.push_back(3.0 - 0.5 * i);
+  auto fit = FitLinearTrend(series);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, -0.5, 1e-9);
+  EXPECT_NEAR(fit->intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-9);
+  auto constant = FitLinearTrend({5, 5, 5});
+  ASSERT_TRUE(constant.ok());
+  EXPECT_EQ(constant->slope, 0);
+  EXPECT_EQ(constant->r2, 1.0);
+}
+
+TEST(ForecastTest, ErrorMetrics) {
+  std::vector<double> actual = {1, 2, 3};
+  std::vector<double> pred = {2, 2, 5};
+  EXPECT_NEAR(MeanAbsoluteError(actual, pred), 1.0, 1e-9);
+  EXPECT_NEAR(RootMeanSquaredError(actual, pred), std::sqrt(5.0 / 3), 1e-9);
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Random rng(11);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.NextGaussian() * 0.1, rng.NextGaussian() * 0.1});
+  }
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({10 + rng.NextGaussian() * 0.1, 10 + rng.NextGaussian() * 0.1});
+  }
+  auto result = KMeans(points, 2, 100, 17);
+  ASSERT_TRUE(result.ok());
+  // All points in the first half share a cluster, second half the other.
+  int c0 = result->assignments[0];
+  for (int i = 1; i < 50; ++i) EXPECT_EQ(result->assignments[i], c0);
+  int c1 = result->assignments[50];
+  EXPECT_NE(c0, c1);
+  for (int i = 51; i < 100; ++i) EXPECT_EQ(result->assignments[i], c1);
+  EXPECT_LT(result->inertia, 10.0);
+}
+
+TEST(KMeansTest, Deterministic) {
+  std::vector<std::vector<double>> points = {{1}, {2}, {10}, {11}, {20}, {21}};
+  auto a = KMeans(points, 3, 50, 5);
+  auto b = KMeans(points, 3, 50, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, InvalidArguments) {
+  EXPECT_FALSE(KMeans({{1}, {2}}, 0).ok());
+  EXPECT_FALSE(KMeans({{1}}, 2).ok());
+  EXPECT_FALSE(KMeans({{1, 2}, {1}}, 1).ok());
+}
+
+}  // namespace
+}  // namespace poly

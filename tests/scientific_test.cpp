@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/scientific/matrix.h"
+#include "storage/database.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+namespace {
+
+TEST(DenseMatrixTest, MultiplyKnownResult) {
+  DenseMatrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j) a.At(i, j) = av[i * 3 + j];
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 2; ++j) b.At(i, j) = bv[i * 2 + j];
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->At(0, 0), 58);
+  EXPECT_EQ(c->At(0, 1), 64);
+  EXPECT_EQ(c->At(1, 0), 139);
+  EXPECT_EQ(c->At(1, 1), 154);
+  EXPECT_FALSE(a.Multiply(a).ok());  // 2x3 * 2x3 mismatched
+}
+
+TEST(DenseMatrixTest, TransposeAndNorm) {
+  DenseMatrix m(2, 2);
+  m.At(0, 1) = 3;
+  m.At(1, 0) = 4;
+  DenseMatrix t = m.Transpose();
+  EXPECT_EQ(t.At(1, 0), 3);
+  EXPECT_EQ(t.At(0, 1), 4);
+  EXPECT_NEAR(m.FrobeniusNorm(), 5.0, 1e-12);
+}
+
+TEST(CsrMatrixTest, FromTripletsSumsDuplicates) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 2, 5.0}, {2, 1, -1.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.At(0, 0), 3.0);
+  EXPECT_EQ(m.At(1, 2), 5.0);
+  EXPECT_EQ(m.At(2, 1), -1.0);
+  EXPECT_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(CsrMatrixTest, SpmvMatchesDense) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 1}, {0, 2, 2}, {1, 1, 3}});
+  auto y = m.MultiplyVector({1, 2, 3});
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ((*y)[0], 7.0);
+  EXPECT_EQ((*y)[1], 6.0);
+  auto dense_y = m.ToDense().MultiplyVector({1, 2, 3});
+  ASSERT_TRUE(dense_y.ok());
+  EXPECT_EQ(*y, *dense_y);
+  EXPECT_FALSE(m.MultiplyVector({1, 2}).ok());
+}
+
+TEST(CsrMatrixTest, PowerIterationDiagonal) {
+  // Diagonal (5, 2, 1): dominant eigenvalue 5, eigenvector e1.
+  CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {{0, 0, 5}, {1, 1, 2}, {2, 2, 1}});
+  std::vector<double> vec;
+  auto lambda = m.PowerIteration(500, 1e-12, &vec);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(*lambda, 5.0, 1e-6);
+  EXPECT_NEAR(std::abs(vec[0]), 1.0, 1e-3);
+  // Non-square fails.
+  CsrMatrix rect = CsrMatrix::FromTriplets(2, 3, {{0, 0, 1}});
+  EXPECT_FALSE(rect.PowerIteration().ok());
+}
+
+TEST(CsrMatrixTest, PowerIterationSymmetric) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 0, 2}, {0, 1, 1}, {1, 0, 1}, {1, 1, 2}});
+  auto lambda = m.PowerIteration();
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(*lambda, 3.0, 1e-6);
+}
+
+TEST(CsrMatrixTest, FromTableBuildsMatrix) {
+  Database db;
+  TransactionManager tm;
+  Schema s({ColumnDef("r", DataType::kInt64), ColumnDef("c", DataType::kInt64),
+            ColumnDef("v", DataType::kDouble)});
+  ColumnTable* t = *db.CreateTable("matrix", s);
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(0), Value::Int(0), Value::Dbl(4)}).ok());
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(1), Value::Int(1), Value::Dbl(9)}).ok());
+  ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  // An uncommitted entry must not appear in the matrix view.
+  auto txn2 = tm.Begin();
+  ASSERT_TRUE(tm.Insert(txn2.get(), t, {Value::Int(0), Value::Int(1), Value::Dbl(99)}).ok());
+
+  auto m = CsrMatrix::FromTable(*t, tm.AutoCommitView(), "r", "c", "v");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 2u);
+  EXPECT_EQ(m->At(0, 0), 4.0);
+  EXPECT_EQ(m->At(0, 1), 0.0);
+  ASSERT_TRUE(tm.Abort(txn2.get()).ok());
+  EXPECT_FALSE(CsrMatrix::FromTable(*t, tm.AutoCommitView(), "r", "c", "nope").ok());
+}
+
+TEST(CsrMatrixTest, ConjugateGradientSolvesSpdSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+  CsrMatrix a =
+      CsrMatrix::FromTriplets(2, 2, {{0, 0, 4}, {0, 1, 1}, {1, 0, 1}, {1, 1, 3}});
+  auto x = a.SolveConjugateGradient({1, 2});
+  ASSERT_TRUE(x.ok()) << x.status().ToString();
+  EXPECT_NEAR((*x)[0], 1.0 / 11, 1e-8);
+  EXPECT_NEAR((*x)[1], 7.0 / 11, 1e-8);
+  // Residual check: A x == b.
+  auto ax = a.MultiplyVector(*x);
+  EXPECT_NEAR((*ax)[0], 1.0, 1e-8);
+  EXPECT_NEAR((*ax)[1], 2.0, 1e-8);
+}
+
+TEST(CsrMatrixTest, ConjugateGradientGuards) {
+  CsrMatrix rect = CsrMatrix::FromTriplets(2, 3, {{0, 0, 1}});
+  EXPECT_FALSE(rect.SolveConjugateGradient({1, 2}).ok());
+  CsrMatrix a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1}, {1, 1, 1}});
+  EXPECT_FALSE(a.SolveConjugateGradient({1}).ok());  // rhs length
+  // Indefinite matrix rejected.
+  CsrMatrix indef = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1}, {1, 1, -1}});
+  EXPECT_EQ(indef.SolveConjugateGradient({1, 1}).status().code(), StatusCode::kAborted);
+}
+
+TEST(CsrMatrixTest, ConjugateGradientLargerSystem) {
+  // SPD tridiagonal system of size 50.
+  std::vector<CsrMatrix::Triplet> t;
+  const size_t n = 50;
+  for (size_t i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    if (i + 1 < n) {
+      t.push_back({i, i + 1, -1.0});
+      t.push_back({i + 1, i, -1.0});
+    }
+  }
+  CsrMatrix a = CsrMatrix::FromTriplets(n, n, t);
+  std::vector<double> b(n, 1.0);
+  auto x = a.SolveConjugateGradient(b, 500, 1e-12);
+  ASSERT_TRUE(x.ok());
+  auto ax = a.MultiplyVector(*x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*ax)[i], 1.0, 1e-6);
+}
+
+TEST(ExternalProviderTest, ChargesTransferCost) {
+  CsrMatrix m = CsrMatrix::FromTriplets(100, 100, [] {
+    std::vector<CsrMatrix::Triplet> t;
+    for (uint64_t i = 0; i < 100; ++i) t.push_back({i, i, 2.0});
+    return t;
+  }());
+  ExternalAnalyticsProvider provider(1e6);  // 1 MB/s channel
+  std::vector<double> x(100, 1.0);
+  auto y = provider.MultiplyVector(m, x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ((*y)[0], 2.0);
+  // 100 triplets * 24B + 100*8 in + 100*8 out = 4000B -> 4ms at 1MB/s.
+  EXPECT_EQ(provider.bytes_transferred(), 4000u);
+  EXPECT_NEAR(provider.transfer_seconds(), 0.004, 1e-9);
+  // Second call accumulates.
+  ASSERT_TRUE(provider.MultiplyVector(m, x).ok());
+  EXPECT_EQ(provider.bytes_transferred(), 8000u);
+}
+
+}  // namespace
+}  // namespace poly

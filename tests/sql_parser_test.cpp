@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "query/compiled.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/sql_parser.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+namespace {
+
+class SqlFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = *db_.CreateTable(
+        "orders", Schema({ColumnDef("o_id", DataType::kInt64),
+                          ColumnDef("region", DataType::kString),
+                          ColumnDef("amount", DataType::kDouble),
+                          ColumnDef("qty", DataType::kInt64)}));
+    regions_ = *db_.CreateTable(
+        "regions", Schema({ColumnDef("name", DataType::kString),
+                           ColumnDef("manager", DataType::kString)}));
+    const char* names[] = {"north", "south", "east", "west"};
+    auto txn = tm_.Begin();
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(tm_.Insert(txn.get(), orders_,
+                             {Value::Int(i), Value::Str(names[i % 4]),
+                              Value::Dbl(i * 2.5), Value::Int(i % 7)})
+                      .ok());
+    }
+    for (const char* n : names) {
+      ASSERT_TRUE(
+          tm_.Insert(txn.get(), regions_, {Value::Str(n), Value::Str(std::string("mgr_") + n)})
+              .ok());
+    }
+    ASSERT_TRUE(tm_.Commit(txn.get()).ok());
+  }
+
+  ResultSet Run(const std::string& sql) {
+    SqlParser parser(&db_);
+    auto plan = parser.Parse(sql);
+    EXPECT_TRUE(plan.ok()) << sql << " -> " << plan.status().ToString();
+    if (!plan.ok()) return {};
+    Optimizer opt;
+    Executor exec(&db_, tm_.AutoCommitView());
+    auto rs = exec.Execute(opt.Optimize(*plan));
+    EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status().ToString();
+    return rs.ok() ? *std::move(rs) : ResultSet{};
+  }
+
+  Status ParseError(const std::string& sql) {
+    SqlParser parser(&db_);
+    auto plan = parser.Parse(sql);
+    EXPECT_FALSE(plan.ok()) << sql;
+    return plan.status();
+  }
+
+  Database db_;
+  TransactionManager tm_;
+  ColumnTable* orders_ = nullptr;
+  ColumnTable* regions_ = nullptr;
+};
+
+TEST_F(SqlFixture, SelectStar) {
+  ResultSet rs = Run("SELECT * FROM orders");
+  EXPECT_EQ(rs.num_rows(), 40u);
+  EXPECT_EQ(rs.num_columns(), 4u);
+}
+
+TEST_F(SqlFixture, ProjectionWithAliasAndArithmetic) {
+  ResultSet rs = Run("SELECT o_id, amount * 2 AS double_amount FROM orders LIMIT 3");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.column_names[1], "double_amount");
+  EXPECT_EQ(rs.rows[2][1], Value::Dbl(10.0));
+}
+
+TEST_F(SqlFixture, WhereWithAndOrParens) {
+  ResultSet rs = Run(
+      "SELECT o_id FROM orders WHERE (region = 'north' OR region = 'south') "
+      "AND amount >= 50.0");
+  // region north/south = even ids; amount >= 50 -> id >= 20.
+  EXPECT_EQ(rs.num_rows(), 10u);
+}
+
+TEST_F(SqlFixture, WhereLikeInIsNull) {
+  EXPECT_EQ(Run("SELECT o_id FROM orders WHERE region LIKE 'no%'").num_rows(), 10u);
+  EXPECT_EQ(Run("SELECT o_id FROM orders WHERE qty IN (0, 1)").num_rows(), 12u);
+  EXPECT_EQ(Run("SELECT o_id FROM orders WHERE region IS NULL").num_rows(), 0u);
+  EXPECT_EQ(Run("SELECT o_id FROM orders WHERE region IS NOT NULL").num_rows(), 40u);
+  EXPECT_EQ(Run("SELECT o_id FROM orders WHERE NOT region = 'north'").num_rows(), 30u);
+}
+
+TEST_F(SqlFixture, GroupByWithAggregates) {
+  ResultSet rs = Run(
+      "SELECT region, COUNT(*) AS cnt, SUM(amount) AS total, AVG(qty) AS aq "
+      "FROM orders GROUP BY region ORDER BY region");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.column_names, (std::vector<std::string>{"region", "cnt", "total", "aq"}));
+  EXPECT_EQ(rs.rows[0][0], Value::Str("east"));
+  for (const auto& row : rs.rows) EXPECT_EQ(row[1], Value::Int(10));
+}
+
+TEST_F(SqlFixture, SelectOrderReorderedVsAggregateOutput) {
+  // Aggregate node emits [group, aggs]; SELECT asks aggs first.
+  ResultSet rs = Run(
+      "SELECT COUNT(*) AS cnt, region FROM orders GROUP BY region ORDER BY region DESC");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.column_names[0], "cnt");
+  EXPECT_EQ(rs.rows[0][1], Value::Str("west"));
+  EXPECT_EQ(rs.rows[0][0], Value::Int(10));
+}
+
+TEST_F(SqlFixture, GlobalAggregatesWithoutGroupBy) {
+  ResultSet rs = Run("SELECT COUNT(*) AS n, MIN(amount) AS lo, MAX(amount) AS hi FROM orders");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(40));
+  EXPECT_EQ(rs.rows[0][1], Value::Dbl(0.0));
+  EXPECT_EQ(rs.rows[0][2], Value::Dbl(39 * 2.5));
+}
+
+TEST_F(SqlFixture, JoinWithQualifiedColumns) {
+  ResultSet rs = Run(
+      "SELECT orders.o_id, regions.manager FROM orders "
+      "JOIN regions ON orders.region = regions.name "
+      "WHERE regions.manager = 'mgr_east' ORDER BY o_id LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));
+  EXPECT_EQ(rs.rows[1][0], Value::Int(6));
+}
+
+TEST_F(SqlFixture, JoinGroupByAggregate) {
+  ResultSet rs = Run(
+      "SELECT manager, SUM(amount) AS revenue FROM orders "
+      "JOIN regions ON region = name GROUP BY manager ORDER BY revenue DESC");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  // West has ids 3,7,...,39 -> the largest amounts.
+  EXPECT_EQ(rs.rows[0][0], Value::Str("mgr_west"));
+}
+
+TEST_F(SqlFixture, OrderByMultipleKeysAndLimit) {
+  ResultSet rs = Run(
+      "SELECT qty, o_id FROM orders ORDER BY qty ASC, o_id DESC LIMIT 3");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(0));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(35));
+  EXPECT_EQ(rs.rows[1][1], Value::Int(28));
+}
+
+TEST_F(SqlFixture, ParsedPlanIsCompilable) {
+  SqlParser parser(&db_);
+  auto plan = parser.Parse(
+      "SELECT SUM(amount * qty) AS revenue FROM orders WHERE qty < 5");
+  ASSERT_TRUE(plan.ok());
+  Optimizer opt;
+  PlanPtr optimized = opt.Optimize(*plan);
+  // The projection on top of the aggregate is trivial, but compilation
+  // targets the aggregate; verify interpreted execution instead and that
+  // the aggregate child alone compiles.
+  Executor exec(&db_, tm_.AutoCommitView());
+  auto rs = exec.Execute(optimized);
+  ASSERT_TRUE(rs.ok());
+  QueryCompiler qc(&db_, tm_.AutoCommitView());
+  ASSERT_EQ(optimized->kind, PlanKind::kProject);
+  ASSERT_TRUE(qc.CanCompile(optimized->children[0]));
+  auto compiled = qc.Execute(optimized->children[0]);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_DOUBLE_EQ(compiled->rows[0][0].NumericValue(), rs->rows[0][0].NumericValue());
+}
+
+TEST_F(SqlFixture, UsefulErrors) {
+  EXPECT_EQ(ParseError("SELECT * FROM ghosts").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseError("SELECT nope FROM orders").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ParseError("SELECT FROM orders").ok());
+  EXPECT_FALSE(ParseError("SELECT * orders").ok());
+  EXPECT_FALSE(ParseError("SELECT region, COUNT(*) FROM orders").ok());  // missing GROUP BY
+  EXPECT_FALSE(ParseError("SELECT * FROM orders WHERE amount >").ok());
+  EXPECT_FALSE(ParseError("SELECT * FROM orders ORDER BY missing_col").ok());
+  EXPECT_FALSE(ParseError("SELECT * FROM orders LIMIT abc").ok());
+  EXPECT_FALSE(ParseError("SELECT * FROM orders trailing junk").ok());
+  EXPECT_FALSE(
+      ParseError("SELECT o_id FROM orders JOIN regions ON o_id = qty").ok());
+}
+
+TEST_F(SqlFixture, AmbiguousColumnNeedsQualifier) {
+  // Create a second table sharing a column name with orders.
+  ASSERT_TRUE(db_.CreateTable("dupes", Schema({ColumnDef("o_id", DataType::kInt64),
+                                               ColumnDef("region", DataType::kString)}))
+                  .ok());
+  Status s = ParseError(
+      "SELECT o_id FROM orders JOIN dupes ON orders.region = dupes.region "
+      "WHERE o_id = 1");
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST_F(SqlFixture, TrailingSemicolonAccepted) {
+  EXPECT_EQ(Run("SELECT * FROM orders LIMIT 1;").num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace poly

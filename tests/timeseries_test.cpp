@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "engines/timeseries/ts_codec.h"
+#include "engines/timeseries/ts_ops.h"
+#include "storage/database.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+namespace {
+
+TEST(BitIoTest, RoundTrip) {
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteBits(0b1011, 4);
+  w.WriteBits(12345678901234ULL, 64);
+  BitReader r(w.data());
+  EXPECT_TRUE(*r.ReadBit());
+  EXPECT_EQ(*r.ReadBits(4), 0b1011u);
+  EXPECT_EQ(*r.ReadBits(64), 12345678901234ULL);
+}
+
+TEST(BitIoTest, UnderflowIsError) {
+  BitWriter w;
+  w.WriteBit(true);
+  BitReader r(w.data());
+  ASSERT_TRUE(r.ReadBits(8).ok());  // padding bits of the same byte are readable
+  EXPECT_FALSE(r.ReadBits(8).ok());
+}
+
+TEST(TsCodecTest, RoundTripRegularSeries) {
+  CompressedSeries c;
+  for (int i = 0; i < 1000; ++i) {
+    c.Append(1000000LL * i, 20.0 + (i % 7) * 0.5);
+  }
+  auto ts = c.Decompress();
+  ASSERT_TRUE(ts.ok());
+  ASSERT_EQ(ts->size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ts->timestamps[i], 1000000LL * i);
+    EXPECT_EQ(ts->values[i], 20.0 + (i % 7) * 0.5);
+  }
+}
+
+TEST(TsCodecTest, RoundTripIrregularSeries) {
+  Random rng(7);
+  TimeSeries original;
+  int64_t t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += 1 + static_cast<int64_t>(rng.Uniform(100000));
+    original.Append(t, rng.NextGaussian() * 1e6);
+  }
+  CompressedSeries c = CompressedSeries::FromSeries(original);
+  auto decoded = c.Decompress();
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded->timestamps[i], original.timestamps[i]);
+    EXPECT_EQ(decoded->values[i], original.values[i]);  // bit-exact
+  }
+}
+
+TEST(TsCodecTest, SensorDataCompressesWell) {
+  // Regular sampling + slowly drifting values: the §II-F sensor shape.
+  CompressedSeries c;
+  double v = 21.5;
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.05)) v += 0.25;  // occasional step
+    c.Append(1000000LL * i, v);
+  }
+  EXPECT_GT(c.CompressionRatio(), 10.0);
+}
+
+TEST(TsCodecTest, EmptyAndSingle) {
+  CompressedSeries c;
+  auto empty = c.Decompress();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  c.Append(42, 3.14);
+  auto one = c.Decompress();
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ(one->timestamps[0], 42);
+  EXPECT_EQ(one->values[0], 3.14);
+}
+
+TEST(TsOpsTest, ResampleAggregations) {
+  TimeSeries ts;
+  // Two buckets of width 10: [0..9] has 1,3 ; [10..19] has 5.
+  ts.Append(2, 1);
+  ts.Append(7, 3);
+  ts.Append(12, 5);
+  TimeSeries mean = Resample(ts, 10, ResampleAgg::kMean);
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_EQ(mean.timestamps[0], 0);
+  EXPECT_EQ(mean.values[0], 2.0);
+  EXPECT_EQ(mean.values[1], 5.0);
+  EXPECT_EQ(Resample(ts, 10, ResampleAgg::kSum).values[0], 4.0);
+  EXPECT_EQ(Resample(ts, 10, ResampleAgg::kMin).values[0], 1.0);
+  EXPECT_EQ(Resample(ts, 10, ResampleAgg::kMax).values[0], 3.0);
+  EXPECT_EQ(Resample(ts, 10, ResampleAgg::kLast).values[0], 3.0);
+  EXPECT_EQ(Resample(ts, 10, ResampleAgg::kCount).values[0], 2.0);
+}
+
+TEST(TsOpsTest, CorrelationDetectsRelationship) {
+  TimeSeries a, b, noise;
+  Random rng(5);
+  for (int i = 0; i < 200; ++i) {
+    double x = std::sin(i * 0.1);
+    a.Append(i * 100, x);
+    b.Append(i * 100, 2 * x + 1);  // perfectly correlated
+    noise.Append(i * 100, rng.NextGaussian());
+  }
+  EXPECT_NEAR(Correlation(a, b, 100), 1.0, 1e-9);
+  EXPECT_LT(std::abs(Correlation(a, noise, 100)), 0.3);
+  // Anti-correlation.
+  TimeSeries neg;
+  for (int i = 0; i < 200; ++i) neg.Append(i * 100, -std::sin(i * 0.1));
+  EXPECT_NEAR(Correlation(a, neg, 100), -1.0, 1e-9);
+}
+
+TEST(TsOpsTest, CorrelationHandlesMisalignedSeries) {
+  TimeSeries a, b;
+  for (int i = 0; i < 100; ++i) a.Append(i * 10, i);
+  for (int i = 50; i < 150; ++i) b.Append(i * 10, i);
+  double c = Correlation(a, b, 10);  // overlap = [50, 100)
+  EXPECT_NEAR(c, 1.0, 1e-9);
+  TimeSeries empty;
+  EXPECT_EQ(Correlation(a, empty, 10), 0);
+}
+
+TEST(TsOpsTest, MovingAverageAndDifference) {
+  TimeSeries ts;
+  for (int i = 1; i <= 5; ++i) ts.Append(i, i);  // 1..5
+  TimeSeries ma = MovingAverage(ts, 3);
+  ASSERT_EQ(ma.size(), 3u);
+  EXPECT_EQ(ma.values[0], 2.0);  // (1+2+3)/3
+  EXPECT_EQ(ma.values[2], 4.0);
+  TimeSeries d = Difference(ts);
+  ASSERT_EQ(d.size(), 4u);
+  for (double v : d.values) EXPECT_EQ(v, 1.0);
+}
+
+TEST(TsOpsTest, NormalizeAndSliceAndStats) {
+  TimeSeries ts;
+  ts.Append(0, 10);
+  ts.Append(10, 20);
+  ts.Append(20, 30);
+  TimeSeries n = Normalize(ts);
+  EXPECT_EQ(n.values[0], 0.0);
+  EXPECT_EQ(n.values[2], 1.0);
+  TimeSeries s = Slice(ts, 5, 25);
+  ASSERT_EQ(s.size(), 2u);
+  SeriesStats st = ComputeStats(ts);
+  EXPECT_EQ(st.count, 3u);
+  EXPECT_EQ(st.mean, 20.0);
+  EXPECT_EQ(st.min, 10.0);
+  EXPECT_EQ(st.max, 30.0);
+  EXPECT_NEAR(st.stddev, std::sqrt(200.0 / 3), 1e-9);
+}
+
+TEST(TsOpsTest, SeriesFromTableFiltersByKeyAndSorts) {
+  Database db;
+  TransactionManager tm;
+  Schema s({ColumnDef("sensor", DataType::kInt64), ColumnDef("ts", DataType::kTimestamp),
+            ColumnDef("value", DataType::kDouble)});
+  ColumnTable* t = *db.CreateTable("readings", s);
+  auto txn = tm.Begin();
+  // Interleaved sensors, out of time order.
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(1), Value::Timestamp(30), Value::Dbl(3)}).ok());
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(2), Value::Timestamp(10), Value::Dbl(9)}).ok());
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(1), Value::Timestamp(10), Value::Dbl(1)}).ok());
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(1), Value::Timestamp(20), Value::Dbl(2)}).ok());
+  ASSERT_TRUE(tm.Commit(txn.get()).ok());
+
+  auto series = SeriesFromTable(*t, tm.AutoCommitView(), "ts", "value", "sensor", 1);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 3u);
+  EXPECT_EQ(series->timestamps, (std::vector<int64_t>{10, 20, 30}));
+  EXPECT_EQ(series->values, (std::vector<double>{1, 2, 3}));
+  EXPECT_FALSE(SeriesFromTable(*t, tm.AutoCommitView(), "nope", "value").ok());
+}
+
+}  // namespace
+}  // namespace poly

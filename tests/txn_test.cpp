@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+#include "storage/database.h"
+#include "txn/redo_log.h"
+#include "txn/transaction_manager.h"
+
+namespace poly {
+namespace {
+
+Schema OrderSchema() {
+  return Schema({ColumnDef("id", DataType::kInt64), ColumnDef("amount", DataType::kDouble)});
+}
+
+TEST(TxnTest, CommitMakesRowsVisible) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("orders", OrderSchema());
+
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(1), Value::Dbl(9.5)}).ok());
+
+  // Not visible to a concurrent reader before commit.
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 0u);
+  // Visible to itself.
+  EXPECT_EQ(t->CountVisible(txn->View()), 1u);
+
+  ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 1u);
+}
+
+TEST(TxnTest, AbortHidesRowsForever) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("orders", OrderSchema());
+
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(1), Value::Dbl(1.0)}).ok());
+  ASSERT_TRUE(tm.Abort(txn.get()).ok());
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 0u);
+  EXPECT_EQ(t->num_versions(), 1u);  // version slot exists but is dead
+}
+
+TEST(TxnTest, SnapshotIsolationReadersDontSeeLaterCommits) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("orders", OrderSchema());
+
+  auto w0 = tm.Begin();
+  ASSERT_TRUE(tm.Insert(w0.get(), t, {Value::Int(1), Value::Dbl(1.0)}).ok());
+  ASSERT_TRUE(tm.Commit(w0.get()).ok());
+
+  auto reader = tm.Begin();  // snapshot: sees row 1
+
+  auto w1 = tm.Begin();
+  ASSERT_TRUE(tm.Insert(w1.get(), t, {Value::Int(2), Value::Dbl(2.0)}).ok());
+  ASSERT_TRUE(tm.Commit(w1.get()).ok());
+
+  EXPECT_EQ(t->CountVisible(reader->View()), 1u);
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 2u);
+}
+
+TEST(TxnTest, DeleteVisibilityAndConflict) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("orders", OrderSchema());
+
+  auto w0 = tm.Begin();
+  ASSERT_TRUE(tm.Insert(w0.get(), t, {Value::Int(1), Value::Dbl(1.0)}).ok());
+  ASSERT_TRUE(tm.Commit(w0.get()).ok());
+
+  auto d1 = tm.Begin();
+  auto d2 = tm.Begin();
+  ASSERT_TRUE(tm.Delete(d1.get(), t, 0).ok());
+  // Concurrent delete of the same row conflicts (first-writer-wins).
+  EXPECT_TRUE(tm.Delete(d2.get(), t, 0).IsAborted());
+  ASSERT_TRUE(tm.Commit(d1.get()).ok());
+  ASSERT_TRUE(tm.Abort(d2.get()).ok());
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 0u);
+}
+
+TEST(TxnTest, AbortedDeleteRestoresRow) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("orders", OrderSchema());
+  auto w = tm.Begin();
+  ASSERT_TRUE(tm.Insert(w.get(), t, {Value::Int(1), Value::Dbl(1.0)}).ok());
+  ASSERT_TRUE(tm.Commit(w.get()).ok());
+
+  auto d = tm.Begin();
+  ASSERT_TRUE(tm.Delete(d.get(), t, 0).ok());
+  ASSERT_TRUE(tm.Abort(d.get()).ok());
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 1u);
+  // Row is deletable again after the abort.
+  auto d2 = tm.Begin();
+  EXPECT_TRUE(tm.Delete(d2.get(), t, 0).ok());
+  ASSERT_TRUE(tm.Commit(d2.get()).ok());
+}
+
+TEST(TxnTest, UpdateReplacesVersion) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("orders", OrderSchema());
+  auto w = tm.Begin();
+  ASSERT_TRUE(tm.Insert(w.get(), t, {Value::Int(1), Value::Dbl(1.0)}).ok());
+  ASSERT_TRUE(tm.Commit(w.get()).ok());
+
+  auto u = tm.Begin();
+  ASSERT_TRUE(tm.Update(u.get(), t, 0, {Value::Int(1), Value::Dbl(99.0)}).ok());
+  ASSERT_TRUE(tm.Commit(u.get()).ok());
+
+  ReadView now = tm.AutoCommitView();
+  double amount = -1;
+  t->ScanVisible(now, [&](uint64_t r) { amount = t->GetValue(r, 1).AsDouble(); });
+  EXPECT_EQ(t->CountVisible(now), 1u);
+  EXPECT_EQ(amount, 99.0);
+}
+
+TEST(TxnTest, OldestActiveSnapshotTracksReaders) {
+  TransactionManager tm;
+  uint64_t base = tm.CurrentTimestamp();
+  auto t1 = tm.Begin();
+  EXPECT_EQ(tm.OldestActiveSnapshot(), base);
+  ASSERT_TRUE(tm.Commit(t1.get()).ok());
+  EXPECT_GT(tm.OldestActiveSnapshot(), base);
+}
+
+TEST(TxnTest, RowTableWritesWork) {
+  Database db;
+  TransactionManager tm;
+  RowTable* t = *db.CreateRowTable("r", OrderSchema());
+  auto w = tm.Begin();
+  ASSERT_TRUE(tm.Insert(w.get(), t, {Value::Int(1), Value::Dbl(5.0)}).ok());
+  ASSERT_TRUE(tm.Commit(w.get()).ok());
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 1u);
+  auto d = tm.Begin();
+  ASSERT_TRUE(tm.Delete(d.get(), t, 0).ok());
+  ASSERT_TRUE(tm.Commit(d.get()).ok());
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 0u);
+}
+
+TEST(TxnTest, ConcurrentWritersAllCommit) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("t", OrderSchema());
+  const int kThreads = 8, kPerThread = 200;
+  {
+    ThreadPool pool(kThreads);
+    std::atomic<int> failures{0};
+    pool.ParallelFor(kThreads, [&](size_t worker) {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto txn = tm.Begin();
+        Status s = tm.Insert(txn.get(), t,
+                             {Value::Int(static_cast<int64_t>(worker * 1000 + i)),
+                              Value::Dbl(1.0)});
+        if (!s.ok() || !tm.Commit(txn.get()).ok()) failures.fetch_add(1);
+      }
+    });
+    EXPECT_EQ(failures.load(), 0);
+  }
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  // All ids distinct -> no lost or duplicated writes.
+  std::set<int64_t> ids;
+  t->ScanVisible(tm.AutoCommitView(), [&](uint64_t r) {
+    ids.insert(t->GetValue(r, 0).AsInt());
+  });
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(TxnTest, ConcurrentReadersDuringWrites) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("t", OrderSchema());
+  std::atomic<bool> stop{false};
+  std::atomic<int> monotonic_violations{0};
+  std::thread reader([&]() {
+    uint64_t last = 0;
+    while (!stop.load()) {
+      uint64_t count = t->CountVisible(tm.AutoCommitView());
+      if (count < last) monotonic_violations.fetch_add(1);
+      last = count;
+    }
+  });
+  for (int i = 0; i < 500; ++i) {
+    auto txn = tm.Begin();
+    ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(i), Value::Dbl(1.0)}).ok());
+    ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  }
+  stop.store(true);
+  reader.join();
+  // Insert-only history: visible count must never decrease.
+  EXPECT_EQ(monotonic_violations.load(), 0);
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 500u);
+}
+
+TEST(RecoveryTest, ReplayRebuildsCommittedState) {
+  RedoLog log;
+  Database db;
+  TransactionManager tm(&log);
+  ASSERT_TRUE(tm.LogCreateTable("orders", OrderSchema()).ok());
+  ColumnTable* t = *db.CreateTable("orders", OrderSchema());
+
+  auto t1 = tm.Begin();
+  ASSERT_TRUE(tm.Insert(t1.get(), t, {Value::Int(1), Value::Dbl(1.0)}).ok());
+  ASSERT_TRUE(tm.Insert(t1.get(), t, {Value::Int(2), Value::Dbl(2.0)}).ok());
+  ASSERT_TRUE(tm.Commit(t1.get()).ok());
+
+  auto t2 = tm.Begin();  // uncommitted: must not survive recovery
+  ASSERT_TRUE(tm.Insert(t2.get(), t, {Value::Int(3), Value::Dbl(3.0)}).ok());
+
+  auto t3 = tm.Begin();
+  ASSERT_TRUE(tm.Delete(t3.get(), t, 0).ok());
+  ASSERT_TRUE(tm.Commit(t3.get()).ok());
+
+  std::vector<std::string> records;
+  ASSERT_TRUE(log.ForEach([&](const std::string& r) {
+    records.push_back(r);
+    return Status::OK();
+  }).ok());
+
+  Database recovered;
+  ASSERT_TRUE(TransactionManager::Recover(records, &recovered).ok());
+  ColumnTable* rt = *recovered.GetTable("orders");
+  ReadView latest = LatestCommittedView();
+  EXPECT_EQ(rt->CountVisible(latest), 1u);
+  int64_t id = -1;
+  rt->ScanVisible(latest, [&](uint64_t r) { id = rt->GetValue(r, 0).AsInt(); });
+  EXPECT_EQ(id, 2);
+}
+
+TEST(RecoveryTest, FileBackedLogSurvivesReopen) {
+  std::string path = testing::TempDir() + "/poly_redo_test.log";
+  std::remove(path.c_str());
+  {
+    auto log = RedoLog::OpenFile(path);
+    ASSERT_TRUE(log.ok());
+    Database db;
+    TransactionManager tm(log->get());
+    ASSERT_TRUE(tm.LogCreateTable("t", OrderSchema()).ok());
+    ColumnTable* t = *db.CreateTable("t", OrderSchema());
+    auto txn = tm.Begin();
+    ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(7), Value::Dbl(7.0)}).ok());
+    ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  }
+  auto records = RedoLog::ReadFile(path);
+  ASSERT_TRUE(records.ok());
+  Database recovered;
+  ASSERT_TRUE(TransactionManager::Recover(*records, &recovered).ok());
+  ColumnTable* t = *recovered.GetTable("t");
+  EXPECT_EQ(t->CountVisible(LatestCommittedView()), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace poly
