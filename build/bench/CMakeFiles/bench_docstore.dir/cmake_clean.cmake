@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_docstore.dir/bench_docstore.cpp.o"
+  "CMakeFiles/bench_docstore.dir/bench_docstore.cpp.o.d"
+  "bench_docstore"
+  "bench_docstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

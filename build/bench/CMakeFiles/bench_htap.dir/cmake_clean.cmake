@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_htap.dir/bench_htap.cpp.o"
+  "CMakeFiles/bench_htap.dir/bench_htap.cpp.o.d"
+  "bench_htap"
+  "bench_htap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_htap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scientific.dir/bench_scientific.cpp.o"
+  "CMakeFiles/bench_scientific.dir/bench_scientific.cpp.o.d"
+  "bench_scientific"
+  "bench_scientific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scientific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soe.dir/bench_soe.cpp.o"
+  "CMakeFiles/bench_soe.dir/bench_soe.cpp.o.d"
+  "bench_soe"
+  "bench_soe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

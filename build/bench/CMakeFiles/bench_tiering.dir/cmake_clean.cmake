@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tiering.dir/bench_tiering.cpp.o"
+  "CMakeFiles/bench_tiering.dir/bench_tiering.cpp.o.d"
+  "bench_tiering"
+  "bench_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dispenser_routing.dir/dispenser_routing.cpp.o"
+  "CMakeFiles/example_dispenser_routing.dir/dispenser_routing.cpp.o.d"
+  "example_dispenser_routing"
+  "example_dispenser_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dispenser_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

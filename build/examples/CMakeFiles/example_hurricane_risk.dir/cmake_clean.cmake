@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hurricane_risk.dir/hurricane_risk.cpp.o"
+  "CMakeFiles/example_hurricane_risk.dir/hurricane_risk.cpp.o.d"
+  "example_hurricane_risk"
+  "example_hurricane_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hurricane_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hurricane_risk.
+# This may be replaced when dependencies are built.

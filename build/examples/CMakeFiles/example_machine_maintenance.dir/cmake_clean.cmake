@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_machine_maintenance.dir/machine_maintenance.cpp.o"
+  "CMakeFiles/example_machine_maintenance.dir/machine_maintenance.cpp.o.d"
+  "example_machine_maintenance"
+  "example_machine_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_machine_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

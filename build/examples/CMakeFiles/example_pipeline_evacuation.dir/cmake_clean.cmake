@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_evacuation.dir/pipeline_evacuation.cpp.o"
+  "CMakeFiles/example_pipeline_evacuation.dir/pipeline_evacuation.cpp.o.d"
+  "example_pipeline_evacuation"
+  "example_pipeline_evacuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_evacuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

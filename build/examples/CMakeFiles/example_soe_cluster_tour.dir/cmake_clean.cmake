@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_soe_cluster_tour.dir/soe_cluster_tour.cpp.o"
+  "CMakeFiles/example_soe_cluster_tour.dir/soe_cluster_tour.cpp.o.d"
+  "example_soe_cluster_tour"
+  "example_soe_cluster_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_soe_cluster_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

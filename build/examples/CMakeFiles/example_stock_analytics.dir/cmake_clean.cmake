@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stock_analytics.dir/stock_analytics.cpp.o"
+  "CMakeFiles/example_stock_analytics.dir/stock_analytics.cpp.o.d"
+  "example_stock_analytics"
+  "example_stock_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stock_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

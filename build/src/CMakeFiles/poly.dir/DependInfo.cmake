@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aging/aging.cpp" "src/CMakeFiles/poly.dir/aging/aging.cpp.o" "gcc" "src/CMakeFiles/poly.dir/aging/aging.cpp.o.d"
+  "/root/repo/src/aging/extended_storage.cpp" "src/CMakeFiles/poly.dir/aging/extended_storage.cpp.o" "gcc" "src/CMakeFiles/poly.dir/aging/extended_storage.cpp.o.d"
+  "/root/repo/src/bfl/business_functions.cpp" "src/CMakeFiles/poly.dir/bfl/business_functions.cpp.o" "gcc" "src/CMakeFiles/poly.dir/bfl/business_functions.cpp.o.d"
+  "/root/repo/src/common/arena.cpp" "src/CMakeFiles/poly.dir/common/arena.cpp.o" "gcc" "src/CMakeFiles/poly.dir/common/arena.cpp.o.d"
+  "/root/repo/src/common/bitpack.cpp" "src/CMakeFiles/poly.dir/common/bitpack.cpp.o" "gcc" "src/CMakeFiles/poly.dir/common/bitpack.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/poly.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/poly.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/serializer.cpp" "src/CMakeFiles/poly.dir/common/serializer.cpp.o" "gcc" "src/CMakeFiles/poly.dir/common/serializer.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/poly.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/poly.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/poly.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/poly.dir/common/string_util.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/poly.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/poly.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/docstore/doc_query.cpp" "src/CMakeFiles/poly.dir/docstore/doc_query.cpp.o" "gcc" "src/CMakeFiles/poly.dir/docstore/doc_query.cpp.o.d"
+  "/root/repo/src/docstore/flexible_table.cpp" "src/CMakeFiles/poly.dir/docstore/flexible_table.cpp.o" "gcc" "src/CMakeFiles/poly.dir/docstore/flexible_table.cpp.o.d"
+  "/root/repo/src/docstore/json.cpp" "src/CMakeFiles/poly.dir/docstore/json.cpp.o" "gcc" "src/CMakeFiles/poly.dir/docstore/json.cpp.o.d"
+  "/root/repo/src/docstore/object_index.cpp" "src/CMakeFiles/poly.dir/docstore/object_index.cpp.o" "gcc" "src/CMakeFiles/poly.dir/docstore/object_index.cpp.o.d"
+  "/root/repo/src/engines/geo/geo.cpp" "src/CMakeFiles/poly.dir/engines/geo/geo.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/geo/geo.cpp.o.d"
+  "/root/repo/src/engines/geo/geo_index.cpp" "src/CMakeFiles/poly.dir/engines/geo/geo_index.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/geo/geo_index.cpp.o.d"
+  "/root/repo/src/engines/graph/graph_view.cpp" "src/CMakeFiles/poly.dir/engines/graph/graph_view.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/graph/graph_view.cpp.o.d"
+  "/root/repo/src/engines/graph/hierarchy.cpp" "src/CMakeFiles/poly.dir/engines/graph/hierarchy.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/graph/hierarchy.cpp.o.d"
+  "/root/repo/src/engines/planning/planning.cpp" "src/CMakeFiles/poly.dir/engines/planning/planning.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/planning/planning.cpp.o.d"
+  "/root/repo/src/engines/predictive/apriori.cpp" "src/CMakeFiles/poly.dir/engines/predictive/apriori.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/predictive/apriori.cpp.o.d"
+  "/root/repo/src/engines/predictive/forecast.cpp" "src/CMakeFiles/poly.dir/engines/predictive/forecast.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/predictive/forecast.cpp.o.d"
+  "/root/repo/src/engines/predictive/kmeans.cpp" "src/CMakeFiles/poly.dir/engines/predictive/kmeans.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/predictive/kmeans.cpp.o.d"
+  "/root/repo/src/engines/scientific/matrix.cpp" "src/CMakeFiles/poly.dir/engines/scientific/matrix.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/scientific/matrix.cpp.o.d"
+  "/root/repo/src/engines/text/inverted_index.cpp" "src/CMakeFiles/poly.dir/engines/text/inverted_index.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/text/inverted_index.cpp.o.d"
+  "/root/repo/src/engines/text/text_analysis.cpp" "src/CMakeFiles/poly.dir/engines/text/text_analysis.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/text/text_analysis.cpp.o.d"
+  "/root/repo/src/engines/text/text_engine.cpp" "src/CMakeFiles/poly.dir/engines/text/text_engine.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/text/text_engine.cpp.o.d"
+  "/root/repo/src/engines/text/tokenizer.cpp" "src/CMakeFiles/poly.dir/engines/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/text/tokenizer.cpp.o.d"
+  "/root/repo/src/engines/timeseries/ts_codec.cpp" "src/CMakeFiles/poly.dir/engines/timeseries/ts_codec.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/timeseries/ts_codec.cpp.o.d"
+  "/root/repo/src/engines/timeseries/ts_ops.cpp" "src/CMakeFiles/poly.dir/engines/timeseries/ts_ops.cpp.o" "gcc" "src/CMakeFiles/poly.dir/engines/timeseries/ts_ops.cpp.o.d"
+  "/root/repo/src/federation/federation.cpp" "src/CMakeFiles/poly.dir/federation/federation.cpp.o" "gcc" "src/CMakeFiles/poly.dir/federation/federation.cpp.o.d"
+  "/root/repo/src/hadoop/dfs.cpp" "src/CMakeFiles/poly.dir/hadoop/dfs.cpp.o" "gcc" "src/CMakeFiles/poly.dir/hadoop/dfs.cpp.o.d"
+  "/root/repo/src/hadoop/mapreduce.cpp" "src/CMakeFiles/poly.dir/hadoop/mapreduce.cpp.o" "gcc" "src/CMakeFiles/poly.dir/hadoop/mapreduce.cpp.o.d"
+  "/root/repo/src/hadoop/table_connector.cpp" "src/CMakeFiles/poly.dir/hadoop/table_connector.cpp.o" "gcc" "src/CMakeFiles/poly.dir/hadoop/table_connector.cpp.o.d"
+  "/root/repo/src/query/compiled.cpp" "src/CMakeFiles/poly.dir/query/compiled.cpp.o" "gcc" "src/CMakeFiles/poly.dir/query/compiled.cpp.o.d"
+  "/root/repo/src/query/executor.cpp" "src/CMakeFiles/poly.dir/query/executor.cpp.o" "gcc" "src/CMakeFiles/poly.dir/query/executor.cpp.o.d"
+  "/root/repo/src/query/expr.cpp" "src/CMakeFiles/poly.dir/query/expr.cpp.o" "gcc" "src/CMakeFiles/poly.dir/query/expr.cpp.o.d"
+  "/root/repo/src/query/optimizer.cpp" "src/CMakeFiles/poly.dir/query/optimizer.cpp.o" "gcc" "src/CMakeFiles/poly.dir/query/optimizer.cpp.o.d"
+  "/root/repo/src/query/plan.cpp" "src/CMakeFiles/poly.dir/query/plan.cpp.o" "gcc" "src/CMakeFiles/poly.dir/query/plan.cpp.o.d"
+  "/root/repo/src/query/sql_parser.cpp" "src/CMakeFiles/poly.dir/query/sql_parser.cpp.o" "gcc" "src/CMakeFiles/poly.dir/query/sql_parser.cpp.o.d"
+  "/root/repo/src/soe/cluster.cpp" "src/CMakeFiles/poly.dir/soe/cluster.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/cluster.cpp.o.d"
+  "/root/repo/src/soe/log_record.cpp" "src/CMakeFiles/poly.dir/soe/log_record.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/log_record.cpp.o.d"
+  "/root/repo/src/soe/node.cpp" "src/CMakeFiles/poly.dir/soe/node.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/node.cpp.o.d"
+  "/root/repo/src/soe/partition.cpp" "src/CMakeFiles/poly.dir/soe/partition.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/partition.cpp.o.d"
+  "/root/repo/src/soe/rdd.cpp" "src/CMakeFiles/poly.dir/soe/rdd.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/rdd.cpp.o.d"
+  "/root/repo/src/soe/services.cpp" "src/CMakeFiles/poly.dir/soe/services.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/services.cpp.o.d"
+  "/root/repo/src/soe/shared_log.cpp" "src/CMakeFiles/poly.dir/soe/shared_log.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/shared_log.cpp.o.d"
+  "/root/repo/src/soe/sql_bridge.cpp" "src/CMakeFiles/poly.dir/soe/sql_bridge.cpp.o" "gcc" "src/CMakeFiles/poly.dir/soe/sql_bridge.cpp.o.d"
+  "/root/repo/src/storage/backup.cpp" "src/CMakeFiles/poly.dir/storage/backup.cpp.o" "gcc" "src/CMakeFiles/poly.dir/storage/backup.cpp.o.d"
+  "/root/repo/src/storage/column.cpp" "src/CMakeFiles/poly.dir/storage/column.cpp.o" "gcc" "src/CMakeFiles/poly.dir/storage/column.cpp.o.d"
+  "/root/repo/src/storage/column_table.cpp" "src/CMakeFiles/poly.dir/storage/column_table.cpp.o" "gcc" "src/CMakeFiles/poly.dir/storage/column_table.cpp.o.d"
+  "/root/repo/src/storage/database.cpp" "src/CMakeFiles/poly.dir/storage/database.cpp.o" "gcc" "src/CMakeFiles/poly.dir/storage/database.cpp.o.d"
+  "/root/repo/src/storage/dictionary.cpp" "src/CMakeFiles/poly.dir/storage/dictionary.cpp.o" "gcc" "src/CMakeFiles/poly.dir/storage/dictionary.cpp.o.d"
+  "/root/repo/src/storage/row_table.cpp" "src/CMakeFiles/poly.dir/storage/row_table.cpp.o" "gcc" "src/CMakeFiles/poly.dir/storage/row_table.cpp.o.d"
+  "/root/repo/src/streaming/streaming.cpp" "src/CMakeFiles/poly.dir/streaming/streaming.cpp.o" "gcc" "src/CMakeFiles/poly.dir/streaming/streaming.cpp.o.d"
+  "/root/repo/src/txn/redo_log.cpp" "src/CMakeFiles/poly.dir/txn/redo_log.cpp.o" "gcc" "src/CMakeFiles/poly.dir/txn/redo_log.cpp.o.d"
+  "/root/repo/src/txn/transaction_manager.cpp" "src/CMakeFiles/poly.dir/txn/transaction_manager.cpp.o" "gcc" "src/CMakeFiles/poly.dir/txn/transaction_manager.cpp.o.d"
+  "/root/repo/src/types/schema.cpp" "src/CMakeFiles/poly.dir/types/schema.cpp.o" "gcc" "src/CMakeFiles/poly.dir/types/schema.cpp.o.d"
+  "/root/repo/src/types/value.cpp" "src/CMakeFiles/poly.dir/types/value.cpp.o" "gcc" "src/CMakeFiles/poly.dir/types/value.cpp.o.d"
+  "/root/repo/src/types/value_serde.cpp" "src/CMakeFiles/poly.dir/types/value_serde.cpp.o" "gcc" "src/CMakeFiles/poly.dir/types/value_serde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aging_test.cpp" "tests/CMakeFiles/poly_tests.dir/aging_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/aging_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/poly_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/docstore_test.cpp" "tests/CMakeFiles/poly_tests.dir/docstore_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/docstore_test.cpp.o.d"
+  "/root/repo/tests/federation_test.cpp" "tests/CMakeFiles/poly_tests.dir/federation_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/federation_test.cpp.o.d"
+  "/root/repo/tests/geo_test.cpp" "tests/CMakeFiles/poly_tests.dir/geo_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/geo_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/poly_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/hadoop_test.cpp" "tests/CMakeFiles/poly_tests.dir/hadoop_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/hadoop_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/poly_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/planning_test.cpp" "tests/CMakeFiles/poly_tests.dir/planning_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/planning_test.cpp.o.d"
+  "/root/repo/tests/predictive_test.cpp" "tests/CMakeFiles/poly_tests.dir/predictive_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/predictive_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/poly_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/query_test.cpp" "tests/CMakeFiles/poly_tests.dir/query_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/query_test.cpp.o.d"
+  "/root/repo/tests/rdd_backup_test.cpp" "tests/CMakeFiles/poly_tests.dir/rdd_backup_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/rdd_backup_test.cpp.o.d"
+  "/root/repo/tests/scientific_test.cpp" "tests/CMakeFiles/poly_tests.dir/scientific_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/scientific_test.cpp.o.d"
+  "/root/repo/tests/soe_test.cpp" "tests/CMakeFiles/poly_tests.dir/soe_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/soe_test.cpp.o.d"
+  "/root/repo/tests/sql_bridge_test.cpp" "tests/CMakeFiles/poly_tests.dir/sql_bridge_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/sql_bridge_test.cpp.o.d"
+  "/root/repo/tests/sql_parser_test.cpp" "tests/CMakeFiles/poly_tests.dir/sql_parser_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/sql_parser_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/poly_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/streaming_test.cpp" "tests/CMakeFiles/poly_tests.dir/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/streaming_test.cpp.o.d"
+  "/root/repo/tests/text_test.cpp" "tests/CMakeFiles/poly_tests.dir/text_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/text_test.cpp.o.d"
+  "/root/repo/tests/timeseries_test.cpp" "tests/CMakeFiles/poly_tests.dir/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/timeseries_test.cpp.o.d"
+  "/root/repo/tests/txn_test.cpp" "tests/CMakeFiles/poly_tests.dir/txn_test.cpp.o" "gcc" "tests/CMakeFiles/poly_tests.dir/txn_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
