@@ -171,5 +171,58 @@ void HTAP_SingleSystem_Mixed(benchmark::State& state) {
 }
 BENCHMARK(HTAP_SingleSystem_Mixed);
 
+// Morsel-driven parallel executor: the same analytic plans, dispatched over
+// a thread pool in fixed-size row ranges. Arg is the thread count; Arg(1)
+// is the serial baseline, so `benchmark_filter=HTAP_Parallel` prints the
+// per-thread-count speedup directly. Results are bit-identical to serial
+// (fragments merge in morsel order), so only time should move.
+struct ParallelFixture {
+  Database db;
+  TransactionManager tm;
+  ParallelFixture() {
+    bench::LoadOrders(&db, &tm, "orders", 1000000);
+  }
+  static ParallelFixture& Get() {
+    static ParallelFixture f;
+    return f;
+  }
+};
+
+void HTAP_ParallelScan(benchmark::State& state) {
+  ParallelFixture& f = ParallelFixture::Get();
+  ExecOptions opts;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  opts.morsel_rows = 65536;
+  // region == "east" with a pushed-down predicate: the scan is the work.
+  PlanPtr plan = PlanBuilder::Scan("orders")
+                     .Filter(Expr::Compare(CmpOp::kEq, Expr::Column(2),
+                                           Expr::Literal(Value::Str("east"))))
+                     .Build();
+  for (auto _ : state) {
+    Executor exec(&f.db, f.tm.AutoCommitView(), opts);
+    auto rs = exec.Execute(plan);
+    benchmark::DoNotOptimize(rs->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+}
+BENCHMARK(HTAP_ParallelScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void HTAP_ParallelAggregate(benchmark::State& state) {
+  ParallelFixture& f = ParallelFixture::Get();
+  ExecOptions opts;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  opts.morsel_rows = 65536;
+  PlanPtr plan = RevenueByRegionPlan("orders");
+  for (auto _ : state) {
+    Executor exec(&f.db, f.tm.AutoCommitView(), opts);
+    auto rs = exec.Execute(plan);
+    benchmark::DoNotOptimize(rs->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+}
+BENCHMARK(HTAP_ParallelAggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace poly

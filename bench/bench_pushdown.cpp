@@ -98,5 +98,30 @@ void Pushdown_InDatabaseConversion(benchmark::State& state) {
 BENCHMARK(Pushdown_InDatabaseConversion)->Arg(20000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
+// Serial-vs-parallel projection scan over the sales table: the same
+// app-layer-shaped query as above, executed morsel-parallel. Arg is the
+// thread count (Arg(1) = serial baseline); output is merged in morsel
+// order, so row order and content are identical across all thread counts.
+void Pushdown_ParallelScan(benchmark::State& state) {
+  Database db;
+  TransactionManager tm;
+  (void)LoadSales(&db, &tm, 1000000);
+  ExecOptions opts;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  opts.morsel_rows = 65536;
+  PlanPtr plan =
+      PlanBuilder::Scan("sales")
+          .Project({Expr::Column(1), Expr::Column(2)}, {"amount", "currency"})
+          .Build();
+  for (auto _ : state) {
+    Executor exec(&db, tm.AutoCommitView(), opts);
+    auto rs = exec.Execute(plan);
+    benchmark::DoNotOptimize(rs->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+}
+BENCHMARK(Pushdown_ParallelScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace poly

@@ -1,0 +1,35 @@
+#ifndef POLY_COMMON_EXEC_OPTIONS_H_
+#define POLY_COMMON_EXEC_OPTIONS_H_
+
+#include <cstddef>
+
+namespace poly {
+
+class ThreadPool;
+
+/// Knobs for morsel-driven parallel query execution, threaded from
+/// `Database::set_exec_options` (session default) or per-`Executor`. The
+/// default is fully serial, so MVCC-sensitive callers (transaction-local
+/// reads, merge, the SOE log appliers) keep the single-threaded execution
+/// they were written against; analytic entry points opt in explicitly.
+struct ExecOptions {
+  static constexpr size_t kDefaultMorselRows = 16384;
+
+  /// Total threads a query may use, calling thread included. <= 1 = serial.
+  size_t num_threads = 1;
+
+  /// Rows per morsel — the dispatch granule for table scans and for
+  /// splitting materialized operator inputs. Results are independent of
+  /// both this value and num_threads, except that floating-point aggregate
+  /// sums follow the morsel-ordered reduction tree (see DESIGN.md §5).
+  size_t morsel_rows = kDefaultMorselRows;
+
+  /// Optional externally owned worker pool. When null and num_threads > 1
+  /// the executor uses its Database's shared pool (created on demand) or,
+  /// for ad-hoc executors with explicit options, a private pool.
+  ThreadPool* pool = nullptr;
+};
+
+}  // namespace poly
+
+#endif  // POLY_COMMON_EXEC_OPTIONS_H_

@@ -1,8 +1,67 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace poly {
+
+namespace {
+
+/// Shared state of one ParallelFor invocation. Helpers that the scheduler
+/// only gets to after the call returned (all chunks already claimed or the
+/// run failed) touch nothing but this refcounted block, so they are
+/// harmless stragglers rather than use-after-frees.
+struct ParallelForControl {
+  std::function<Status(size_t)> fn;
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable idle_cv;
+  size_t active_runners = 0;      ///< helpers currently executing chunks
+  size_t error_chunk = SIZE_MAX;  ///< lowest chunk that failed
+  Status error = Status::OK();
+  std::exception_ptr eptr;
+
+  /// Claims and runs chunks until none remain or the run has failed.
+  /// Chunks are handed out in increasing order, and a failing chunk is
+  /// always claimed before any chunk that would run "after" it serially,
+  /// so the recorded lowest failing chunk is deterministic.
+  void RunChunks() {
+    for (;;) {
+      size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      if (failed.load(std::memory_order_acquire)) return;
+      size_t begin = c * grain;
+      size_t end = std::min(n, begin + grain);
+      Status s = Status::OK();
+      std::exception_ptr ep;
+      try {
+        for (size_t i = begin; i < end && s.ok(); ++i) s = fn(i);
+      } catch (...) {
+        ep = std::current_exception();
+      }
+      if (!s.ok() || ep) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (c < error_chunk) {
+            error_chunk = c;
+            error = s;
+            eptr = ep;
+          }
+        }
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -16,8 +75,8 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    cv_.notify_all();
   }
-  cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -35,22 +94,61 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  // Chunk work so each worker gets a contiguous index range.
-  size_t num_chunks = std::min(n, workers_.size());
-  size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(num_chunks);
-  for (size_t c = 0; c < num_chunks; ++c) {
-    size_t begin = c * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    futs.push_back(Submit([begin, end, &fn]() {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    }));
+Status ThreadPool::ParallelForStatus(size_t n,
+                                     const std::function<Status(size_t)>& fn,
+                                     size_t grain) {
+  if (n == 0) return Status::OK();
+  size_t runners = workers_.size() + 1;  // workers plus the calling thread
+  if (grain == 0) grain = std::max<size_t>(1, n / (runners * 4));
+  auto ctl = std::make_shared<ParallelForControl>();
+  ctl->fn = fn;
+  ctl->n = n;
+  ctl->grain = grain;
+  ctl->num_chunks = (n + grain - 1) / grain;
+
+  // Helpers beyond the chunk count would only ever no-op.
+  size_t helpers = std::min(workers_.size(), ctl->num_chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    // Deliberately not waiting on these futures: a helper that the pool
+    // only schedules after all chunks are claimed must be allowed to
+    // no-op *after* ParallelFor returned (otherwise a ParallelFor issued
+    // from inside a pool task could deadlock waiting for helpers that
+    // are queued behind itself).
+    (void)Submit([ctl]() {
+      {
+        std::lock_guard<std::mutex> lock(ctl->mu);
+        ++ctl->active_runners;
+      }
+      ctl->RunChunks();
+      {
+        std::lock_guard<std::mutex> lock(ctl->mu);
+        --ctl->active_runners;
+      }
+      ctl->idle_cv.notify_all();
+    });
   }
-  for (auto& f : futs) f.get();
+  ctl->RunChunks();
+  // The caller's loop only exits once every chunk is claimed (or the run
+  // failed, which stops stragglers); any chunk claimed by a helper was
+  // claimed after that helper registered as active, so active_runners == 0
+  // means every claimed chunk has finished.
+  {
+    std::unique_lock<std::mutex> lock(ctl->mu);
+    ctl->idle_cv.wait(lock, [&]() { return ctl->active_runners == 0; });
+  }
+  if (ctl->eptr) std::rethrow_exception(ctl->eptr);
+  return ctl->error;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t grain) {
+  (void)ParallelForStatus(
+      n,
+      [&fn](size_t i) {
+        fn(i);
+        return Status::OK();
+      },
+      grain);
 }
 
 }  // namespace poly

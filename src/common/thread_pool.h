@@ -9,10 +9,24 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace poly {
 
-/// Fixed-size worker pool used by the parallel scan/merge paths, the
-/// MapReduce framework, and the simulated SOE cluster services.
+/// Fixed-size worker pool used by the morsel-driven executor, the parallel
+/// scan/merge paths, the MapReduce framework, and the simulated SOE cluster
+/// services.
+///
+/// Shutdown protocol: the destructor drains the queue — every task enqueued
+/// before destruction begins still runs — and then joins the workers.
+///
+/// Wake-up protocol: every `cv_` notification happens while `mu_` is held.
+/// The destructor acquires `mu_` before it starts tearing down, so once a
+/// submitter has left Submit's critical section its notification has
+/// completed and can never touch a condition variable that is being
+/// destroyed. Concretely: a thread that observes a submitted task's side
+/// effects (e.g. through the returned future) may destroy the pool even
+/// while the submitting thread is still returning from Submit.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -21,7 +35,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns a future for its completion.
+  /// Enqueues a task; returns a future for its completion. Tasks are
+  /// dispatched FIFO.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -30,13 +45,29 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       tasks_.emplace_back([task]() { (*task)(); });
+      // Notify under the lock — see the wake-up protocol above.
+      cv_.notify_one();
     }
-    cv_.notify_one();
     return fut;
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// Indices are split into chunks of `grain` (0 = automatic sizing, a few
+  /// chunks per runner) handed out dynamically, and the calling thread
+  /// participates as a runner, so ParallelFor always makes progress — even
+  /// when every worker is busy, including when it is invoked from inside a
+  /// pool task. If an invocation throws, no further chunks start, in-flight
+  /// chunks finish, and the exception from the lowest-numbered failing
+  /// chunk is rethrown here.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t grain = 0);
+
+  /// Status-returning variant: the first non-OK status (lowest failing
+  /// chunk) is returned after all in-flight chunks complete; remaining
+  /// chunks are skipped. Exceptions propagate as in ParallelFor.
+  Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
+                           size_t grain = 0);
 
   size_t num_threads() const { return workers_.size(); }
 

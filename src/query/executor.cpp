@@ -6,6 +6,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace poly {
 
 namespace {
@@ -19,6 +21,10 @@ struct RowKeyHash {
   }
 };
 
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
 struct AggState {
   uint64_t count = 0;
   double sum = 0;
@@ -27,6 +33,68 @@ struct AggState {
   bool has_value = false;
   Value min, max;
 };
+
+/// Folds one input row into the aggregate states of its group.
+void UpdateAggStates(const std::vector<AggSpec>& aggregates,
+                     std::vector<AggState>* states, const Row& row) {
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggSpec& spec = aggregates[a];
+    AggState& st = (*states)[a];
+    Value v = spec.input ? spec.input->Eval(row) : Value::Int(1);
+    if (v.is_null()) continue;
+    ++st.count;
+    if (v.type() == DataType::kInt64) {
+      st.sum_int += v.AsInt();
+    } else {
+      st.all_int = false;
+    }
+    st.sum += v.NumericValue();
+    if (!st.has_value || v < st.min) st.min = v;
+    if (!st.has_value || st.max < v) st.max = v;
+    st.has_value = true;
+  }
+}
+
+/// Merges a worker-local partial state into `dst` (the final-merge step of
+/// the parallel aggregate).
+void MergeAggState(AggState* dst, const AggState& src) {
+  dst->count += src.count;
+  dst->sum += src.sum;
+  dst->sum_int += src.sum_int;
+  dst->all_int = dst->all_int && src.all_int;
+  if (src.has_value) {
+    if (!dst->has_value || src.min < dst->min) dst->min = src.min;
+    if (!dst->has_value || dst->max < src.max) dst->max = src.max;
+    dst->has_value = true;
+  }
+}
+
+/// Hash-aggregation table that remembers first-occurrence order of its
+/// group keys. Both the serial path and the per-morsel thread-local tables
+/// use it, and the final merge walks local tables in morsel order, so group
+/// emission order is the first-occurrence order over the input no matter
+/// how many threads ran.
+struct GroupTable {
+  std::unordered_map<Row, size_t, RowKeyHash> index;
+  std::vector<Row> keys;
+  std::vector<std::vector<AggState>> states;
+
+  std::vector<AggState>* FindOrAdd(const Row& key, size_t num_aggs) {
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, keys.size()).first;
+      keys.push_back(key);
+      states.emplace_back(num_aggs);
+    }
+    return &states[it->second];
+  }
+};
+
+/// Hash-join build table: key -> right-row indices in ascending order, so
+/// probe output enumerates matches deterministically (serial build appends
+/// in row order; parallel build merges per-morsel tables in morsel order,
+/// which is the same order).
+using JoinIndex = std::unordered_map<Value, std::vector<size_t>, ValueHash>;
 
 /// If the predicate is `($col <op> literal)` over a main-store column, the
 /// sorted dictionary turns it into a value-ID range test — no value
@@ -72,6 +140,49 @@ bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col
 
 }  // namespace
 
+Executor::Executor(const Database* db, ReadView view)
+    : Executor(db, view, db->exec_options()) {
+  if (!opts_.pool) opts_.pool = db->exec_pool();
+}
+
+Executor::Executor(const Database* db, ReadView view, const ExecOptions& opts)
+    : db_(db), view_(view), opts_(opts) {}
+
+Executor::~Executor() = default;
+
+ThreadPool* Executor::pool() {
+  if (opts_.num_threads <= 1) return nullptr;
+  if (opts_.pool) return opts_.pool;
+  if (!owned_pool_) {
+    owned_pool_ = std::make_unique<ThreadPool>(opts_.num_threads - 1);
+  }
+  return owned_pool_.get();
+}
+
+void Executor::MorselMap(size_t n,
+                         const std::function<void(size_t, size_t, ResultSet*)>& body,
+                         ResultSet* out) {
+  ThreadPool* tp = pool();
+  size_t morsel = morsel_rows();
+  if (tp == nullptr || n <= morsel) {
+    body(0, n, out);
+    return;
+  }
+  size_t num_morsels = (n + morsel - 1) / morsel;
+  std::vector<ResultSet> frags(num_morsels);
+  tp->ParallelFor(
+      num_morsels,
+      [&](size_t m) {
+        size_t begin = m * morsel;
+        body(begin, std::min(n, begin + morsel), &frags[m]);
+      },
+      /*grain=*/1);
+  size_t total = out->rows.size();
+  for (const auto& f : frags) total += f.rows.size();
+  out->rows.reserve(total);
+  for (auto& f : frags) out->AppendRows(std::move(f));
+}
+
 StatusOr<ResultSet> Executor::Execute(const PlanPtr& plan) {
   if (!plan) return Status::InvalidArgument("null plan");
   return Exec(*plan);
@@ -90,10 +201,35 @@ StatusOr<ResultSet> Executor::Exec(const PlanNode& node) {
   return Status::Internal("unknown plan node");
 }
 
+void Executor::ScanMorsel(const ColumnTable& table, const ExprPtr& predicate,
+                          bool use_range, size_t range_col, uint64_t lo,
+                          uint64_t hi, uint64_t begin, uint64_t end,
+                          ResultSet* out, ExecStats* stats) const {
+  size_t ncols = table.num_columns();
+  uint64_t main_size = ncols ? table.column(0).main_size() : 0;
+  table.ScanVisibleRange(view_, begin, end, [&](uint64_t r) {
+    ++stats->rows_scanned;
+    if (use_range && r < main_size) {
+      uint64_t id = table.column(range_col).MainId(r);
+      if (id < lo || id >= hi) return;
+    } else if (predicate) {
+      Row probe = table.GetRow(r);
+      if (!predicate->EvalBool(probe)) return;
+      ++stats->rows_materialized;
+      out->rows.push_back(std::move(probe));
+      return;
+    }
+    Row row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) row.push_back(table.GetValue(r, c));
+    ++stats->rows_materialized;
+    out->rows.push_back(std::move(row));
+  });
+}
+
 Status Executor::ScanOneTable(const ColumnTable& table, const ExprPtr& predicate,
                               ResultSet* out) {
   ++stats_.partitions_scanned;
-  size_t ncols = table.num_columns();
 
   size_t range_col = 0;
   uint64_t lo = 0, hi = 0;
@@ -101,25 +237,36 @@ Status Executor::ScanOneTable(const ColumnTable& table, const ExprPtr& predicate
       predicate && TryIdRangePredicate(table, *predicate, &range_col, &lo, &hi);
   if (use_range) ++stats_.id_range_scans;
 
-  uint64_t main_size = table.num_columns() ? table.column(0).main_size() : 0;
-  table.ScanVisible(view_, [&](uint64_t r) {
-    ++stats_.rows_scanned;
-    if (use_range && r < main_size) {
-      uint64_t id = table.column(range_col).MainId(r);
-      if (id < lo || id >= hi) return;
-    } else if (predicate) {
-      Row probe = table.GetRow(r);
-      if (!predicate->EvalBool(probe)) return;
-      ++stats_.rows_materialized;
-      out->rows.push_back(std::move(probe));
-      return;
-    }
-    Row row;
-    row.reserve(ncols);
-    for (size_t c = 0; c < ncols; ++c) row.push_back(table.GetValue(r, c));
-    ++stats_.rows_materialized;
-    out->rows.push_back(std::move(row));
-  });
+  uint64_t n = table.num_versions();
+  ThreadPool* tp = pool();
+  uint64_t morsel = morsel_rows();
+  if (tp == nullptr || n <= morsel) {
+    ScanMorsel(table, predicate, use_range, range_col, lo, hi, 0, n, out, &stats_);
+    return Status::OK();
+  }
+
+  // Morsel-driven scan: fixed-size row ranges over the pool, per-worker
+  // fragments and stats merged in morsel order — identical output to the
+  // serial scan above.
+  size_t num_morsels = static_cast<size_t>((n + morsel - 1) / morsel);
+  std::vector<ResultSet> frags(num_morsels);
+  std::vector<ExecStats> local(num_morsels);
+  tp->ParallelFor(
+      num_morsels,
+      [&](size_t m) {
+        uint64_t begin = m * morsel;
+        ScanMorsel(table, predicate, use_range, range_col, lo, hi, begin,
+                   std::min<uint64_t>(n, begin + morsel), &frags[m], &local[m]);
+      },
+      /*grain=*/1);
+  size_t total = out->rows.size();
+  for (const auto& f : frags) total += f.rows.size();
+  out->rows.reserve(total);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    stats_.rows_scanned += local[m].rows_scanned;
+    stats_.rows_materialized += local[m].rows_materialized;
+    out->AppendRows(std::move(frags[m]));
+  }
   return Status::OK();
 }
 
@@ -148,9 +295,16 @@ StatusOr<ResultSet> Executor::ExecFilter(const PlanNode& node) {
   POLY_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.children[0]));
   ResultSet out;
   out.column_names = in.column_names;
-  for (auto& row : in.rows) {
-    if (node.predicate->EvalBool(row)) out.rows.push_back(std::move(row));
-  }
+  MorselMap(
+      in.rows.size(),
+      [&](size_t begin, size_t end, ResultSet* frag) {
+        for (size_t i = begin; i < end; ++i) {
+          if (node.predicate->EvalBool(in.rows[i])) {
+            frag->rows.push_back(std::move(in.rows[i]));
+          }
+        }
+      },
+      &out);
   return out;
 }
 
@@ -158,13 +312,20 @@ StatusOr<ResultSet> Executor::ExecProject(const PlanNode& node) {
   POLY_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.children[0]));
   ResultSet out;
   out.column_names = node.output_names;
-  out.rows.reserve(in.rows.size());
-  for (const auto& row : in.rows) {
-    Row projected;
-    projected.reserve(node.projections.size());
-    for (const auto& e : node.projections) projected.push_back(e->Eval(row));
-    out.rows.push_back(std::move(projected));
-  }
+  MorselMap(
+      in.rows.size(),
+      [&](size_t begin, size_t end, ResultSet* frag) {
+        frag->rows.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          Row projected;
+          projected.reserve(node.projections.size());
+          for (const auto& e : node.projections) {
+            projected.push_back(e->Eval(in.rows[i]));
+          }
+          frag->rows.push_back(std::move(projected));
+        }
+      },
+      &out);
   return out;
 }
 
@@ -179,27 +340,60 @@ StatusOr<ResultSet> Executor::ExecHashJoin(const PlanNode& node) {
   out.column_names.insert(out.column_names.end(), right.column_names.begin(),
                           right.column_names.end());
 
-  struct ValueHash {
-    size_t operator()(const Value& v) const { return v.Hash(); }
+  // Build side: key -> ascending right-row indices. Parallel build fills
+  // per-morsel tables, merged in morsel order so index lists stay sorted.
+  JoinIndex build;
+  ThreadPool* tp = pool();
+  size_t morsel = morsel_rows();
+  size_t rn = right.rows.size();
+  auto build_range = [&right, &node](size_t begin, size_t end, JoinIndex* idx) {
+    for (size_t i = begin; i < end; ++i) {
+      const Value& key = right.rows[i][node.right_key];
+      if (key.is_null()) continue;
+      (*idx)[key].push_back(i);
+    }
   };
-  std::unordered_multimap<Value, size_t, ValueHash> build;
-  build.reserve(right.rows.size());
-  for (size_t i = 0; i < right.rows.size(); ++i) {
-    const Value& key = right.rows[i][node.right_key];
-    if (key.is_null()) continue;
-    build.emplace(key, i);
-  }
-  for (const auto& lrow : left.rows) {
-    const Value& key = lrow[node.left_key];
-    if (key.is_null()) continue;
-    auto [begin, end] = build.equal_range(key);
-    for (auto it = begin; it != end; ++it) {
-      Row joined = lrow;
-      const Row& rrow = right.rows[it->second];
-      joined.insert(joined.end(), rrow.begin(), rrow.end());
-      out.rows.push_back(std::move(joined));
+  if (tp == nullptr || rn <= morsel) {
+    build.reserve(rn);
+    build_range(0, rn, &build);
+  } else {
+    size_t num_morsels = (rn + morsel - 1) / morsel;
+    std::vector<JoinIndex> locals(num_morsels);
+    tp->ParallelFor(
+        num_morsels,
+        [&](size_t m) {
+          size_t begin = m * morsel;
+          build_range(begin, std::min(rn, begin + morsel), &locals[m]);
+        },
+        /*grain=*/1);
+    build.reserve(rn);
+    for (auto& local : locals) {
+      for (auto& [key, idxs] : local) {
+        auto& dst = build[key];
+        dst.insert(dst.end(), idxs.begin(), idxs.end());
+      }
     }
   }
+
+  // Probe side: morsels of left rows, fragments merged in left-row order.
+  MorselMap(
+      left.rows.size(),
+      [&](size_t begin, size_t end, ResultSet* frag) {
+        for (size_t i = begin; i < end; ++i) {
+          const Row& lrow = left.rows[i];
+          const Value& key = lrow[node.left_key];
+          if (key.is_null()) continue;
+          auto it = build.find(key);
+          if (it == build.end()) continue;
+          for (size_t ri : it->second) {
+            Row joined = lrow;
+            const Row& rrow = right.rows[ri];
+            joined.insert(joined.end(), rrow.begin(), rrow.end());
+            frag->rows.push_back(std::move(joined));
+          }
+        }
+      },
+      &out);
   return out;
 }
 
@@ -212,45 +406,57 @@ StatusOr<ResultSet> Executor::ExecAggregate(const PlanNode& node) {
   }
   for (const auto& agg : node.aggregates) out.column_names.push_back(agg.output_name);
 
-  std::unordered_map<Row, std::vector<AggState>, RowKeyHash> groups;
-  auto update = [&](std::vector<AggState>& states, const Row& row) {
-    for (size_t a = 0; a < node.aggregates.size(); ++a) {
-      const AggSpec& spec = node.aggregates[a];
-      AggState& st = states[a];
-      Value v = spec.input ? spec.input->Eval(row) : Value::Int(1);
-      if (v.is_null()) continue;
-      ++st.count;
-      if (v.type() == DataType::kInt64) {
-        st.sum_int += v.AsInt();
-      } else {
-        st.all_int = false;
-      }
-      st.sum += v.NumericValue();
-      if (!st.has_value || v < st.min) st.min = v;
-      if (!st.has_value || st.max < v) st.max = v;
-      st.has_value = true;
+  size_t num_aggs = node.aggregates.size();
+  auto accumulate_range = [&](size_t begin, size_t end, GroupTable* table) {
+    Row key;
+    for (size_t i = begin; i < end; ++i) {
+      const Row& row = in.rows[i];
+      key.clear();
+      key.reserve(node.group_by.size());
+      for (size_t g : node.group_by) key.push_back(row[g]);
+      UpdateAggStates(node.aggregates, table->FindOrAdd(key, num_aggs), row);
     }
   };
 
-  for (const auto& row : in.rows) {
-    Row key;
-    key.reserve(node.group_by.size());
-    for (size_t g : node.group_by) key.push_back(row[g]);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(std::move(key), std::vector<AggState>(node.aggregates.size()))
-               .first;
+  GroupTable groups;
+  ThreadPool* tp = pool();
+  size_t morsel = morsel_rows();
+  size_t n = in.rows.size();
+  if (tp == nullptr || n <= morsel) {
+    accumulate_range(0, n, &groups);
+  } else {
+    // Thread-local tables per morsel, merged in morsel order so that group
+    // emission order (first occurrence over the input) and every aggregate
+    // match the serial fold; FP sums follow the morsel reduction tree.
+    size_t num_morsels = (n + morsel - 1) / morsel;
+    std::vector<GroupTable> locals(num_morsels);
+    tp->ParallelFor(
+        num_morsels,
+        [&](size_t m) {
+          size_t begin = m * morsel;
+          accumulate_range(begin, std::min(n, begin + morsel), &locals[m]);
+        },
+        /*grain=*/1);
+    for (auto& local : locals) {
+      for (size_t g = 0; g < local.keys.size(); ++g) {
+        std::vector<AggState>* dst = groups.FindOrAdd(local.keys[g], num_aggs);
+        for (size_t a = 0; a < num_aggs; ++a) {
+          MergeAggState(&(*dst)[a], local.states[g][a]);
+        }
+      }
     }
-    update(it->second, row);
-  }
-  // Global aggregate over empty input still yields one row of zeros/nulls.
-  if (node.group_by.empty() && groups.empty()) {
-    groups.emplace(Row{}, std::vector<AggState>(node.aggregates.size()));
   }
 
-  for (auto& [key, states] : groups) {
-    Row row = key;
-    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+  // Global aggregate over empty input still yields one row of zeros/nulls.
+  if (node.group_by.empty() && groups.keys.empty()) {
+    groups.FindOrAdd(Row{}, num_aggs);
+  }
+
+  out.rows.reserve(groups.keys.size());
+  for (size_t g = 0; g < groups.keys.size(); ++g) {
+    Row row = groups.keys[g];
+    const std::vector<AggState>& states = groups.states[g];
+    for (size_t a = 0; a < num_aggs; ++a) {
       const AggState& st = states[a];
       switch (node.aggregates[a].func) {
         case AggFunc::kCount:

@@ -1,6 +1,10 @@
 #ifndef POLY_QUERY_EXECUTOR_H_
 #define POLY_QUERY_EXECUTOR_H_
 
+#include <functional>
+#include <memory>
+
+#include "common/exec_options.h"
 #include "query/plan.h"
 #include "query/result.h"
 #include "storage/database.h"
@@ -8,8 +12,12 @@
 
 namespace poly {
 
+class ThreadPool;
+
 /// Counters exposed by the interpreted executor so experiments can report
-/// rows scanned/materialized (E10/E12 measure exactly these).
+/// rows scanned/materialized (E10/E12 measure exactly these). Parallel
+/// execution accumulates per-worker partial counters and merges them, so
+/// the totals match the serial path exactly.
 struct ExecStats {
   uint64_t rows_scanned = 0;      ///< row versions visited in scans
   uint64_t rows_materialized = 0; ///< rows surviving scan predicates
@@ -20,19 +28,42 @@ struct ExecStats {
 /// Vectorized-enough interpreted executor: every operator materializes its
 /// result (simple, predictable, and a fair baseline for the compiled path of
 /// E13). Reads run under snapshot-isolation `view`.
+///
+/// With ExecOptions::num_threads > 1 execution is morsel-driven: scans and
+/// the scan-shaped operators (filter, project, aggregate input, hash-join
+/// build and probe) split their input into fixed-size row-range morsels
+/// dispatched over a ThreadPool. Per-worker fragments and stats are merged
+/// in morsel order, so results, row order, and ExecStats are identical to
+/// the serial path for any thread count and morsel size (floating-point
+/// aggregate sums follow the fixed morsel-ordered reduction tree; see
+/// DESIGN.md §5).
 class Executor {
  public:
-  Executor(const Database* db, ReadView view) : db_(db), view_(view) {}
+  /// Runs with the database's default execution options (serial unless
+  /// Database::set_exec_options opted in) and its shared pool.
+  Executor(const Database* db, ReadView view);
+  /// Runs with explicit options (e.g. a parallel analytic session). When
+  /// opts.pool is null and opts.num_threads > 1, a private pool with
+  /// num_threads - 1 workers is created on first use.
+  Executor(const Database* db, ReadView view, const ExecOptions& opts);
+  ~Executor();
 
   StatusOr<ResultSet> Execute(const PlanPtr& plan);
 
   const ExecStats& stats() const { return stats_; }
+  const ExecOptions& options() const { return opts_; }
 
  private:
   StatusOr<ResultSet> Exec(const PlanNode& node);
   StatusOr<ResultSet> ExecScan(const PlanNode& node);
   Status ScanOneTable(const ColumnTable& table, const ExprPtr& predicate,
                       ResultSet* out);
+  /// Scans rows [begin, end) of `table` into `out`, counting into `stats`
+  /// (which may be a worker-local partial). One morsel of a scan.
+  void ScanMorsel(const ColumnTable& table, const ExprPtr& predicate,
+                  bool use_range, size_t range_col, uint64_t lo, uint64_t hi,
+                  uint64_t begin, uint64_t end, ResultSet* out,
+                  ExecStats* stats) const;
   StatusOr<ResultSet> ExecFilter(const PlanNode& node);
   StatusOr<ResultSet> ExecProject(const PlanNode& node);
   StatusOr<ResultSet> ExecHashJoin(const PlanNode& node);
@@ -40,8 +71,22 @@ class Executor {
   StatusOr<ResultSet> ExecSort(const PlanNode& node);
   StatusOr<ResultSet> ExecLimit(const PlanNode& node);
 
+  /// Pool backing parallel execution; null when serial.
+  ThreadPool* pool();
+  size_t morsel_rows() const {
+    return opts_.morsel_rows ? opts_.morsel_rows : ExecOptions::kDefaultMorselRows;
+  }
+  /// Splits [0, n) into morsels, runs body(begin, end, &fragment) across
+  /// the pool, and appends fragments to `out` in morsel order (serial
+  /// inputs run as a single morsel straight into `out`).
+  void MorselMap(size_t n,
+                 const std::function<void(size_t, size_t, ResultSet*)>& body,
+                 ResultSet* out);
+
   const Database* db_;
   ReadView view_;
+  ExecOptions opts_;
+  std::unique_ptr<ThreadPool> owned_pool_;
   ExecStats stats_;
 };
 

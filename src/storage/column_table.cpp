@@ -59,8 +59,13 @@ Row ColumnTable::GetRow(uint64_t row) const {
 }
 
 uint64_t ColumnTable::CountVisible(const ReadView& view) const {
+  return CountVisibleRange(view, 0, cts_.size());
+}
+
+uint64_t ColumnTable::CountVisibleRange(const ReadView& view, uint64_t begin,
+                                        uint64_t end) const {
   uint64_t count = 0;
-  ScanVisible(view, [&](uint64_t) { ++count; });
+  ScanVisibleRange(view, begin, end, [&](uint64_t) { ++count; });
   return count;
 }
 

@@ -65,14 +65,29 @@ class ColumnTable {
   /// Invokes fn(row_id) for every version visible in `view`.
   template <typename F>
   void ScanVisible(const ReadView& view, F&& fn) const {
-    uint64_t n = cts_.size();
-    for (uint64_t r = 0; r < n; ++r) {
+    ScanVisibleRange(view, 0, cts_.size(), std::forward<F>(fn));
+  }
+
+  /// Chunked read API for morsel-driven scans: invokes fn(row_id) for every
+  /// version in [begin, end) visible in `view`, in ascending row order.
+  /// `end` is clamped to num_versions(). Safe to call concurrently from
+  /// many reader threads (see the thread model above); morsels over
+  /// disjoint ranges cover exactly the rows a full ScanVisible would.
+  template <typename F>
+  void ScanVisibleRange(const ReadView& view, uint64_t begin, uint64_t end,
+                        F&& fn) const {
+    if (end > cts_.size()) end = cts_.size();
+    for (uint64_t r = begin; r < end; ++r) {
       if (view.RowVisible(cts_[r], dts_[r])) fn(r);
     }
   }
 
   /// Number of versions visible in `view`.
   uint64_t CountVisible(const ReadView& view) const;
+
+  /// Number of versions in [begin, end) visible in `view`.
+  uint64_t CountVisibleRange(const ReadView& view, uint64_t begin,
+                             uint64_t end) const;
 
   /// Appends a new column; existing row versions read NULL in it. This is
   /// the §II-H flexible-table mechanism: "metadata about unknown columns

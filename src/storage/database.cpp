@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include "common/thread_pool.h"
+
 namespace poly {
 
 StatusOr<ColumnTable*> Database::CreateTable(const std::string& name, Schema schema,
@@ -63,6 +65,26 @@ std::vector<std::string> Database::TableNames() const {
   for (const auto& [name, _] : tables_) names.push_back(name);
   for (const auto& [name, _] : row_tables_) names.push_back(name);
   return names;
+}
+
+void Database::set_exec_options(const ExecOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exec_pool_.reset();  // rebuilt on demand at the new width
+  exec_options_ = opts;
+}
+
+ExecOptions Database::exec_options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exec_options_;
+}
+
+ThreadPool* Database::exec_pool() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (exec_options_.num_threads <= 1) return nullptr;
+  if (!exec_pool_) {
+    exec_pool_ = std::make_unique<ThreadPool>(exec_options_.num_threads - 1);
+  }
+  return exec_pool_.get();
 }
 
 size_t Database::MemoryBytes() const {

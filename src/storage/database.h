@@ -7,7 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_options.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "storage/column_table.h"
 #include "storage/row_table.h"
 
@@ -38,10 +40,24 @@ class Database {
   std::vector<std::string> TableNames() const;
   size_t MemoryBytes() const;
 
+  /// Default execution options handed to every Executor constructed without
+  /// explicit options. Changing them drops the shared pool (rebuilt on
+  /// demand at the new width); do not call concurrently with running
+  /// queries.
+  void set_exec_options(const ExecOptions& opts);
+  ExecOptions exec_options() const;
+
+  /// Shared worker pool for parallel query execution, created on demand
+  /// with exec_options().num_threads - 1 workers (the query's calling
+  /// thread is the remaining runner). Null while the default is serial.
+  ThreadPool* exec_pool() const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<ColumnTable>> tables_;
   std::unordered_map<std::string, std::unique_ptr<RowTable>> row_tables_;
+  ExecOptions exec_options_;
+  mutable std::unique_ptr<ThreadPool> exec_pool_;
 };
 
 }  // namespace poly

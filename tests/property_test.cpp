@@ -8,6 +8,7 @@
 
 #include "aging/aging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "docstore/json.h"
 #include "engines/graph/hierarchy.h"
 #include "engines/planning/planning.h"
@@ -362,6 +363,128 @@ TEST_P(PruningSoundness, SemanticAndStatsPrunersNeverChangeAnswers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PruningSoundness, ::testing::Range(1, 7));
+
+// ---------- Parallel executor: random plans agree with the serial oracle ----------
+
+class ParallelOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelOracle, RandomPlansSerialVsParallel) {
+  // 8 seeds x 25 trials = 200 random (table, plan, parallel-config) triples.
+  // Every failure message carries seed + trial for exact reproduction.
+  Random rng(GetParam() * 7919);
+  ThreadPool pool(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string ctx = "seed=" + std::to_string(GetParam()) +
+                      " trial=" + std::to_string(trial);
+    Database db;
+    TransactionManager tm;
+    ColumnTable* t = *db.CreateTable(
+        "t", Schema({ColumnDef("a", DataType::kInt64),
+                     ColumnDef("b", DataType::kInt64),
+                     ColumnDef("c", DataType::kDouble)}));
+    int n = static_cast<int>(rng.Uniform(400));
+    auto txn = tm.Begin();
+    for (int i = 0; i < n; ++i) {
+      // c is an exact multiple of 0.25, so parallel FP sums are exact.
+      ASSERT_TRUE(tm.Insert(txn.get(), t,
+                            {Value::Int(static_cast<int64_t>(rng.Uniform(20))),
+                             Value::Int(static_cast<int64_t>(rng.Uniform(1000))),
+                             Value::Dbl(static_cast<double>(rng.Uniform(4000)) * 0.25)})
+                      .ok());
+    }
+    ASSERT_TRUE(tm.Commit(txn.get()).ok());
+    if (rng.Bernoulli(0.5)) t->Merge();
+    if (n > 0 && rng.Bernoulli(0.5)) {
+      auto del = tm.Begin();
+      for (int d = 0; d < 10; ++d) {
+        (void)tm.Delete(del.get(), t, rng.Uniform(static_cast<uint64_t>(n)));
+      }
+      ASSERT_TRUE(tm.Commit(del.get()).ok());
+    }
+    ColumnTable* dim = *db.CreateTable(
+        "dim", Schema({ColumnDef("k", DataType::kInt64),
+                       ColumnDef("payload", DataType::kInt64)}));
+    auto dtxn = tm.Begin();
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(tm.Insert(dtxn.get(), dim,
+                            {Value::Int(static_cast<int64_t>(rng.Uniform(20))),
+                             Value::Int(i)})
+                      .ok());
+    }
+    ASSERT_TRUE(tm.Commit(dtxn.get()).ok());
+
+    // Random plan: scan [+ pushed predicate] [+ filter] then one of
+    // {nothing, join, aggregate, sort+limit}.
+    PlanBuilder builder = PlanBuilder::Scan("t");
+    PlanPtr scan = std::move(builder).Build();
+    if (rng.Bernoulli(0.5)) {
+      CmpOp ops[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe, CmpOp::kEq};
+      scan->scan_predicate =
+          Expr::Compare(ops[rng.Uniform(5)], Expr::Column(rng.Uniform(2)),
+                        Expr::Literal(Value::Int(static_cast<int64_t>(
+                            rng.Uniform(rng.Bernoulli(0.5) ? 20 : 1000)))));
+    }
+    PlanBuilder chain = PlanBuilder::From(scan);
+    if (rng.Bernoulli(0.4)) {
+      chain = std::move(chain).Filter(
+          Expr::Compare(CmpOp::kGe, Expr::Column(2),
+                        Expr::Literal(Value::Dbl(rng.Uniform(1000) * 0.25))));
+    }
+    switch (rng.Uniform(4)) {
+      case 0:
+        break;
+      case 1:
+        chain = std::move(chain).HashJoin(PlanBuilder::Scan("dim").Build(),
+                                          /*left_key=*/0, /*right_key=*/0);
+        break;
+      case 2: {
+        std::vector<AggSpec> aggs;
+        aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+        aggs.push_back({AggFunc::kSum, Expr::Column(2), "sum_c"});
+        aggs.push_back({AggFunc::kMin, Expr::Column(1), "min_b"});
+        aggs.push_back({AggFunc::kMax, Expr::Column(2), "max_c"});
+        if (rng.Bernoulli(0.5)) aggs.push_back({AggFunc::kAvg, Expr::Column(2), "avg_c"});
+        std::vector<size_t> group_by;
+        if (rng.Bernoulli(0.7)) group_by.push_back(0);
+        chain = std::move(chain).Aggregate(group_by, aggs);
+        break;
+      }
+      default:
+        chain = std::move(chain)
+                    .Sort({{rng.Uniform(3), rng.Bernoulli(0.5)}})
+                    .Limit(1 + rng.Uniform(200));
+    }
+    PlanPtr plan = std::move(chain).Build();
+
+    Executor serial(&db, tm.AutoCommitView());
+    auto expect = serial.Execute(plan);
+    ASSERT_TRUE(expect.ok()) << ctx << ": " << expect.status().ToString();
+
+    ExecOptions opts;
+    opts.num_threads = 2 + rng.Uniform(7);
+    opts.morsel_rows = 1 + rng.Uniform(static_cast<uint64_t>(n) + 8);
+    opts.pool = &pool;
+    Executor parallel(&db, tm.AutoCommitView(), opts);
+    auto got = parallel.Execute(plan);
+    ASSERT_TRUE(got.ok()) << ctx << ": " << got.status().ToString();
+
+    // Canonical comparison: the morsel merge is deterministic, so row
+    // content AND order must match the serial oracle exactly.
+    ASSERT_EQ(expect->num_rows(), got->num_rows())
+        << ctx << " threads=" << opts.num_threads << " morsel=" << opts.morsel_rows
+        << "\nplan:\n" << plan->ToString();
+    for (size_t r = 0; r < expect->num_rows(); ++r) {
+      ASSERT_EQ(expect->rows[r], got->rows[r])
+          << ctx << " row=" << r << " threads=" << opts.num_threads
+          << " morsel=" << opts.morsel_rows << "\nplan:\n" << plan->ToString();
+    }
+    EXPECT_EQ(serial.stats().rows_scanned, parallel.stats().rows_scanned) << ctx;
+    EXPECT_EQ(serial.stats().rows_materialized, parallel.stats().rows_materialized)
+        << ctx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelOracle, ::testing::Range(1, 9));
 
 // ---------- SOE log record encode/decode fuzz ----------
 
