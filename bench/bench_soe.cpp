@@ -10,6 +10,15 @@
 //   Soe_InsertCommit              - end-to-end commit through the broker
 //   Soe_OlapStaleness             - staleness (log offsets) an OLAP node
 //     accumulates under write load, and the Poll cost to catch up
+//
+// E20 (fault model, DESIGN.md §9): availability and recovery under chaos.
+//   Soe_ChaosAvailability/<drop%> - distributed aggregates on a cluster
+//     whose fabric drops <drop%> of messages; counters report the fraction
+//     of queries that still succeed, the retry volume paying for it, and
+//     the modeled (virtual-clock) latency per query
+//   Soe_ChaosRecovery             - kill a node, Rebalance (log replay onto
+//     the survivors), then prove the cluster answers — the timed region is
+//     the whole crash-to-served-query recovery
 
 #include <benchmark/benchmark.h>
 
@@ -113,6 +122,84 @@ void Soe_OlapStaleness(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(Soe_OlapStaleness);
+
+void Soe_ChaosAvailability(benchmark::State& state) {
+  SoeCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.net.drop_probability = static_cast<double>(state.range(0)) / 100.0;
+  opts.net.delay_probability = 0.2;
+  opts.retry.max_attempts = 6;
+  SoeCluster cluster(opts);
+  (void)cluster.CreateTable("readings", ReadingsSchema(),
+                            PartitionSpec::Hash("sensor", 8), /*replication=*/2);
+  std::vector<Row> rows;
+  Random rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(rng.Uniform(100000))),
+                    Value::Dbl(rng.NextDouble() * 100)});
+  }
+  (void)cluster.CommitInserts("readings", rows);
+
+  AggSpec cnt{AggFunc::kCount, nullptr, "cnt"};
+  AggSpec sum{AggFunc::kSum, Expr::Column(1), "sum"};
+  uint64_t served = 0, failed = 0;
+  uint64_t virtual_start = cluster.network().virtual_nanos();
+  uint64_t retries_start = cluster.total_retries();
+  for (auto _ : state) {
+    auto rs = cluster.DistributedAggregate("readings", nullptr, "", {cnt, sum});
+    if (rs.ok()) {
+      ++served;
+      benchmark::DoNotOptimize(rs->rows[0][1].NumericValue());
+    } else {
+      ++failed;
+    }
+  }
+  double queries = static_cast<double>(served + failed);
+  state.counters["drop_pct"] = static_cast<double>(state.range(0));
+  state.counters["availability"] = queries == 0 ? 0 : static_cast<double>(served) / queries;
+  state.counters["retries_per_query"] =
+      queries == 0 ? 0
+                   : static_cast<double>(cluster.total_retries() - retries_start) / queries;
+  state.counters["virtual_us_per_query"] =
+      queries == 0
+          ? 0
+          : static_cast<double>(cluster.network().virtual_nanos() - virtual_start) /
+                queries / 1e3;
+  state.counters["dropped_msgs"] = static_cast<double>(cluster.network().dropped());
+}
+BENCHMARK(Soe_ChaosAvailability)->Arg(0)->Arg(5)->Arg(10)->Arg(25);
+
+void Soe_ChaosRecovery(benchmark::State& state) {
+  AggSpec cnt{AggFunc::kCount, nullptr, "cnt"};
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // cluster + data setup is not part of recovery
+    SoeCluster::Options opts;
+    opts.num_nodes = 4;
+    SoeCluster cluster(opts);
+    (void)cluster.CreateTable("readings", ReadingsSchema(),
+                              PartitionSpec::Hash("sensor", 8), /*replication=*/2);
+    Random rng(3);
+    for (int batch = 0; batch < 200; ++batch) {  // 200 commits of 100 rows
+      std::vector<Row> rows;
+      for (int i = 0; i < 100; ++i) {
+        rows.push_back({Value::Int(static_cast<int64_t>(rng.Uniform(100000))),
+                        Value::Dbl(rng.NextDouble())});
+      }
+      (void)cluster.CommitInserts("readings", rows);
+    }
+    state.ResumeTiming();
+
+    // Crash-to-served-query: kill, rebuild replicas from the log, answer.
+    (void)cluster.KillNode(0);
+    (void)cluster.Rebalance();
+    auto rs = cluster.DistributedAggregate("readings", nullptr, "", {cnt});
+    benchmark::DoNotOptimize(rs->rows[0][0]);
+    replayed = cluster.log().Tail();
+  }
+  state.counters["log_records_replayed"] = static_cast<double>(replayed);
+}
+BENCHMARK(Soe_ChaosRecovery)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace poly

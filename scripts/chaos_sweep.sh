@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the seeded chaos oracle once per seed and prints every failing seed
+# with the exact command to replay it. The oracle is fully deterministic, so
+# a failing seed reproduces the failure byte-for-byte.
+#
+# Usage: scripts/chaos_sweep.sh [num_seeds] [build_dir]
+#   num_seeds  seeds 1..N to sweep (default 50)
+#   build_dir  cmake build directory containing tests/poly_tests (default build)
+set -u
+
+NUM_SEEDS="${1:-50}"
+BUILD_DIR="${2:-build}"
+TESTS_BIN="$BUILD_DIR/tests/poly_tests"
+
+if [[ ! -x "$TESTS_BIN" ]]; then
+  echo "error: $TESTS_BIN not found or not executable." >&2
+  echo "build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+
+failing=()
+for seed in $(seq 1 "$NUM_SEEDS"); do
+  if POLY_CHAOS_SEED="$seed" "$TESTS_BIN" --gtest_filter='ChaosOracle.*' \
+      --gtest_brief=1 >/dev/null 2>&1; then
+    printf 'seed %4d: ok\n' "$seed"
+  else
+    printf 'seed %4d: FAILED\n' "$seed"
+    failing+=("$seed")
+  fi
+done
+
+echo
+if [[ ${#failing[@]} -eq 0 ]]; then
+  echo "chaos sweep: all $NUM_SEEDS seeds passed"
+  exit 0
+fi
+
+echo "chaos sweep: ${#failing[@]}/$NUM_SEEDS seeds FAILED: ${failing[*]}"
+echo "replay one with:"
+echo "  POLY_CHAOS_SEED=${failing[0]} $TESTS_BIN --gtest_filter='ChaosOracle.*'"
+exit 1

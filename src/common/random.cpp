@@ -60,6 +60,17 @@ std::string Random::NextString(size_t len) {
   return s;
 }
 
+Random Random::Fork() { return Random(Next()); }
+
+uint64_t Random::Mix(uint64_t seed, uint64_t salt) {
+  uint64_t x = seed + salt * 0x9E3779B97F4A7C15ULL;
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
     : n_(n), theta_(theta), rng_(seed) {
   zetan_ = Zeta(n, theta);

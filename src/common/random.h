@@ -28,6 +28,15 @@ class Random {
   /// Random lowercase ASCII string of length `len`.
   std::string NextString(size_t len);
 
+  /// Derives an independent child stream (seeded from this stream's next
+  /// draw). Lets one master seed drive several components — workload,
+  /// fault fabric, retry jitter — without their draws interleaving.
+  Random Fork();
+
+  /// Stateless SplitMix64 hash of (seed, salt): a stable way to derive
+  /// per-component seeds from one master seed.
+  static uint64_t Mix(uint64_t seed, uint64_t salt);
+
  private:
   uint64_t s0_;
   uint64_t s1_;

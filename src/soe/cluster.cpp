@@ -1,5 +1,6 @@
 #include "soe/cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 
@@ -10,11 +11,98 @@ namespace poly {
 SoeCluster::SoeCluster(Options options)
     : options_(options),
       net_(options.net),
-      log_(SharedLog::Options{options.log_units, options.log_replication}, &net_) {
+      log_(SharedLog::Options{options.log_units, options.log_replication}, &net_),
+      jitter_rng_(Random::Mix(options.fault_seed, 0x6a17)) {
   for (int i = 0; i < options_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<SoeNode>(i, options_.default_mode));
     discovery_.RegisterNode(i);
   }
+}
+
+// ---- fault schedule ----
+
+void SoeCluster::InstallFaultSchedule(FaultSchedule schedule) {
+  fault_schedule_ = std::move(schedule);
+}
+
+void SoeCluster::PumpFaults() {
+  uint64_t now = net_.virtual_nanos();
+  while (const FaultEvent* e = fault_schedule_.Peek()) {
+    if (e->at_virtual_nanos > now) break;
+    switch (e->kind) {
+      case FaultEvent::Kind::kCrashNode:
+        if (e->a >= 0 && e->a < num_nodes()) (void)KillNode(e->a);
+        break;
+      case FaultEvent::Kind::kRestartNode:
+        if (e->a >= 0 && e->a < num_nodes()) (void)RestartNode(e->a);
+        break;
+      case FaultEvent::Kind::kPartition:
+        net_.Partition(e->a, e->b);
+        break;
+      case FaultEvent::Kind::kPartitionOneWay:
+        net_.PartitionOneWay(e->a, e->b);
+        break;
+      case FaultEvent::Kind::kHeal:
+        net_.Heal(e->a, e->b);
+        break;
+      case FaultEvent::Kind::kHealAll:
+        net_.HealAll();
+        break;
+      case FaultEvent::Kind::kSetDropRate: {
+        SimulatedNetwork::Options opts = net_.options();
+        opts.drop_probability = e->value;
+        net_.set_options(opts);
+        break;
+      }
+      case FaultEvent::Kind::kSetDuplicateRate: {
+        SimulatedNetwork::Options opts = net_.options();
+        opts.duplicate_probability = e->value;
+        net_.set_options(opts);
+        break;
+      }
+      case FaultEvent::Kind::kSetDelayRate: {
+        SimulatedNetwork::Options opts = net_.options();
+        opts.delay_probability = e->value;
+        net_.set_options(opts);
+        break;
+      }
+    }
+    fault_schedule_.Pop();
+  }
+}
+
+// ---- retry layer ----
+
+uint64_t SoeCluster::BackoffNanos(int attempt) {
+  uint64_t backoff = options_.retry.base_backoff_nanos;
+  for (int i = 0; i < attempt && backoff < options_.retry.max_backoff_nanos; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.retry.max_backoff_nanos);
+  // Half fixed + half jitter: desynchronizes competing retriers while the
+  // seeded stream keeps every run replayable.
+  return backoff / 2 + jitter_rng_.Uniform(backoff / 2 + 1);
+}
+
+Status SoeCluster::WithRetries(const char* what, const std::function<Status()>& op) {
+  uint64_t start = net_.virtual_nanos();
+  Status st;
+  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++total_retries_;
+      net_.AdvanceVirtualTime(BackoffNanos(attempt - 1));
+      PumpFaults();  // time passed: scheduled heals/cuts may fire
+      if (net_.virtual_nanos() - start >= options_.retry.op_timeout_nanos) {
+        return Status::Unavailable(std::string(what) + " timed out after " +
+                                   std::to_string(attempt) + " attempts: " + st.message());
+      }
+    }
+    st = op();
+    if (st.ok() || !st.IsUnavailable()) return st;  // only Unavailable is transient
+  }
+  return Status::Unavailable(std::string(what) + " failed after " +
+                             std::to_string(options_.retry.max_attempts) +
+                             " attempts: " + st.message());
 }
 
 Status SoeCluster::CreateTable(const std::string& name, const Schema& schema,
@@ -42,6 +130,7 @@ Status SoeCluster::CreateTable(const std::string& name, const Schema& schema,
 
 StatusOr<uint64_t> SoeCluster::CommitInserts(const std::string& table,
                                              const std::vector<Row>& rows) {
+  PumpFaults();
   POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
   POLY_ASSIGN_OR_RETURN(size_t key_col, info->schema.IndexOf(info->spec.column));
   SoeLogRecord record;
@@ -57,20 +146,35 @@ StatusOr<uint64_t> SoeCluster::CommitInserts(const std::string& table,
     record.writes.push_back(std::move(w));
   }
   // v2transact: serialize + persist through the shared log; the offset is
-  // the global commit timestamp.
+  // the global commit timestamp. A failed append consumes no offset, so
+  // the bounded retry below re-submits the identical record safely.
   std::string encoded = record.Encode();
-  net_.Send(encoded.size());  // client -> broker
-  POLY_ASSIGN_OR_RETURN(uint64_t offset, log_.Append(std::move(encoded)));
+  net_.Send(encoded.size());  // client -> broker (in-process control plane)
+  uint64_t offset = 0;
+  POLY_RETURN_IF_ERROR(WithRetries("log append", [&]() -> Status {
+    POLY_ASSIGN_OR_RETURN(offset, log_.Append(encoded));
+    return Status::OK();
+  }));
 
   // OLTP nodes hosting touched partitions incorporate the log in-line.
+  // Best-effort: the commit is already durable, so a node that stays
+  // unreachable after retries simply remains stale until it next syncs.
   for (const SoeWrite& w : record.writes) {
     for (int n : info->placement[w.partition]) {
       if (!discovery_.IsAlive(n)) continue;
       if (nodes_[n]->mode() != NodeMode::kOltp) continue;
-      POLY_RETURN_IF_ERROR(nodes_[n]->ApplyUpTo(log_, offset + 1));
+      if (nodes_[n]->applied_offset() > offset) continue;  // batch already applied
+      (void)WithRetries("oltp apply", [&] { return nodes_[n]->ApplyUpTo(log_, offset + 1); });
     }
   }
   return offset;
+}
+
+Status SoeCluster::SyncForRead(SoeNode* node) {
+  if (node->mode() == NodeMode::kOltp) {
+    return node->ApplyUpTo(log_, log_.Tail());
+  }
+  return Status::OK();  // OLAP nodes serve their (possibly stale) snapshot
 }
 
 StatusOr<int> SoeCluster::RouteToNode(const CatalogService::TableInfo& info,
@@ -81,11 +185,63 @@ StatusOr<int> SoeCluster::RouteToNode(const CatalogService::TableInfo& info,
   return Status::Unavailable("no live replica for partition " + std::to_string(partition));
 }
 
-Status SoeCluster::SyncForRead(SoeNode* node) {
-  if (node->mode() == NodeMode::kOltp) {
-    return node->ApplyUpTo(log_, log_.Tail());
+StatusOr<ResultSet> SoeCluster::RunPartitionTask(const CatalogService::TableInfo& info,
+                                                 size_t p, const PlanPtr& plan,
+                                                 int* served_by) {
+  uint64_t start = net_.virtual_nanos();
+  Status last = Status::Unavailable("no live replica for partition " + std::to_string(p));
+  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++last_stats_.retries;
+      ++total_retries_;
+      net_.AdvanceVirtualTime(BackoffNanos(attempt - 1));
+      PumpFaults();
+      if (net_.virtual_nanos() - start >= options_.retry.op_timeout_nanos) break;
+    }
+    // One pass over the replica set per attempt: primary first, then
+    // failover candidates.
+    bool on_primary = true;
+    for (int n : info.placement[p]) {
+      if (!discovery_.IsAlive(n)) {
+        on_primary = false;
+        continue;
+      }
+      SoeNode* node = nodes_[n].get();
+      ResultSet result;
+      uint64_t exec_nanos = 0;
+      uint64_t gathered = 0;
+      Status st = [&]() -> Status {
+        // Task dispatch (coordinator -> node), freshness sync (node <-> log),
+        // local execution, then the result rows (node -> coordinator). Any
+        // lost message fails the whole task; nothing merges until the task
+        // round-trip fully succeeds, so retries can never double-count.
+        POLY_RETURN_IF_ERROR(net_.Send(kCoordinatorEndpoint, n, 256));
+        POLY_RETURN_IF_ERROR(SyncForRead(node));
+        uint64_t before = node->busy_nanos();
+        POLY_ASSIGN_OR_RETURN(result, node->ExecuteLocal(plan));
+        exec_nanos = node->busy_nanos() - before;
+        for (const Row& row : result.rows) {
+          uint64_t row_bytes = EstimateRowBytes(row);
+          POLY_RETURN_IF_ERROR(net_.Send(n, kCoordinatorEndpoint, row_bytes));
+          gathered += row_bytes;
+        }
+        return Status::OK();
+      }();
+      if (st.ok()) {
+        if (!on_primary) ++last_stats_.failovers;
+        last_stats_.result_bytes_gathered += gathered;
+        last_stats_.total_exec_nanos += exec_nanos;
+        stats_.RecordQuery(n, 0, exec_nanos);
+        *served_by = n;
+        return result;
+      }
+      if (!st.IsUnavailable()) return st;  // execution errors are not transient
+      last = st;
+      on_primary = false;
+    }
   }
-  return Status::OK();  // OLAP nodes serve their (possibly stale) snapshot
+  return Status::Unavailable("partition " + std::to_string(p) +
+                             " task failed after retries: " + last.message());
 }
 
 namespace {
@@ -110,6 +266,7 @@ StatusOr<ResultSet> SoeCluster::DistributedAggregate(const std::string& table,
                                                      const ExprPtr& predicate,
                                                      const std::string& group_column,
                                                      std::vector<AggSpec> aggregates) {
+  PumpFaults();
   POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
   last_stats_ = DistributedQueryStats{};
   last_stats_.partitions = info->spec.num_partitions;
@@ -148,27 +305,19 @@ StatusOr<ResultSet> SoeCluster::DistributedAggregate(const std::string& table,
 
   std::unordered_map<int, uint64_t> node_nanos;
   for (size_t p = 0; p < info->spec.num_partitions; ++p) {
-    POLY_ASSIGN_OR_RETURN(int n, RouteToNode(*info, p));
-    SoeNode* node = nodes_[n].get();
-    POLY_RETURN_IF_ERROR(SyncForRead(node));
-
     PlanBuilder builder = PlanBuilder::Scan(PartitionTableName(table, p));
     if (predicate) builder = std::move(builder).Filter(predicate);
     std::vector<size_t> group_by;
     if (group_col >= 0) group_by.push_back(static_cast<size_t>(group_col));
     PlanPtr local_plan = std::move(builder).Aggregate(group_by, partial_aggs).Build();
 
-    net_.Send(256);  // task dispatch (coordinator -> node)
-    uint64_t before = node->busy_nanos();
-    POLY_ASSIGN_OR_RETURN(ResultSet partial, node->ExecuteLocal(local_plan));
-    uint64_t spent = node->busy_nanos() - before;
-    node_nanos[n] += spent;
-    last_stats_.total_exec_nanos += spent;
-    stats_.RecordQuery(n, 0, spent);
+    int served_by = -1;
+    uint64_t before_exec = last_stats_.total_exec_nanos;
+    POLY_ASSIGN_OR_RETURN(ResultSet partial, RunPartitionTask(*info, p, local_plan,
+                                                              &served_by));
+    node_nanos[served_by] += last_stats_.total_exec_nanos - before_exec;
 
     for (const Row& row : partial.rows) {
-      net_.Send(EstimateRowBytes(row));
-      last_stats_.result_bytes_gathered += EstimateRowBytes(row);
       Value key = group_col >= 0 ? row[0] : Value::Null();
       size_t base = group_col >= 0 ? 1 : 0;
       auto it = groups.find(key);
@@ -253,6 +402,7 @@ StatusOr<ResultSet> SoeCluster::DistributedAggregate(const std::string& table,
 
 StatusOr<ResultSet> SoeCluster::DistributedScan(const std::string& table,
                                                 const ExprPtr& predicate) {
+  PumpFaults();
   POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
   last_stats_ = DistributedQueryStats{};
   last_stats_.partitions = info->spec.num_partitions;
@@ -262,26 +412,21 @@ StatusOr<ResultSet> SoeCluster::DistributedScan(const std::string& table,
   }
   std::unordered_map<int, uint64_t> node_nanos;
   for (size_t p = 0; p < info->spec.num_partitions; ++p) {
-    POLY_ASSIGN_OR_RETURN(int n, RouteToNode(*info, p));
-    SoeNode* node = nodes_[n].get();
-    POLY_RETURN_IF_ERROR(SyncForRead(node));
     PlanBuilder builder = PlanBuilder::Scan(PartitionTableName(table, p));
     if (predicate) builder = std::move(builder).Filter(predicate);
-    net_.Send(256);
-    uint64_t before = node->busy_nanos();
-    POLY_ASSIGN_OR_RETURN(ResultSet part, node->ExecuteLocal(std::move(builder).Build()));
-    node_nanos[n] += node->busy_nanos() - before;
+    PlanPtr local_plan = std::move(builder).Build();
+    int served_by = -1;
+    uint64_t before_exec = last_stats_.total_exec_nanos;
+    POLY_ASSIGN_OR_RETURN(ResultSet part, RunPartitionTask(*info, p, local_plan,
+                                                           &served_by));
+    node_nanos[served_by] += last_stats_.total_exec_nanos - before_exec;
     for (Row& row : part.rows) {
-      uint64_t bytes = EstimateRowBytes(row);
-      net_.Send(bytes);
-      last_stats_.result_bytes_gathered += bytes;
       out.rows.push_back(std::move(row));
     }
   }
   last_stats_.nodes_used = node_nanos.size();
   for (const auto& [_, nanos] : node_nanos) {
     last_stats_.makespan_nanos = std::max(last_stats_.makespan_nanos, nanos);
-    last_stats_.total_exec_nanos += nanos;
   }
   return out;
 }
@@ -294,15 +439,24 @@ Status SoeCluster::SetNodeMode(int node, NodeMode mode) {
   return Status::OK();
 }
 
-Status SoeCluster::KillNode(int node) { return discovery_.MarkDown(node); }
+Status SoeCluster::KillNode(int node) {
+  POLY_RETURN_IF_ERROR(discovery_.MarkDown(node));
+  net_.SetEndpointDown(node, true);
+  return Status::OK();
+}
 
-Status SoeCluster::RestartNode(int node) { return discovery_.MarkUp(node); }
+Status SoeCluster::RestartNode(int node) {
+  POLY_RETURN_IF_ERROR(discovery_.MarkUp(node));
+  net_.SetEndpointDown(node, false);
+  return Status::OK();
+}
 
 Status SoeCluster::Rebalance() {
   // For every partition whose replica set contains dead nodes, place a new
   // replica on the least-loaded live node not already hosting it, rebuilt
   // by replaying the shared log (partitions are "prepackaged" for exactly
   // this fast redistribution, §IV-B).
+  PumpFaults();
   std::vector<int> live = discovery_.LiveNodes();
   if (live.empty()) return Status::Unavailable("no live nodes");
   for (const std::string& table : catalog_.TableNames()) {
@@ -328,11 +482,16 @@ Status SoeCluster::Rebalance() {
           }
         }
         if (best < 0) break;  // not enough live nodes
-        POLY_RETURN_IF_ERROR(nodes_[best]->HostPartition(table, p, info->schema));
         // History the node already skipped for this partition, then the
-        // shared tail it has not reached yet.
-        POLY_RETURN_IF_ERROR(nodes_[best]->BackfillPartition(log_, table, p));
-        POLY_RETURN_IF_ERROR(nodes_[best]->ApplyUpTo(log_, log_.Tail()));
+        // shared tail it has not reached yet. The whole rebuild retries as
+        // a unit; the backfill cursor makes an interrupted replay resume
+        // instead of double-applying (AlreadyExists marks such a resume).
+        POLY_RETURN_IF_ERROR(WithRetries("partition rebuild", [&]() -> Status {
+          Status hosted = nodes_[best]->HostPartition(table, p, info->schema);
+          if (!hosted.ok() && hosted.code() != StatusCode::kAlreadyExists) return hosted;
+          POLY_RETURN_IF_ERROR(nodes_[best]->BackfillPartition(log_, table, p));
+          return nodes_[best]->ApplyUpTo(log_, log_.Tail());
+        }));
         replicas.push_back(best);
         ++live_count;
       }
@@ -345,8 +504,10 @@ StatusOr<uint64_t> SoeCluster::PollNode(int node) {
   if (node < 0 || node >= static_cast<int>(nodes_.size())) {
     return Status::InvalidArgument("no node " + std::to_string(node));
   }
+  PumpFaults();
   uint64_t before = nodes_[node]->records_applied();
-  POLY_RETURN_IF_ERROR(nodes_[node]->ApplyUpTo(log_, log_.Tail()));
+  POLY_RETURN_IF_ERROR(WithRetries(
+      "poll", [&] { return nodes_[node]->ApplyUpTo(log_, log_.Tail()); }));
   uint64_t applied = nodes_[node]->records_applied() - before;
   stats_.RecordApply(node, applied);
   return applied;

@@ -1,10 +1,13 @@
 #ifndef POLY_SOE_CLUSTER_H_
 #define POLY_SOE_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
+#include "soe/fault_schedule.h"
 #include "soe/node.h"
 #include "soe/services.h"
 #include "soe/shared_log.h"
@@ -18,6 +21,19 @@ struct DistributedQueryStats {
   uint64_t result_bytes_gathered = 0;
   uint64_t makespan_nanos = 0;  ///< max per-node local execution time
   uint64_t total_exec_nanos = 0;
+  uint64_t retries = 0;    ///< per-partition task attempts beyond the first
+  uint64_t failovers = 0;  ///< tasks answered by a non-primary replica
+};
+
+/// Bounded-retry policy for cluster operations over the fault fabric:
+/// exponential backoff with jitter, capped per attempt and by a virtual-time
+/// operation deadline. Backoff waits advance the network's virtual clock
+/// (and can therefore fire scheduled heal events).
+struct RetryPolicy {
+  int max_attempts = 5;
+  uint64_t base_backoff_nanos = 200 * 1000;     ///< 200 µs first backoff
+  uint64_t max_backoff_nanos = 20 * 1000 * 1000;   ///< 20 ms cap per wait
+  uint64_t op_timeout_nanos = 400 * 1000 * 1000;   ///< 400 ms virtual deadline
 };
 
 /// The SAP HANA SOE as one object graph (Figure 3): query-processing nodes
@@ -25,7 +41,9 @@ struct DistributedQueryStats {
 /// broker over the CORFU-style shared log (v2transact), the catalog/data
 /// discovery (v2catalog), discovery&auth (v2disc&auth), and the cluster
 /// manager with its statistics service (v2clustermgr, v2stats). Nodes are
-/// in-process objects; the network is cost-accounted (src/soe/network.h).
+/// in-process objects; the network is a cost-accounted fault-injection
+/// fabric (src/soe/network.h): a dropped message surfaces as a retried
+/// call, never as silent success.
 class SoeCluster {
  public:
   struct Options {
@@ -34,6 +52,8 @@ class SoeCluster {
     int log_replication = 2;
     NodeMode default_mode = NodeMode::kOltp;
     SimulatedNetwork::Options net;
+    RetryPolicy retry;
+    uint64_t fault_seed = 42;  ///< seeds retry jitter (forked from net's stream)
   };
 
   explicit SoeCluster(Options options);
@@ -49,7 +69,9 @@ class SoeCluster {
 
   /// Commits one transaction of inserts; returns its commit offset. OLTP
   /// nodes hosting touched partitions apply synchronously; OLAP nodes lag
-  /// until Poll.
+  /// until Poll. The append is retried under the RetryPolicy; an OK return
+  /// means the record is durable in the log (node applies are best-effort
+  /// — an unreachable node just stays stale until it next syncs).
   StatusOr<uint64_t> CommitInserts(const std::string& table, const std::vector<Row>& rows);
   StatusOr<uint64_t> Insert(const std::string& table, const Row& row) {
     return CommitInserts(table, {row});
@@ -59,13 +81,14 @@ class SoeCluster {
 
   /// Scatter/gather aggregate: predicate + aggregates (+ optional group-by
   /// column) evaluated per partition, partials merged at the coordinator.
-  /// AVG is decomposed into SUM+COUNT for mergeability.
+  /// AVG is decomposed into SUM+COUNT for mergeability. Per-partition tasks
+  /// retry with backoff and fail over across replicas.
   StatusOr<ResultSet> DistributedAggregate(const std::string& table,
                                            const ExprPtr& predicate,
                                            const std::string& group_column,
                                            std::vector<AggSpec> aggregates);
 
-  /// Scatter/gather row collection.
+  /// Scatter/gather row collection (same retry/failover discipline).
   StatusOr<ResultSet> DistributedScan(const std::string& table, const ExprPtr& predicate);
 
   const DistributedQueryStats& last_query_stats() const { return last_stats_; }
@@ -73,11 +96,15 @@ class SoeCluster {
   // ---- Node lifecycle (cluster manager, v2clustermgr) ----
 
   Status SetNodeMode(int node, NodeMode mode);
-  /// Simulates a node crash: discovery marks it down, queries fail over.
+  /// Simulates a node crash: discovery marks it down, the fabric isolates
+  /// it, queries fail over. The node keeps its state and catches up from
+  /// the log on restart.
   Status KillNode(int node);
   Status RestartNode(int node);
   /// Rebuilds all partitions of dead nodes onto live ones by replaying the
   /// shared log (the prepackaged-partition redistribution of §IV-B).
+  /// Idempotent and resumable: interrupted replays continue from their
+  /// per-partition watermark on the next call.
   Status Rebalance();
 
   /// OLAP catch-up ("updates can be incorporated by regularly polling the
@@ -85,6 +112,19 @@ class SoeCluster {
   StatusOr<uint64_t> PollNode(int node);
   /// Commit offset lag of a node against the log tail.
   uint64_t Staleness(int node) const;
+
+  // ---- Fault schedule (chaos harness) ----
+
+  /// Installs a scripted fault sequence, fired as the virtual clock passes
+  /// each event's time. Replaces any previous schedule.
+  void InstallFaultSchedule(FaultSchedule schedule);
+  /// Fires every due event; called automatically at operation boundaries
+  /// and inside retry backoffs.
+  void PumpFaults();
+  size_t fault_events_fired() const { return fault_schedule_.fired(); }
+
+  /// Total per-operation retry waits performed since construction.
+  uint64_t total_retries() const { return total_retries_; }
 
   // ---- Introspection ----
   SoeNode* node(int id) { return nodes_[id].get(); }
@@ -100,6 +140,15 @@ class SoeCluster {
   StatusOr<int> RouteToNode(const CatalogService::TableInfo& info, size_t partition) const;
   /// Brings an OLTP node up to the log tail before it serves a read.
   Status SyncForRead(SoeNode* node);
+  /// Runs `op` with bounded retries/backoff on Unavailable. Non-retryable
+  /// errors pass through unchanged.
+  Status WithRetries(const char* what, const std::function<Status()>& op);
+  /// Backoff for `attempt` (0-based): exponential, capped, half jittered.
+  uint64_t BackoffNanos(int attempt);
+  /// Dispatches `plan` for partition `p` to a live replica with retry and
+  /// failover; on success returns the rows and the serving node via `served_by`.
+  StatusOr<ResultSet> RunPartitionTask(const CatalogService::TableInfo& info,
+                                       size_t p, const PlanPtr& plan, int* served_by);
 
   Options options_;
   SimulatedNetwork net_;
@@ -110,6 +159,9 @@ class SoeCluster {
   std::vector<std::unique_ptr<SoeNode>> nodes_;
   int next_placement_ = 0;
   DistributedQueryStats last_stats_;
+  FaultSchedule fault_schedule_;
+  Random jitter_rng_;
+  uint64_t total_retries_ = 0;
 };
 
 }  // namespace poly

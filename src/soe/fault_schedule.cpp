@@ -1,0 +1,62 @@
+#include "soe/fault_schedule.h"
+
+#include <algorithm>
+
+#include "soe/network.h"
+
+namespace poly {
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_virtual_nanos < b.at_virtual_nanos;
+                   });
+}
+
+FaultSchedule FaultSchedule::RandomSchedule(uint64_t seed, int num_nodes,
+                                            int num_log_units, uint64_t horizon_nanos,
+                                            int num_disruptions) {
+  Random rng(seed);
+  std::vector<FaultEvent> events;
+  if (num_nodes < 1 || horizon_nanos == 0) return FaultSchedule(std::move(events));
+  for (int i = 0; i < num_disruptions; ++i) {
+    uint64_t start = rng.Uniform(horizon_nanos);
+    // Cuts last 5-25% of the horizon, then heal — transient by construction.
+    uint64_t duration = horizon_nanos / 20 + rng.Uniform(horizon_nanos / 5);
+    uint64_t end = std::min(start + duration, horizon_nanos - 1);
+    switch (rng.Uniform(4)) {
+      case 0: {  // symmetric node<->node cut
+        int a = static_cast<int>(rng.Uniform(num_nodes));
+        int b = static_cast<int>(rng.Uniform(num_nodes));
+        if (a == b) b = (b + 1) % num_nodes;
+        events.push_back({start, FaultEvent::Kind::kPartition, a, b, 0});
+        events.push_back({end, FaultEvent::Kind::kHeal, a, b, 0});
+        break;
+      }
+      case 1: {  // asymmetric coordinator -> node cut (requests lost, not replies)
+        int a = static_cast<int>(rng.Uniform(num_nodes));
+        events.push_back(
+            {start, FaultEvent::Kind::kPartitionOneWay, kCoordinatorEndpoint, a, 0});
+        events.push_back({end, FaultEvent::Kind::kHeal, kCoordinatorEndpoint, a, 0});
+        break;
+      }
+      case 2: {  // node cut off from one log unit (replay must fail over)
+        int a = static_cast<int>(rng.Uniform(num_nodes));
+        int u = num_log_units > 0 ? static_cast<int>(rng.Uniform(num_log_units)) : 0;
+        events.push_back({start, FaultEvent::Kind::kPartition, a, LogUnitEndpoint(u), 0});
+        events.push_back({end, FaultEvent::Kind::kHeal, a, LogUnitEndpoint(u), 0});
+        break;
+      }
+      default: {  // lossy phase: raise the drop rate, then restore it
+        double rate = 0.05 + 0.25 * rng.NextDouble();
+        events.push_back({start, FaultEvent::Kind::kSetDropRate, -1, -1, rate});
+        events.push_back({end, FaultEvent::Kind::kSetDropRate, -1, -1, 0.0});
+        break;
+      }
+    }
+  }
+  return FaultSchedule(std::move(events));
+}
+
+}  // namespace poly

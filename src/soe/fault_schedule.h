@@ -1,0 +1,69 @@
+#ifndef POLY_SOE_FAULT_SCHEDULE_H_
+#define POLY_SOE_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace poly {
+
+/// One scripted fault: "at virtual time T, do X". Node events use cluster
+/// node ids; partition events use network endpoint ids (node ids and the
+/// reserved negative endpoints of network.h), so a schedule can also cut a
+/// node off from the shared log or the coordinator.
+struct FaultEvent {
+  enum class Kind {
+    kCrashNode,        ///< a: node id — discovery down + network isolated
+    kRestartNode,      ///< a: node id — rejoins (keeps state, catches up)
+    kPartition,        ///< a, b: endpoints — symmetric link cut
+    kPartitionOneWay,  ///< a, b: endpoints — a -> b only
+    kHeal,             ///< a, b: endpoints — both directions restored
+    kHealAll,          ///< every link restored
+    kSetDropRate,      ///< value: new per-message drop probability
+    kSetDuplicateRate, ///< value: new per-message duplicate probability
+    kSetDelayRate,     ///< value: new per-message delay probability
+  };
+
+  uint64_t at_virtual_nanos = 0;
+  Kind kind = Kind::kHealAll;
+  int a = -1;
+  int b = -1;
+  double value = 0.0;
+};
+
+/// An ordered script of fault events consumed as the cluster's virtual clock
+/// advances. The cluster pumps the schedule at each operation boundary (and
+/// inside retry backoff waits), firing every event whose time has come —
+/// deterministic because the virtual clock itself is deterministic.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  /// Next unfired event, or nullptr when exhausted.
+  const FaultEvent* Peek() const {
+    return next_ < events_.size() ? &events_[next_] : nullptr;
+  }
+  void Pop() { ++next_; }
+
+  bool done() const { return next_ >= events_.size(); }
+  size_t fired() const { return next_; }
+  size_t size() const { return events_.size(); }
+
+  /// Generates a reproducible random chaos script: transient symmetric /
+  /// asymmetric partitions (every cut is healed before `horizon_nanos`),
+  /// node-from-log isolation, and drop-rate phase changes. Everything is
+  /// derived from `seed`; crash/restart decisions are intentionally left to
+  /// the driving workload, which can keep liveness invariants.
+  static FaultSchedule RandomSchedule(uint64_t seed, int num_nodes, int num_log_units,
+                                      uint64_t horizon_nanos, int num_disruptions);
+
+ private:
+  std::vector<FaultEvent> events_;  ///< sorted by at_virtual_nanos (stable)
+  size_t next_ = 0;
+};
+
+}  // namespace poly
+
+#endif  // POLY_SOE_FAULT_SCHEDULE_H_

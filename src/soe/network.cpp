@@ -1,0 +1,100 @@
+#include "soe/network.h"
+
+namespace poly {
+
+void SimulatedNetwork::Account(uint64_t bytes, uint64_t extra_delay_nanos) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  double opts_latency;
+  double opts_bw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    opts_latency = options_.latency_nanos;
+    opts_bw = options_.bandwidth_bytes_per_sec;
+  }
+  uint64_t nanos = static_cast<uint64_t>(
+      opts_latency + static_cast<double>(bytes) / opts_bw * 1e9);
+  virtual_nanos_.fetch_add(nanos + extra_delay_nanos, std::memory_order_relaxed);
+}
+
+bool SimulatedNetwork::BlockedLocked(int from, int to) const {
+  return down_.count(from) > 0 || down_.count(to) > 0 ||
+         blocked_.count({from, to}) > 0;
+}
+
+Status SimulatedNetwork::Send(int from, int to, uint64_t bytes) {
+  bool blocked;
+  bool drop = false;
+  bool duplicate = false;
+  uint64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked = BlockedLocked(from, to);
+    if (!blocked) {
+      // One fixed-order draw per fault class keeps the stream aligned
+      // between runs regardless of which faults are enabled.
+      drop = options_.drop_probability > 0 && rng_.Bernoulli(options_.drop_probability);
+      duplicate = options_.duplicate_probability > 0 &&
+                  rng_.Bernoulli(options_.duplicate_probability);
+      if (options_.delay_probability > 0 && rng_.Bernoulli(options_.delay_probability)) {
+        delay = static_cast<uint64_t>(rng_.NextDouble() * options_.max_delay_nanos);
+      }
+    }
+  }
+  if (blocked) {
+    return Status::Unavailable("network partition: " + std::to_string(from) +
+                               " cannot reach " + std::to_string(to));
+  }
+  Account(bytes, delay);
+  if (delay > 0) delayed_.fetch_add(1, std::memory_order_relaxed);
+  if (drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("message " + std::to_string(from) + "->" +
+                               std::to_string(to) + " dropped");
+  }
+  if (duplicate) {
+    // The duplicate copy is charged too; delivery of the same payload twice
+    // must be idempotent at the receiver (the shared log keys by offset).
+    Account(bytes, 0);
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void SimulatedNetwork::Partition(int a, int b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_.insert({a, b});
+  blocked_.insert({b, a});
+}
+
+void SimulatedNetwork::PartitionOneWay(int from, int to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_.insert({from, to});
+}
+
+void SimulatedNetwork::Heal(int a, int b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_.erase({a, b});
+  blocked_.erase({b, a});
+}
+
+void SimulatedNetwork::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_.clear();
+}
+
+void SimulatedNetwork::SetEndpointDown(int endpoint, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_.insert(endpoint);
+  } else {
+    down_.erase(endpoint);
+  }
+}
+
+bool SimulatedNetwork::CanReach(int from, int to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !BlockedLocked(from, to);
+}
+
+}  // namespace poly

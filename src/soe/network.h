@@ -3,47 +3,137 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/random.h"
+#include "common/status.h"
 
 namespace poly {
 
+/// Well-known endpoint ids on the simulated interconnect. Cluster nodes use
+/// their non-negative node id; the coordinator/transaction-broker control
+/// plane and the shared-log units get reserved negative ids so partitions
+/// can isolate any pair of talkers.
+inline constexpr int kCoordinatorEndpoint = -1;
+/// Endpoint id of shared-log unit `unit` (unit >= 0).
+inline constexpr int LogUnitEndpoint(int unit) { return -2 - unit; }
+
 /// Simulated cluster interconnect. Nodes are in-process (the substitution
-/// for a physical cluster), so the network does pure cost accounting: every
-/// message charges a latency plus bytes/bandwidth term to a virtual clock.
-/// Experiments report this modeled time alongside real wall time.
+/// for a physical cluster), so the network does cost accounting — every
+/// message charges a latency plus bytes/bandwidth term to a virtual clock —
+/// and, when fault injection is enabled, acts as a deterministic chaos
+/// fabric: per-message drop/duplicate/delay decisions come from a seeded
+/// `poly::Random`, and endpoint pairs can be partitioned symmetrically or
+/// asymmetrically. Every run is reproducible from `Options::fault_seed`.
 class SimulatedNetwork {
  public:
   struct Options {
     double latency_nanos = 50000;          ///< 50 µs per message (datacenter RTT/2)
     double bandwidth_bytes_per_sec = 1e9;  ///< 1 GB/s links
+
+    // ---- fault injection (all off by default) ----
+    double drop_probability = 0.0;       ///< message lost in flight
+    double duplicate_probability = 0.0;  ///< message delivered (and charged) twice
+    double delay_probability = 0.0;      ///< message charged an extra queueing delay
+    double max_delay_nanos = 500000.0;   ///< delay drawn uniform in [0, max]
+    uint64_t fault_seed = 42;            ///< seeds the drop/dup/delay stream
   };
 
   SimulatedNetwork() : SimulatedNetwork(Options()) {}
-  explicit SimulatedNetwork(Options options) : options_(options) {}
+  explicit SimulatedNetwork(Options options)
+      : options_(options), rng_(options.fault_seed) {}
 
-  /// Charges one message of `bytes` to the virtual clock.
-  void Send(uint64_t bytes) {
-    messages_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  // ---- messaging ----
+
+  /// Sends one message of `bytes` from endpoint `from` to endpoint `to`.
+  /// Returns Unavailable if the pair is partitioned, an endpoint is down,
+  /// or the seeded fault stream drops the message. Dropped messages are
+  /// still charged to the virtual clock (the packet went out).
+  Status Send(int from, int to, uint64_t bytes);
+
+  /// Legacy loopback accounting (coordinator-local work): never faulted.
+  void Send(uint64_t bytes) { Account(bytes, 0); }
+
+  // ---- partitions and endpoint liveness ----
+
+  /// Blocks both directions between `a` and `b`.
+  void Partition(int a, int b);
+  /// Blocks only `from` -> `to` (asymmetric partition).
+  void PartitionOneWay(int from, int to);
+  /// Unblocks both directions between `a` and `b`.
+  void Heal(int a, int b);
+  /// Removes every partition edge (does not revive down endpoints).
+  void HealAll();
+  /// Marks an endpoint dead (all its traffic fails) or alive again.
+  void SetEndpointDown(int endpoint, bool down);
+  bool CanReach(int from, int to) const;
+
+  // ---- runtime-mutable options (fault-schedule phases) ----
+
+  Options options() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_;
   }
+  /// Swaps the option block at runtime; the fault RNG stream is preserved
+  /// (re-seeding would break replay determinism mid-run).
+  void set_options(const Options& options) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_ = options;
+  }
+
+  // ---- counters / clocks ----
 
   uint64_t messages() const { return messages_.load(std::memory_order_relaxed); }
   uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
+  uint64_t delayed() const { return delayed_.load(std::memory_order_relaxed); }
 
   /// Modeled transfer time of everything sent so far, in nanoseconds.
   double simulated_nanos() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<double>(messages()) * options_.latency_nanos +
            static_cast<double>(bytes()) / options_.bandwidth_bytes_per_sec * 1e9;
   }
 
+  /// Virtual clock: transfer time plus injected delays plus explicitly
+  /// advanced waits (retry backoff). Drives `FaultSchedule` firing.
+  uint64_t virtual_nanos() const {
+    return virtual_nanos_.load(std::memory_order_relaxed);
+  }
+  /// Advances the virtual clock without traffic (a caller sleeping out a
+  /// retry backoff).
+  void AdvanceVirtualTime(uint64_t nanos) {
+    virtual_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
   void Reset() {
-    messages_.store(0);
-    bytes_.store(0);
+    messages_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+    duplicated_.store(0, std::memory_order_relaxed);
+    delayed_.store(0, std::memory_order_relaxed);
+    virtual_nanos_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  /// Charges one message + optional extra delay to the counters and clock.
+  void Account(uint64_t bytes, uint64_t extra_delay_nanos);
+  bool BlockedLocked(int from, int to) const;
+
+  mutable std::mutex mu_;  ///< guards options_, rng_, blocked_, down_
   Options options_;
+  Random rng_;
+  std::set<std::pair<int, int>> blocked_;  ///< directed (from, to) edges
+  std::set<int> down_;
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> delayed_{0};
+  std::atomic<uint64_t> virtual_nanos_{0};
 };
 
 }  // namespace poly

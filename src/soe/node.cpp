@@ -13,6 +13,11 @@ Status SoeNode::HostPartition(const std::string& table, size_t partition,
   POLY_RETURN_IF_ERROR(
       db_.CreateTable(PartitionTableName(table, partition), schema).status());
   hosted_.emplace(table, partition);
+  // Everything this node already replayed for its other partitions is owed
+  // to the newcomer; ApplyUpTo covers offsets from here on.
+  if (applied_offset_ > 0) {
+    pending_backfill_[{table, partition}] = BackfillCursor{0, applied_offset_};
+  }
   return Status::OK();
 }
 
@@ -28,7 +33,7 @@ Status SoeNode::ApplyUpTo(const SharedLog& log, uint64_t target) {
   if (target > log.Tail()) target = log.Tail();
   while (applied_offset_ < target) {
     uint64_t offset = applied_offset_;
-    POLY_ASSIGN_OR_RETURN(std::string raw, log.Read(offset));
+    POLY_ASSIGN_OR_RETURN(std::string raw, log.Read(offset, id_));
     POLY_ASSIGN_OR_RETURN(SoeLogRecord record, SoeLogRecord::Decode(raw));
     for (const SoeWrite& w : record.writes) {
       if (!Hosts(w.table, w.partition)) continue;
@@ -45,15 +50,23 @@ Status SoeNode::ApplyUpTo(const SharedLog& log, uint64_t target) {
 
 Status SoeNode::BackfillPartition(const SharedLog& log, const std::string& table,
                                   size_t partition) {
+  auto it = pending_backfill_.find({table, partition});
+  if (it == pending_backfill_.end()) return Status::OK();  // nothing owed
   POLY_ASSIGN_OR_RETURN(ColumnTable * t, db_.GetTable(PartitionTableName(table, partition)));
-  for (uint64_t offset = 0; offset < applied_offset_; ++offset) {
-    POLY_ASSIGN_OR_RETURN(std::string raw, log.Read(offset));
+  BackfillCursor& cursor = it->second;
+  while (cursor.next < cursor.end) {
+    uint64_t offset = cursor.next;
+    // The cursor advances only after the offset is fully applied, so a
+    // failed read leaves a clean resume point for the caller's retry.
+    POLY_ASSIGN_OR_RETURN(std::string raw, log.Read(offset, id_));
     POLY_ASSIGN_OR_RETURN(SoeLogRecord record, SoeLogRecord::Decode(raw));
     for (const SoeWrite& w : record.writes) {
       if (w.table != table || w.partition != partition) continue;
       POLY_RETURN_IF_ERROR(t->AppendVersion(w.row, offset + 1).status());
     }
+    ++cursor.next;
   }
+  pending_backfill_.erase(it);
   return Status::OK();
 }
 

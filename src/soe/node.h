@@ -1,6 +1,7 @@
 #ifndef POLY_SOE_NODE_H_
 #define POLY_SOE_NODE_H_
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -39,11 +40,16 @@ class SoeNode {
 
   /// Data service: applies log records [applied_offset, target) that touch
   /// hosted partitions. The log offset+1 becomes the commit timestamp.
+  /// Reads go over the fault fabric as this node; a failed read returns
+  /// Unavailable with everything before it durably applied, so the caller
+  /// can simply retry (replay is resumable, never double-applied).
   Status ApplyUpTo(const SharedLog& log, uint64_t target);
 
-  /// Replays [0, applied_offset) for one partition just added to this
-  /// node (used by Rebalance: the node is already past those offsets for
-  /// its other partitions, but the new partition needs the history).
+  /// Replays the history a partition just added to this node missed (used
+  /// by Rebalance: the node is already past those offsets for its other
+  /// partitions, but the new partition needs them). Resumable: progress is
+  /// tracked per partition, so a replay interrupted by a network fault can
+  /// be retried without re-applying rows.
   Status BackfillPartition(const SharedLog& log, const std::string& table,
                            size_t partition);
 
@@ -65,10 +71,19 @@ class SoeNode {
   uint64_t busy_nanos() const { return busy_nanos_; }
 
  private:
+  /// Resumable backfill cursor of one freshly hosted partition: offsets
+  /// [next, end) still owe history ([end, ...) arrives via ApplyUpTo,
+  /// which covers every partition hosted before it runs).
+  struct BackfillCursor {
+    uint64_t next = 0;
+    uint64_t end = 0;
+  };
+
   int id_;
   NodeMode mode_;
   Database db_;
   std::set<std::pair<std::string, size_t>> hosted_;
+  std::map<std::pair<std::string, size_t>, BackfillCursor> pending_backfill_;
   uint64_t applied_offset_ = 0;
   uint64_t rows_scanned_ = 0;
   uint64_t queries_served_ = 0;

@@ -44,9 +44,27 @@ SoeRdd SoeRdd::Map(RowMapper mapper) const {
   return out;
 }
 
+namespace {
+
+/// Spark-style lineage recompute: when a partition becomes unanswerable
+/// (replica loss), rebuild it from the shared log — the lineage — via
+/// Rebalance, then re-run the action once. Any other error passes through.
+template <typename Action>
+auto WithLineageRecompute(SoeCluster* cluster, const Action& action)
+    -> decltype(action()) {
+  auto result = action();
+  if (result.ok() || !result.status().IsUnavailable()) return result;
+  Status rebuilt = cluster->Rebalance();
+  if (!rebuilt.ok()) return result;  // original failure is the better signal
+  return action();
+}
+
+}  // namespace
+
 StatusOr<std::vector<Row>> SoeRdd::Collect() const {
-  POLY_ASSIGN_OR_RETURN(ResultSet rs,
-                        cluster_->DistributedScan(table_, pushed_predicate_));
+  POLY_ASSIGN_OR_RETURN(ResultSet rs, WithLineageRecompute(cluster_, [&] {
+                          return cluster_->DistributedScan(table_, pushed_predicate_);
+                        }));
   std::vector<Row> rows = std::move(rs.rows);
   for (const Stage& stage : stages_) {
     std::vector<Row> next;
@@ -66,8 +84,10 @@ StatusOr<std::vector<Row>> SoeRdd::Collect() const {
 StatusOr<uint64_t> SoeRdd::Count() const {
   if (FullyPushable()) {
     AggSpec cnt{AggFunc::kCount, nullptr, "cnt"};
-    POLY_ASSIGN_OR_RETURN(
-        ResultSet rs, cluster_->DistributedAggregate(table_, pushed_predicate_, "", {cnt}));
+    POLY_ASSIGN_OR_RETURN(ResultSet rs, WithLineageRecompute(cluster_, [&] {
+                            return cluster_->DistributedAggregate(
+                                table_, pushed_predicate_, "", {cnt});
+                          }));
     return static_cast<uint64_t>(rs.rows[0][0].AsInt());
   }
   POLY_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect());
@@ -77,8 +97,10 @@ StatusOr<uint64_t> SoeRdd::Count() const {
 StatusOr<ResultSet> SoeRdd::AggregateByKey(const std::string& group_column,
                                            std::vector<AggSpec> aggregates) const {
   if (FullyPushable()) {
-    return cluster_->DistributedAggregate(table_, pushed_predicate_, group_column,
-                                          std::move(aggregates));
+    return WithLineageRecompute(cluster_, [&] {
+      return cluster_->DistributedAggregate(table_, pushed_predicate_, group_column,
+                                            aggregates);
+    });
   }
   // Framework-side fallback: collect, then group/aggregate here. Only SUM,
   // COUNT, MIN, MAX, AVG over numeric inputs — same as the engine.

@@ -20,7 +20,10 @@ namespace poly {
 /// *pushed down* into the distributed scan; lambda-based map/filter stages
 /// run framework-side after collection (exactly the split a Spark data
 /// source with filter pushdown has). Actions (Collect/Count/Aggregate)
-/// trigger execution.
+/// trigger execution. The "resilient" half: an action that fails because a
+/// partition lost its replicas recomputes the missing data from the shared
+/// log (Rebalance) and re-runs — the engine-side analogue of Spark's
+/// lineage recompute.
 class SoeRdd {
  public:
   using RowPredicate = std::function<bool(const Row&)>;

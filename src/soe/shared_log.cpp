@@ -23,56 +23,75 @@ std::vector<int> SharedLog::ReplicasOf(uint64_t offset) const {
   return replicas;
 }
 
-StatusOr<uint64_t> SharedLog::Append(std::string record) {
-  // Sequencer: one atomic fetch — the CORFU fast path.
-  uint64_t offset = sequencer_.fetch_add(1, std::memory_order_acq_rel);
+StatusOr<uint64_t> SharedLog::Append(std::string record, int writer) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<int> replicas = ReplicasOf(offset);
+  // The offset is claimed only once at least one replica holds the record:
+  // a fully failed append consumes nothing, keeps the log dense, and makes
+  // the caller's retry of the same record safe (no hole to fill).
+  uint64_t offset = sequencer_.load(std::memory_order_relaxed);
   int written = 0;
-  for (int unit : replicas) {
+  for (int unit : ReplicasOf(offset)) {
     if (!unit_alive_[unit]) continue;
+    if (net_) {
+      Status sent = net_->Send(writer, LogUnitEndpoint(unit), record.size() + 16);
+      if (!sent.ok()) continue;  // this replica missed the write
+    }
+    // Keyed by offset: a duplicated delivery overwrites with the same
+    // payload — chunk writes are idempotent by construction.
     units_[unit][offset] = record;
-    if (net_) net_->Send(record.size() + 16);
     ++written;
   }
   if (written == 0) {
-    return Status::Unavailable("all replicas for log offset " + std::to_string(offset) +
-                               " are down");
+    return Status::Unavailable("no log replica reachable for offset " +
+                               std::to_string(offset));
   }
+  sequencer_.store(offset + 1, std::memory_order_release);
   return offset;
 }
 
-StatusOr<std::string> SharedLog::Read(uint64_t offset) const {
+StatusOr<std::string> SharedLog::Read(uint64_t offset, int reader) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (int unit : ReplicasOf(offset)) {
-    if (!unit_alive_[unit]) continue;
+  if (offset >= sequencer_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange("offset beyond log tail");
+  }
+  bool exists = false;
+  Status last_send = Status::OK();
+  auto try_unit = [&](size_t unit) -> const std::string* {
+    if (!unit_alive_[unit]) return nullptr;
     auto it = units_[unit].find(offset);
-    if (it != units_[unit].end()) {
-      if (net_) net_->Send(it->second.size() + 16);
-      return it->second;
+    if (it == units_[unit].end()) return nullptr;
+    exists = true;
+    if (net_) {
+      Status sent = net_->Send(LogUnitEndpoint(static_cast<int>(unit)), reader,
+                               it->second.size() + 16);
+      if (!sent.ok()) {
+        last_send = sent;
+        return nullptr;  // fail over to the next replica
+      }
     }
+    return &it->second;
+  };
+  for (int unit : ReplicasOf(offset)) {
+    if (const std::string* rec = try_unit(unit)) return *rec;
   }
   // Re-replication may have placed copies outside the deterministic chain;
   // fall back to asking every live unit before declaring the offset lost.
   for (size_t unit = 0; unit < units_.size(); ++unit) {
-    if (!unit_alive_[unit]) continue;
-    auto it = units_[unit].find(offset);
-    if (it != units_[unit].end()) {
-      if (net_) net_->Send(it->second.size() + 16);
-      return it->second;
-    }
+    if (const std::string* rec = try_unit(unit)) return *rec;
   }
-  if (offset >= sequencer_.load(std::memory_order_acquire)) {
-    return Status::OutOfRange("offset beyond log tail");
+  if (exists) {
+    return Status::Unavailable("log offset " + std::to_string(offset) +
+                               " unreachable: " + last_send.message());
   }
   return Status::Unavailable("log offset " + std::to_string(offset) + " unavailable");
 }
 
-StatusOr<std::vector<std::string>> SharedLog::ReadRange(uint64_t from, uint64_t to) const {
+StatusOr<std::vector<std::string>> SharedLog::ReadRange(uint64_t from, uint64_t to,
+                                                        int reader) const {
   std::vector<std::string> out;
   out.reserve(to > from ? to - from : 0);
   for (uint64_t off = from; off < to; ++off) {
-    POLY_ASSIGN_OR_RETURN(std::string rec, Read(off));
+    POLY_ASSIGN_OR_RETURN(std::string rec, Read(off, reader));
     out.push_back(std::move(rec));
   }
   return out;
@@ -89,6 +108,15 @@ Status SharedLog::KillUnit(int unit) {
   return Status::OK();
 }
 
+Status SharedLog::ReviveUnit(int unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (unit < 0 || unit >= static_cast<int>(units_.size())) {
+    return Status::InvalidArgument("no log unit " + std::to_string(unit));
+  }
+  unit_alive_[unit] = true;
+  return Status::OK();
+}
+
 Status SharedLog::ReReplicate() {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t tail = sequencer_.load(std::memory_order_acquire);
@@ -96,26 +124,33 @@ Status SharedLog::ReReplicate() {
     // Find one live copy anywhere (previous repairs may have moved it off
     // the deterministic chain).
     const std::string* copy = nullptr;
+    int source = -1;
     for (size_t unit = 0; unit < units_.size(); ++unit) {
       if (!unit_alive_[unit]) continue;
       auto it = units_[unit].find(off);
       if (it != units_[unit].end()) {
         copy = &it->second;
+        source = static_cast<int>(unit);
         break;
       }
     }
     if (copy == nullptr) {
       return Status::Unavailable("log offset " + std::to_string(off) + " lost");
     }
-    // Count live holders; top up onto other live units.
+    // Count live holders; top up onto other live units. A dropped copy
+    // message just leaves the offset under-replicated for the next pass.
     int holders = 0;
     for (size_t u = 0; u < units_.size(); ++u) {
       if (unit_alive_[u] && units_[u].count(off)) ++holders;
     }
     for (size_t u = 0; u < units_.size() && holders < options_.replication; ++u) {
       if (!unit_alive_[u] || units_[u].count(off)) continue;
+      if (net_) {
+        Status sent = net_->Send(LogUnitEndpoint(source),
+                                 LogUnitEndpoint(static_cast<int>(u)), copy->size() + 16);
+        if (!sent.ok()) continue;
+      }
       units_[u][off] = *copy;
-      if (net_) net_->Send(copy->size() + 16);
       ++holders;
     }
   }

@@ -17,6 +17,12 @@ namespace poly {
 /// replica set of log-unit nodes; readers tail the log. "The log stores
 /// all changes in a transactional consistent way"; the transaction broker
 /// (transaction_broker.h) serializes transactions through Append.
+///
+/// All unit traffic goes through the fault fabric as routed messages
+/// (writer/reader endpoint <-> `LogUnitEndpoint(unit)`), so a lossy or
+/// partitioned network surfaces as Status errors here, never as silent
+/// success. An append that reaches zero replicas consumes no offset — the
+/// visible log stays dense and replay never stalls on a hole.
 class SharedLog {
  public:
   struct Options {
@@ -24,25 +30,33 @@ class SharedLog {
     int replication = 2;
   };
 
-  /// `net` may be null (no accounting).
+  /// `net` may be null (no accounting, no faults).
   explicit SharedLog(Options options, SimulatedNetwork* net = nullptr);
   SharedLog() : SharedLog(Options()) {}
 
   /// Appends a record; returns its global offset (0-based, dense).
-  StatusOr<uint64_t> Append(std::string record);
+  /// `writer` is the sending endpoint (defaults to the coordinator).
+  /// Succeeds if at least one replica stores the record (the survivors
+  /// keep it durable; ReReplicate tops the copy count back up). Fails
+  /// Unavailable — without consuming an offset — if no replica could be
+  /// reached, so the caller can retry the same record safely.
+  StatusOr<uint64_t> Append(std::string record, int writer = kCoordinatorEndpoint);
 
-  /// Reads one record (from any live replica).
-  StatusOr<std::string> Read(uint64_t offset) const;
+  /// Reads one record from any live, reachable replica.
+  StatusOr<std::string> Read(uint64_t offset, int reader = kCoordinatorEndpoint) const;
 
-  /// Reads [from, to) in order; stops early at a hole (never happens with
-  /// the built-in sequencer) or a lost offset.
-  StatusOr<std::vector<std::string>> ReadRange(uint64_t from, uint64_t to) const;
+  /// Reads [from, to) in order; fails at the first unreadable offset.
+  StatusOr<std::vector<std::string>> ReadRange(uint64_t from, uint64_t to,
+                                               int reader = kCoordinatorEndpoint) const;
 
   /// One past the last appended offset ("high-water mark").
   uint64_t Tail() const;
 
   /// Fails a log unit; offsets survive while >= 1 replica lives.
   Status KillUnit(int unit);
+  /// Revives a failed unit (it rejoins empty of anything it missed until
+  /// ReReplicate copies records back).
+  Status ReviveUnit(int unit);
   /// Copies under-replicated offsets onto surviving units.
   Status ReReplicate();
 
@@ -56,7 +70,7 @@ class SharedLog {
   Options options_;
   SimulatedNetwork* net_;
   mutable std::mutex mu_;
-  std::atomic<uint64_t> sequencer_{0};
+  std::atomic<uint64_t> sequencer_{0};  ///< published tail; advanced under mu_
   std::vector<std::map<uint64_t, std::string>> units_;  ///< unit -> offset -> record
   std::vector<bool> unit_alive_;
 };

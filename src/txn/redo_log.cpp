@@ -16,8 +16,14 @@ StatusOr<std::unique_ptr<RedoLog>> RedoLog::OpenFile(const std::string& path) {
   return log;
 }
 
+void RedoLog::SetFaultInjector(std::function<Status(const char* op)> injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_injector_ = std::move(injector);
+}
+
 Status RedoLog::Append(std::string record) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (fault_injector_) POLY_RETURN_IF_ERROR(fault_injector_("append"));
   if (!path_.empty()) {
     FILE* f = std::fopen(path_.c_str(), "ab");
     if (f == nullptr) return Status::IOError("cannot append to redo log " + path_);
@@ -30,7 +36,11 @@ Status RedoLog::Append(std::string record) {
   return Status::OK();
 }
 
-Status RedoLog::Sync() { return Status::OK(); }
+Status RedoLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fault_injector_) POLY_RETURN_IF_ERROR(fault_injector_("sync"));
+  return Status::OK();
+}
 
 Status RedoLog::ForEach(const std::function<Status(const std::string&)>& fn) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -45,10 +45,18 @@ class RedoLog {
   /// Reads all records back from the file (for recovery after "restart").
   static StatusOr<std::vector<std::string>> ReadFile(const std::string& path);
 
+  /// Deterministic IO-fault hook for crash testing: invoked at the top of
+  /// every Append ("append") and Sync ("sync"); a non-OK return is handed
+  /// to the caller *before* any mutation, so a failed append leaves the log
+  /// exactly as it was (the single-node analogue of the SOE chaos fabric).
+  /// Pass nullptr to clear.
+  void SetFaultInjector(std::function<Status(const char* op)> injector);
+
  private:
   mutable std::mutex mu_;
   std::vector<std::string> records_;
   std::string path_;  // empty = memory-only
+  std::function<Status(const char* op)> fault_injector_;
 };
 
 }  // namespace poly

@@ -227,6 +227,55 @@ TEST_F(SoeFixture, RebalanceRestoresReplication) {
   EXPECT_EQ(rs->rows[0][0], Value::Int(300));
 }
 
+// Rebalance invariants: after a kill + rebalance, (a) every partition is
+// back to full replica strength on live nodes, (b) every replica of a
+// partition holds the same rows as it did before the failure, and (c) no
+// row was lost or duplicated anywhere.
+TEST_F(SoeFixture, RebalancePreservesPartitionInvariants) {
+  LoadSensors(400, /*replication=*/2);
+  auto info = cluster_.catalog().Lookup("readings");
+  ASSERT_TRUE(info.ok());
+  const size_t partitions = (*info)->spec.num_partitions;
+
+  std::vector<uint64_t> pre_counts(partitions);
+  uint64_t pre_total = 0;
+  for (size_t p = 0; p < partitions; ++p) {
+    pre_counts[p] =
+        *cluster_.node((*info)->placement[p][0])->PartitionRowCount("readings", p);
+    pre_total += pre_counts[p];
+  }
+  ASSERT_EQ(pre_total, 400u);
+
+  ASSERT_TRUE(cluster_.KillNode(0).ok());
+  ASSERT_TRUE(cluster_.Rebalance().ok());
+
+  info = cluster_.catalog().Lookup("readings");
+  ASSERT_TRUE(info.ok());
+  uint64_t post_total = 0;
+  for (size_t p = 0; p < partitions; ++p) {
+    // (a) full replica strength on live, distinct nodes (the dead node keeps
+    // its placement entry — it rejoins with its state on restart).
+    std::set<int> live_replicas;
+    for (int n : (*info)->placement[p]) {
+      if (cluster_.discovery().IsAlive(n)) live_replicas.insert(n);
+    }
+    ASSERT_EQ(live_replicas.size(), 2u) << "partition " << p;
+    for (int n : live_replicas) {
+      // (b) every live replica agrees with the pre-failure row count.
+      auto count = cluster_.node(n)->PartitionRowCount("readings", p);
+      ASSERT_TRUE(count.ok()) << "partition " << p << " node " << n;
+      EXPECT_EQ(*count, pre_counts[p]) << "partition " << p << " node " << n;
+    }
+    post_total += pre_counts[p];
+  }
+  // (c) nothing lost, nothing doubled.
+  EXPECT_EQ(post_total, pre_total);
+  AggSpec cnt{AggFunc::kCount, nullptr, "cnt"};
+  auto rs = cluster_.DistributedAggregate("readings", nullptr, "", {cnt});
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][0], Value::Int(400));
+}
+
 TEST_F(SoeFixture, OlapNodesLagUntilPolled) {
   ASSERT_TRUE(cluster_
                   .CreateTable("readings", SensorSchema(),
