@@ -1,0 +1,114 @@
+// E21 (DESIGN.md §10): cost of the observability layer. Per-operator
+// tracing is priced on the E13 Q6-shape scan+aggregate so the overhead is
+// measured against real work, not an empty loop; the metrics hot paths
+// (sharded counter add, log-scale histogram observe) are priced raw.
+//
+// Rows reproduced:
+//   Observability_Q6like_{TraceOff,TraceOn}/<rows>  - tracing overhead (<3% target)
+//   Observability_CounterAdd                        - one sharded atomic add
+//   Observability_HistogramObserve                  - bit_width bucket + CAS min/max
+//   Observability_TextPage/<metrics>                - full exposition render
+// Expected shape: TraceOn within a few percent of TraceOff (spans are
+// per-operator, never per-row); counter adds in the few-ns range.
+
+#include <benchmark/benchmark.h>
+
+#include "common/metrics.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "workloads.h"
+
+namespace poly {
+namespace {
+
+PlanPtr Q6Like() {
+  // SELECT SUM(amount * qty) WHERE qty < 25 AND year >= 2023
+  AggSpec revenue{AggFunc::kSum,
+                  Expr::Arith(ArithOp::kMul, Expr::Column(3), Expr::Column(4)),
+                  "revenue"};
+  auto plan =
+      PlanBuilder::Scan("orders")
+          .Filter(Expr::And(
+              Expr::Compare(CmpOp::kLt, Expr::Column(4), Expr::Literal(Value::Int(25))),
+              Expr::Compare(CmpOp::kGe, Expr::Column(5),
+                            Expr::Literal(Value::Int(2023)))))
+          .Aggregate({}, {revenue})
+          .Build();
+  Optimizer opt;
+  return opt.Optimize(plan);
+}
+
+struct ObservabilityFixture : benchmark::Fixture {
+  void SetUp(const benchmark::State& state) override {
+    db = std::make_unique<Database>();
+    tm = std::make_unique<TransactionManager>();
+    bench::LoadOrders(db.get(), tm.get(), "orders", static_cast<int>(state.range(0)));
+  }
+  void TearDown(const benchmark::State&) override {
+    db.reset();
+    tm.reset();
+  }
+  std::unique_ptr<Database> db;
+  std::unique_ptr<TransactionManager> tm;
+};
+
+BENCHMARK_DEFINE_F(ObservabilityFixture, Q6like_TraceOff)(benchmark::State& state) {
+  PlanPtr plan = Q6Like();
+  for (auto _ : state) {
+    Executor exec(db.get(), tm->AutoCommitView());
+    benchmark::DoNotOptimize(exec.Execute(plan)->rows[0][0].NumericValue());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_REGISTER_F(ObservabilityFixture, Q6like_TraceOff)->Arg(50000)->Arg(200000);
+
+BENCHMARK_DEFINE_F(ObservabilityFixture, Q6like_TraceOn)(benchmark::State& state) {
+  PlanPtr plan = Q6Like();
+  ExecOptions opts;
+  opts.trace = true;
+  for (auto _ : state) {
+    Executor exec(db.get(), tm->AutoCommitView(), opts);
+    auto rs = exec.Execute(plan);
+    benchmark::DoNotOptimize(rs->rows[0][0].NumericValue());
+    benchmark::DoNotOptimize(rs->trace.get());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_REGISTER_F(ObservabilityFixture, Q6like_TraceOn)->Arg(50000)->Arg(200000);
+
+void Observability_CounterAdd(benchmark::State& state) {
+  metrics::Registry reg;
+  metrics::Counter* c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c->Add(1);
+  }
+  benchmark::DoNotOptimize(c->Value());
+}
+BENCHMARK(Observability_CounterAdd);
+
+void Observability_HistogramObserve(benchmark::State& state) {
+  metrics::Registry reg;
+  metrics::Histogram* h = reg.histogram("bench.hist");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG spread
+  }
+  benchmark::DoNotOptimize(h->Count());
+}
+BENCHMARK(Observability_HistogramObserve);
+
+void Observability_TextPage(benchmark::State& state) {
+  metrics::Registry reg;
+  for (int i = 0; i < state.range(0); ++i) {
+    reg.counter("bench.c." + std::to_string(i))->Add(i);
+    reg.histogram("bench.h." + std::to_string(i))->Observe(i * 1000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.TextPage());
+  }
+}
+BENCHMARK(Observability_TextPage)->Arg(64);
+
+}  // namespace
+}  // namespace poly

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "query/compiled.h"
 #include "query/executor.h"
 #include "query/optimizer.h"
@@ -93,6 +94,20 @@ int main() {
     auto compiled = compiler.Execute(agg_only);
     std::printf("compiled kernel produced %zu groups\n", compiled->num_rows());
   }
+
+  // ---- Observability (DESIGN.md §10): EXPLAIN ANALYZE + metrics ----
+  // Tracing hangs a per-operator span tree (rows in/out, bytes, wall+CPU
+  // nanos) off the result; the storage layer meanwhile counted the scans
+  // and the merge above into the process-wide metric registry.
+  ExecOptions traced_opts;
+  traced_opts.trace = true;
+  Executor traced(&db, tm.AutoCommitView(), traced_opts);
+  auto traced_result = traced.Execute(optimized);
+  std::printf("EXPLAIN ANALYZE:\n%s\n", traced_result->AnnotatedPlan().c_str());
+  metrics::RegistrySnapshot msnap = metrics::Default().TakeSnapshot();
+  std::printf("storage.scan.hot.rows = %llu, storage.merge.rows_moved = %llu\n\n",
+              static_cast<unsigned long long>(msnap.counter("storage.scan.hot.rows")),
+              static_cast<unsigned long long>(msnap.counter("storage.merge.rows_moved")));
 
   // ---- SQL surface: the same engine through the common query language ----
   SqlParser sql(&db);

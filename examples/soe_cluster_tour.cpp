@@ -95,12 +95,22 @@ int main() {
                                 : after_second.status().ToString().c_str());
 
   // ---- Statistics service (v2stats) ----
+  // Per-node figures and Hotspot() both derive from the cluster's metric
+  // registry (DESIGN.md §10) — the same numbers the fabric, the retry
+  // layer, and the shared log counted into it.
   int hotspot = cluster.statistics().Hotspot();
   std::printf("\nhotspot per v2stats: node %d\n", hotspot);
+  std::printf("%s", cluster.statistics().Report().c_str());
   std::printf("simulated network: %llu messages, %llu bytes (modeled %.2f ms)\n",
               static_cast<unsigned long long>(cluster.network().messages()),
               static_cast<unsigned long long>(cluster.network().bytes()),
               cluster.network().simulated_nanos() / 1e6);
+  metrics::RegistrySnapshot snap = cluster.metrics().TakeSnapshot();
+  std::printf("registry mirror: soe.net.messages=%llu soe.retry.count=%llu "
+              "soe.log.appends=%llu\n",
+              static_cast<unsigned long long>(snap.counter("soe.net.messages")),
+              static_cast<unsigned long long>(snap.counter("soe.retry.count")),
+              static_cast<unsigned long long>(snap.counter("soe.log.appends")));
 
   std::printf("\ntour complete: every Figure 3 service exercised.\n");
   return 0;

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Documentation freshness gate (ctest label: docs).
+#
+# The docs make three kinds of checkable claims, and each has rotted at
+# least once before this gate existed:
+#   1. repo paths in backticks (`src/...`, `tests/...`, `scripts/...`)
+#   2. section references of the form `DESIGN.md §N` — in the docs AND in
+#      source comments
+#   3. experiment rows `| E<k> ...` in EXPERIMENTS.md (must be contiguous
+#      from E1) and `bench_<name>` binaries the docs tell the reader to run
+#
+# Fails loudly with every stale reference, not just the first.
+
+set -u
+
+ROOT="${REPO_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT" || exit 1
+
+DOCS="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md"
+failures=0
+
+fail() {
+  echo "check_docs: $*" >&2
+  failures=$((failures + 1))
+}
+
+# ---- 1. backticked repo paths must exist --------------------------------
+for doc in $DOCS; do
+  [ -f "$doc" ] || { fail "missing doc $doc"; continue; }
+  # `...` spans that look like tree paths; globs (src/engines/*) skipped.
+  grep -oE '`[^`]+`' "$doc" | tr -d '`' |
+    grep -E '^(src|tests|bench|examples|scripts)/[A-Za-z0-9_./-]+$' |
+    sort -u |
+    while read -r path; do
+      [ -e "$path" ] || echo "$doc names missing path: $path"
+    done
+done > /tmp/check_docs_paths.$$
+while read -r line; do fail "$line"; done < /tmp/check_docs_paths.$$
+rm -f /tmp/check_docs_paths.$$
+
+# ---- 2. DESIGN.md §N references must resolve to a "## N." heading -------
+refs=$(grep -rhoE 'DESIGN\.md §[0-9]+' $DOCS src tests bench examples scripts 2>/dev/null |
+  grep -oE '[0-9]+' | sort -un)
+for n in $refs; do
+  grep -qE "^## ${n}\." DESIGN.md ||
+    fail "reference to DESIGN.md §${n} but DESIGN.md has no '## ${n}.' heading"
+done
+
+# ---- 3a. EXPERIMENTS.md rows E1..Emax must be contiguous ----------------
+rows=$(grep -oE '^\| E[0-9]+' EXPERIMENTS.md | grep -oE '[0-9]+' | sort -un)
+max=$(echo "$rows" | tail -1)
+if [ -z "$max" ]; then
+  fail "EXPERIMENTS.md has no '| E<k>' experiment rows"
+else
+  for k in $(seq 1 "$max"); do
+    echo "$rows" | grep -qx "$k" ||
+      fail "EXPERIMENTS.md experiment rows skip E${k} (max row is E${max})"
+  done
+fi
+
+# ---- 3b. bench binaries the docs mention must exist ---------------------
+for tok in $(grep -ohE '\bbench_[a-z0-9_]+\b' README.md EXPERIMENTS.md | sort -u); do
+  case "$tok" in
+    bench_output) continue ;;  # bench_output.txt, the capture — checked next
+  esac
+  [ -f "bench/${tok}.cpp" ] ||
+    fail "docs mention ${tok} but bench/${tok}.cpp does not exist"
+done
+
+# EXPERIMENTS.md points readers at the raw capture; it must be committed.
+if grep -q 'bench_output\.txt' EXPERIMENTS.md; then
+  [ -f bench_output.txt ] ||
+    fail "EXPERIMENTS.md references bench_output.txt but it is not in the tree"
+fi
+
+# ---- summary ------------------------------------------------------------
+if [ "$failures" -gt 0 ]; then
+  echo "check_docs: FAILED with $failures stale reference(s)" >&2
+  exit 1
+fi
+echo "check_docs: OK"

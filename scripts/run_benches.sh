@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates bench_output.txt — the raw capture EXPERIMENTS.md quotes from.
+#
+# Usage: scripts/run_benches.sh [build-dir] [extra google-benchmark flags...]
+# Example (quick pass): scripts/run_benches.sh build --benchmark_min_time=0.1
+#
+# Runs every bench binary in <build-dir>/bench in name order and writes the
+# combined output to bench_output.txt in the repo root. Expect a full pass
+# to take tens of minutes on one core; numbers in EXPERIMENTS.md are from
+# this machine class, so regenerate rather than compare across hosts.
+
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-build}"
+shift || true
+
+if [ ! -d "$ROOT/$BUILD/bench" ]; then
+  echo "run_benches: no $BUILD/bench directory — build first:" >&2
+  echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+OUT="$ROOT/bench_output.txt"
+: > "$OUT"
+for b in "$ROOT/$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "== $(basename "$b") ==" | tee -a "$OUT"
+  "$b" "$@" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "run_benches: wrote $OUT"

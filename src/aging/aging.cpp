@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/metrics.h"
+
 namespace poly {
 
 Status AgingManager::AddRule(AgingRule rule) {
@@ -130,6 +132,10 @@ StatusOr<AgingStats> AgingManager::RunAging() {
     stats.rows_aged += to_move.size();
     populated_aged_.insert(rule->table);
   }
+  metrics::Registry& reg = metrics::Default();
+  reg.counter("aging.runs")->Add(1);
+  reg.counter("aging.rows_aged")->Add(stats.rows_aged);
+  reg.counter("aging.rows_blocked")->Add(stats.rows_blocked_by_guard);
   return stats;
 }
 
@@ -222,14 +228,18 @@ std::vector<std::string> AgingManager::Prune(const std::string& table,
     if (r.table == table) rule = &r;
   }
   if (rule == nullptr) return {};
+  metrics::Registry& reg = metrics::Default();
+  reg.counter("aging.prune.calls")->Add(1);
   std::vector<std::string> partitions = {table};
   std::string aged = AgedName(table);
   if (!populated_aged_.count(table)) return partitions;  // nothing aged yet
   auto hot = db_->GetTable(table);
   if (hot.ok() &&
       GuaranteeContradictsPredicate(rule->guarantee, (*hot)->schema(), predicate)) {
+    reg.counter("aging.prune.pruned")->Add(1);
     return partitions;  // aged partition provably irrelevant
   }
+  reg.counter("aging.prune.kept")->Add(1);
   partitions.push_back(aged);
   return partitions;
 }

@@ -1,13 +1,28 @@
 #include "aging/extended_storage.h"
 
+#include "common/metrics.h"
 #include "common/serializer.h"
 
 namespace poly {
+
+namespace {
+
+/// Tier-movement counters in the default registry (DESIGN.md §10:
+/// `tier.<temperature>.<direction>` plus byte volumes).
+void CountTierMove(const char* counter_name, const char* bytes_name,
+                   uint64_t bytes) {
+  metrics::Registry& reg = metrics::Default();
+  reg.counter(counter_name)->Add(1);
+  reg.counter(bytes_name)->Add(bytes);
+}
+
+}  // namespace
 
 Status ExtendedStorage::Demote(Database* db, const std::string& table) {
   POLY_ASSIGN_OR_RETURN(ColumnTable * t, db->GetTable(table));
   Serializer s;
   t->SaveTo(&s);
+  CountTierMove("tier.warm.demotes", "tier.warm.demote_bytes", s.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     simulated_nanos_ += static_cast<double>(s.size()) * options_.write_nanos_per_byte;
@@ -28,6 +43,7 @@ StatusOr<ColumnTable*> ExtendedStorage::Promote(Database* db, const std::string&
         static_cast<double>(it->second.size()) * options_.read_nanos_per_byte;
     payload = it->second;
   }
+  CountTierMove("tier.warm.promotes", "tier.warm.promote_bytes", payload.size());
   Deserializer d(payload);
   POLY_ASSIGN_OR_RETURN(auto loaded, ColumnTable::LoadFrom(&d));
   ColumnTable* ptr = loaded.get();
@@ -46,6 +62,7 @@ Status ExtendedStorage::DemoteToCold(const std::string& table, SimulatedDfs* dfs
     payload = std::move(it->second);
     store_.erase(it);
   }
+  CountTierMove("tier.cold.demotes", "tier.cold.demote_bytes", payload.size());
   return dfs->Write(ColdPath(table), payload);
 }
 
@@ -53,6 +70,7 @@ StatusOr<ColumnTable*> ExtendedStorage::PromoteFromCold(Database* db,
                                                         const std::string& table,
                                                         SimulatedDfs* dfs) {
   POLY_ASSIGN_OR_RETURN(std::string payload, dfs->Read(ColdPath(table)));
+  CountTierMove("tier.cold.promotes", "tier.cold.promote_bytes", payload.size());
   Deserializer d(payload);
   POLY_ASSIGN_OR_RETURN(auto loaded, ColumnTable::LoadFrom(&d));
   ColumnTable* ptr = loaded.get();

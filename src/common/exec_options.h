@@ -28,6 +28,12 @@ struct ExecOptions {
   /// the executor uses its Database's shared pool (created on demand) or,
   /// for ad-hoc executors with explicit options, a private pool.
   ThreadPool* pool = nullptr;
+
+  /// Record per-operator spans (rows in/out, bytes, wall + coordinator CPU
+  /// nanos) and attach an EXPLAIN ANALYZE-style trace to the top-level
+  /// ResultSet. Off by default; the cost when on is per *operator*, never
+  /// per row (E21 measures it at well under 3%).
+  bool trace = false;
 };
 
 }  // namespace poly

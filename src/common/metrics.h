@@ -1,0 +1,154 @@
+#ifndef POLY_COMMON_METRICS_H_
+#define POLY_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace poly {
+namespace metrics {
+
+/// Observability substrate (DESIGN.md §10): named counters, gauges, and
+/// log-scale histograms behind a registry, cheap enough to leave on in the
+/// hot paths of the morsel-parallel executor and the SOE fabric. The
+/// cluster statistics service (v2stats, Figure 3) and the experiment
+/// benches read the same numbers the instrumented code writes, so "what the
+/// bench prints" and "what the system reports" can never drift apart.
+///
+/// Naming scheme: lowercase dotted paths, `<layer>.<object>.<what>`, e.g.
+/// `soe.net.dropped`, `storage.scan.hot.rows`, `soe.node.3.busy_nanos`.
+/// Counter units go in the trailing segment (`*_nanos`, `*_bytes`).
+
+/// Monotonic counter. The write path is sharded over cache-line-sized slots
+/// indexed by a per-thread id, so concurrent `Add`s from pool workers do
+/// not contend on one cache line; `Value()` sums the shards (exact, since
+/// every write is an atomic add — sharding only spreads contention).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t ThisThreadShard();
+  Shard shards_[kShards];
+};
+
+/// Last-value-wins signed gauge (e.g. resident bytes, live nodes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of a Histogram; also the unit of snapshot reporting.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< meaningful only when count > 0
+  uint64_t max = 0;
+  /// bucket[i] counts observations with value < 2^i (non-cumulative;
+  /// bucket 0 holds the zeros).
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count ? static_cast<double>(sum) / count : 0.0; }
+  /// Upper bound of the bucket containing quantile `q` in [0,1] — a
+  /// log-scale estimate, exact to a factor of 2.
+  uint64_t Quantile(double q) const;
+};
+
+/// Log-scale (power-of-two bucket) histogram for latencies and sizes.
+/// `Observe` is three relaxed atomic RMWs plus bounded CAS loops for
+/// min/max — no locks, so it is safe (and cheap) under TSan and the
+/// thread pool.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  ///< value v lands in bit_width(v)
+
+  void Observe(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Deterministic point-in-time view of a whole registry: names sorted,
+/// values summed — two snapshots of a quiesced registry compare equal.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+/// Registry of named metrics. `counter`/`gauge`/`histogram` get-or-create;
+/// returned pointers stay valid for the registry's lifetime, so hot paths
+/// look a metric up once and keep the pointer. Creation takes a mutex;
+/// updates through the returned pointers are lock-free.
+class Registry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  RegistrySnapshot TakeSnapshot() const;
+
+  /// Prometheus-style text exposition: one `# TYPE` line per metric, dots
+  /// mapped to underscores, histograms as cumulative `_bucket{le=...}` +
+  /// `_sum` + `_count` series.
+  std::string TextPage() const;
+
+  /// Zeroes every registered metric (bench setup). Not atomic with respect
+  /// to concurrent writers; quiesce first.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-wide default registry: the storage, aging, and tiering layers
+/// report here (they have no cluster to belong to); `SoeCluster` owns a
+/// private registry per cluster instead.
+Registry& Default();
+
+/// `prefix + "." + suffix` (the dotted naming scheme helper).
+std::string JoinName(const std::string& prefix, const std::string& suffix);
+
+}  // namespace metrics
+}  // namespace poly
+
+#endif  // POLY_COMMON_METRICS_H_

@@ -191,6 +191,14 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
   if (!LowerPlan(plan, &spec) || !CanCompile(plan)) {
     return Status::NotImplemented("plan shape not supported by compiled kernels");
   }
+  trace_root_.reset();
+  OperatorSpan root;
+  uint64_t root_wall0 = 0, root_cpu0 = 0;
+  if (trace_) {
+    root.label = spec.has_group ? "CompiledGroupAggregate" : "CompiledAggregate";
+    root_wall0 = TraceWallNanos();
+    root_cpu0 = TraceThreadCpuNanos();
+  }
   const PlanNode& scan = *plan->children[0];
   std::vector<std::string> tables = scan.scan_partitions.empty()
                                         ? std::vector<std::string>{scan.table}
@@ -221,6 +229,12 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
   for (const auto& name : tables) {
     POLY_ASSIGN_OR_RETURN(ColumnTable * table, db_->GetTable(name));
     uint64_t n = table->num_versions();
+    uint64_t kernel_wall0 = 0, kernel_cpu0 = 0;
+    if (trace_) {
+      kernel_wall0 = TraceWallNanos();
+      kernel_cpu0 = TraceThreadCpuNanos();
+    }
+    uint64_t rows_kept = 0;
     if (spec.has_group) group_col_name = table->schema().column(spec.group_col).name;
 
     // "Code generation" setup: decode every referenced column to a primitive
@@ -279,6 +293,7 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
         }
       }
       if (!pass) continue;
+      ++rows_kept;
       size_t slot = 0;
       if (spec.has_group) {
         slot = r < group_main_n ? main_group_lut[group_col->MainId(r)]
@@ -297,6 +312,17 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
         if (v < g.min) g.min = v;
         if (v > g.max) g.max = v;
       }
+    }
+
+    if (trace_) {
+      OperatorSpan kernel;
+      kernel.label = "FusedScan(" + name + ")";
+      kernel.rows_in = n;           // versions the fused loop visited
+      kernel.rows_out = rows_kept;  // rows surviving visibility + predicate
+      kernel.bytes_out = rows_kept * spec.slots.size() * 8;
+      kernel.wall_nanos = TraceWallNanos() - kernel_wall0;
+      kernel.cpu_nanos = TraceThreadCpuNanos() - kernel_cpu0;
+      root.children.push_back(std::move(kernel));
     }
   }
 
@@ -334,6 +360,15 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
       }
     }
     out.rows.push_back(std::move(row));
+  }
+  if (trace_) {
+    root.rows_out = out.rows.size();
+    for (const OperatorSpan& c : root.children) root.rows_in += c.rows_out;
+    root.bytes_out = root.rows_out * out.column_names.size() * 8;
+    root.wall_nanos = TraceWallNanos() - root_wall0;
+    root.cpu_nanos = TraceThreadCpuNanos() - root_cpu0;
+    trace_root_ = std::make_shared<OperatorSpan>(std::move(root));
+    out.trace = trace_root_;
   }
   return out;
 }

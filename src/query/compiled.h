@@ -33,9 +33,20 @@ class QueryCompiler {
   /// (callers then fall back to the interpreted Executor).
   StatusOr<ResultSet> Execute(const PlanPtr& plan);
 
+  /// Record per-kernel spans (one FusedScan child per table: versions
+  /// visited, rows surviving the predicate, wall/CPU nanos) and attach an
+  /// EXPLAIN ANALYZE trace to the result — the compiled counterpart of
+  /// ExecOptions::trace.
+  void set_trace(bool trace) { trace_ = trace; }
+
+  /// Span tree of the last traced Execute (null when tracing is off).
+  const OperatorSpan* trace() const { return trace_root_.get(); }
+
  private:
   const Database* db_;
   ReadView view_;
+  bool trace_ = false;
+  std::shared_ptr<OperatorSpan> trace_root_;  ///< shared with the ResultSet
 };
 
 }  // namespace poly

@@ -6,11 +6,55 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace poly {
 
 namespace {
+
+/// Sampled result-size estimate for spans: first-row bytes × row count.
+/// O(columns), not O(rows) — tracing must stay off the per-row path.
+uint64_t EstimateSpanBytes(const ResultSet& rs) {
+  if (rs.rows.empty()) return 0;
+  uint64_t row_bytes = 0;
+  for (const Value& v : rs.rows.front()) {
+    switch (v.type()) {
+      case DataType::kString:
+      case DataType::kDocument:
+        row_bytes += v.AsString().size() + 4;
+        break;
+      case DataType::kNull:
+        row_bytes += 1;
+        break;
+      default:
+        row_bytes += 8;
+    }
+  }
+  return row_bytes * rs.rows.size();
+}
+
+/// Display label of a plan node for its span.
+std::string SpanLabel(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      std::string label = "Scan(" + node.table;
+      if (node.scan_partitions.size() > 1) {
+        label += ", " + std::to_string(node.scan_partitions.size()) + " partitions";
+      }
+      if (node.scan_predicate) label += ", pushed predicate";
+      return label + ")";
+    }
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kHashJoin: return "HashJoin";
+    case PlanKind::kAggregate:
+      return node.group_by.empty() ? "Aggregate" : "GroupAggregate";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit(" + std::to_string(node.limit) + ")";
+  }
+  return "Unknown";
+}
 
 /// Hash of a group key / join key.
 struct RowKeyHash {
@@ -185,10 +229,47 @@ void Executor::MorselMap(size_t n,
 
 StatusOr<ResultSet> Executor::Execute(const PlanPtr& plan) {
   if (!plan) return Status::InvalidArgument("null plan");
-  return Exec(*plan);
+  trace_root_.reset();
+  current_span_ = nullptr;
+  StatusOr<ResultSet> result = Exec(*plan);
+  if (result.ok() && trace_root_) result->trace = trace_root_;
+  return result;
 }
 
 StatusOr<ResultSet> Executor::Exec(const PlanNode& node) {
+  if (!opts_.trace) return Dispatch(node);
+  OperatorSpan span;
+  span.label = SpanLabel(node);
+  OperatorSpan* parent = current_span_;
+  current_span_ = &span;  // children hang themselves under this span
+  uint64_t scanned_before = stats_.rows_scanned;
+  uint64_t wall0 = TraceWallNanos();
+  uint64_t cpu0 = TraceThreadCpuNanos();
+  StatusOr<ResultSet> result = Dispatch(node);
+  span.wall_nanos = TraceWallNanos() - wall0;
+  span.cpu_nanos = TraceThreadCpuNanos() - cpu0;
+  current_span_ = parent;
+  if (result.ok()) {
+    span.rows_out = result->num_rows();
+    span.bytes_out = EstimateSpanBytes(*result);
+    if (node.kind == PlanKind::kScan) {
+      // A scan consumes row versions, not operator rows; parallel morsel
+      // stats merge into stats_ before ScanOneTable returns, so the delta
+      // is exact at every thread count.
+      span.rows_in = stats_.rows_scanned - scanned_before;
+    } else {
+      for (const OperatorSpan& c : span.children) span.rows_in += c.rows_out;
+    }
+  }
+  if (parent != nullptr) {
+    parent->children.push_back(std::move(span));
+  } else {
+    trace_root_ = std::make_shared<OperatorSpan>(std::move(span));
+  }
+  return result;
+}
+
+StatusOr<ResultSet> Executor::Dispatch(const PlanNode& node) {
   switch (node.kind) {
     case PlanKind::kScan: return ExecScan(node);
     case PlanKind::kFilter: return ExecFilter(node);
@@ -271,6 +352,22 @@ Status Executor::ScanOneTable(const ColumnTable& table, const ExprPtr& predicate
 }
 
 StatusOr<ResultSet> Executor::ExecScan(const PlanNode& node) {
+  // Per-temperature scan accounting (DESIGN.md §10): hot base tables vs
+  // "$aged" partitions. Looked up once, bumped once per partition scan —
+  // never per row.
+  static metrics::Counter* const hot_scans =
+      metrics::Default().counter("storage.scan.hot.count");
+  static metrics::Counter* const hot_rows =
+      metrics::Default().counter("storage.scan.hot.rows");
+  static metrics::Counter* const hot_bytes =
+      metrics::Default().counter("storage.scan.hot.bytes");
+  static metrics::Counter* const aged_scans =
+      metrics::Default().counter("storage.scan.aged.count");
+  static metrics::Counter* const aged_rows =
+      metrics::Default().counter("storage.scan.aged.rows");
+  static metrics::Counter* const aged_bytes =
+      metrics::Default().counter("storage.scan.aged.bytes");
+
   ResultSet out;
   // Partition list from the optimizer (aging-aware pruning, E12); falls back
   // to the single named table.
@@ -286,7 +383,15 @@ StatusOr<ResultSet> Executor::ExecScan(const PlanNode& node) {
       }
       first = false;
     }
+    uint64_t scanned_before = stats_.rows_scanned;
+    size_t rows_before = out.rows.size();
     POLY_RETURN_IF_ERROR(ScanOneTable(*table, node.scan_predicate, &out));
+    bool aged = name.size() > 5 && name.compare(name.size() - 5, 5, "$aged") == 0;
+    (aged ? aged_scans : hot_scans)->Add(1);
+    (aged ? aged_rows : hot_rows)->Add(stats_.rows_scanned - scanned_before);
+    uint64_t produced = out.rows.size() - rows_before;
+    (aged ? aged_bytes : hot_bytes)
+        ->Add(produced * table->schema().num_columns() * 8);
   }
   return out;
 }

@@ -53,8 +53,16 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
   const ExecOptions& options() const { return opts_; }
 
+  /// Span tree of the last traced Execute (null when opts().trace is off or
+  /// nothing ran). The same tree is attached to the returned ResultSet.
+  const OperatorSpan* trace() const { return trace_root_.get(); }
+
  private:
+  /// Tracing wrapper around Dispatch: when opts_.trace is set, times the
+  /// node (wall + coordinator-thread CPU), counts rows in/out, and hangs
+  /// the span under the parent operator's span.
   StatusOr<ResultSet> Exec(const PlanNode& node);
+  StatusOr<ResultSet> Dispatch(const PlanNode& node);
   StatusOr<ResultSet> ExecScan(const PlanNode& node);
   Status ScanOneTable(const ColumnTable& table, const ExprPtr& predicate,
                       ResultSet* out);
@@ -88,6 +96,8 @@ class Executor {
   ExecOptions opts_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ExecStats stats_;
+  std::shared_ptr<OperatorSpan> trace_root_;  ///< shared with the ResultSet
+  OperatorSpan* current_span_ = nullptr;  ///< parent span during traced recursion
 };
 
 }  // namespace poly

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "query/trace.h"
 #include "types/schema.h"
 
 namespace poly {
@@ -13,6 +14,10 @@ namespace poly {
 struct ResultSet {
   std::vector<std::string> column_names;
   std::vector<Row> rows;
+  /// Per-operator execution trace, set on the top-level result when the
+  /// query ran with tracing enabled (ExecOptions::trace or
+  /// QueryCompiler::set_trace); null otherwise and on intermediates.
+  TracePtr trace;
 
   size_t num_rows() const { return rows.size(); }
   size_t num_columns() const { return column_names.size(); }
@@ -51,6 +56,10 @@ struct ResultSet {
     }
     return -1;
   }
+
+  /// EXPLAIN ANALYZE-style annotated plan of the query that produced this
+  /// result, or "" when it ran without tracing.
+  std::string AnnotatedPlan() const { return trace ? trace->ToString() : ""; }
 
   /// Tab-separated debug rendering (header + rows), capped at `max_rows`.
   std::string ToString(size_t max_rows = 20) const {

@@ -1,0 +1,62 @@
+#include "query/trace.h"
+
+#include <chrono>
+#include <ctime>
+
+namespace poly {
+
+namespace {
+
+/// Fixed-point human duration: nanoseconds up to microseconds as-is, then
+/// two-decimal us/ms/s (annotated plans are read by people).
+std::string HumanNanos(uint64_t nanos) {
+  char buf[32];
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(nanos));
+  } else if (nanos < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(nanos) / 1e3);
+  } else if (nanos < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+uint64_t OperatorSpan::SelfWallNanos() const {
+  uint64_t child_nanos = 0;
+  for (const OperatorSpan& c : children) child_nanos += c.wall_nanos;
+  return wall_nanos > child_nanos ? wall_nanos - child_nanos : 0;
+}
+
+std::string OperatorSpan::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += label;
+  out += "  [rows=" + std::to_string(rows_out);
+  out += " in=" + std::to_string(rows_in);
+  out += " bytes=" + std::to_string(bytes_out);
+  out += " wall=" + HumanNanos(wall_nanos);
+  out += " cpu=" + HumanNanos(cpu_nanos);
+  out += " self=" + HumanNanos(SelfWallNanos());
+  out += "]\n";
+  for (const OperatorSpan& c : children) out += c.ToString(indent + 1);
+  return out;
+}
+
+uint64_t TraceWallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t TraceThreadCpuNanos() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace poly

@@ -1,0 +1,42 @@
+#ifndef POLY_QUERY_TRACE_H_
+#define POLY_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace poly {
+
+/// One executed plan node's measurements (DESIGN.md §10). Both execution
+/// paths produce these: the interpreted Executor wraps every `Exec(node)`
+/// recursion in a span; the compiled QueryCompiler emits a span per fused
+/// table loop. Spans are recorded per *operator*, never per row, so tracing
+/// stays within the E21 overhead budget (<3%).
+struct OperatorSpan {
+  std::string label;      ///< e.g. "Scan(orders)", "Aggregate", "FusedScan(orders)"
+  uint64_t rows_in = 0;   ///< rows consumed (scans: row versions visited)
+  uint64_t rows_out = 0;  ///< rows produced (the operator's result cardinality)
+  uint64_t bytes_out = 0; ///< estimated size of the produced rows
+  uint64_t wall_nanos = 0;  ///< wall time including children
+  uint64_t cpu_nanos = 0;   ///< coordinator-thread CPU time including children
+  std::vector<OperatorSpan> children;
+
+  /// Wall time net of children — the operator's own cost.
+  uint64_t SelfWallNanos() const;
+
+  /// EXPLAIN ANALYZE-style rendering: the plan tree annotated per node with
+  /// rows in/out, bytes, and wall/cpu/self times.
+  std::string ToString(int indent = 0) const;
+};
+
+/// Clock helpers shared by both executors (steady wall clock and the
+/// calling thread's CPU clock).
+uint64_t TraceWallNanos();
+uint64_t TraceThreadCpuNanos();
+
+using TracePtr = std::shared_ptr<const OperatorSpan>;
+
+}  // namespace poly
+
+#endif  // POLY_QUERY_TRACE_H_

@@ -12,8 +12,25 @@ SoeCluster::SoeCluster(Options options)
     : options_(options),
       net_(options.net),
       log_(SharedLog::Options{options.log_units, options.log_replication}, &net_),
+      stats_(&metrics_),
       jitter_rng_(Random::Mix(options.fault_seed, 0x6a17)) {
+  net_.set_metrics(&metrics_);
+  log_.set_metrics(&metrics_);
+  cm_.retries = metrics_.counter("soe.retry.count");
+  cm_.backoff_nanos = metrics_.counter("soe.retry.backoff_nanos");
+  cm_.backoff_hist = metrics_.histogram("soe.retry.backoff_wait_nanos");
+  cm_.dqp_queries = metrics_.counter("soe.dqp.queries");
+  cm_.dqp_result_bytes = metrics_.counter("soe.dqp.result_bytes");
+  cm_.dqp_failovers = metrics_.counter("soe.dqp.failovers");
+  cm_.task_nanos = metrics_.histogram("soe.dqp.task_virtual_nanos");
+  cm_.txn_commits = metrics_.counter("soe.txn.commits");
+  cm_.txn_rows = metrics_.counter("soe.txn.rows_committed");
+  cm_.node_kills = metrics_.counter("soe.clustermgr.node_kills");
+  cm_.node_restarts = metrics_.counter("soe.clustermgr.node_restarts");
+  cm_.rebuilds = metrics_.counter("soe.clustermgr.partition_rebuilds");
   for (int i = 0; i < options_.num_nodes; ++i) {
+    cm_.node_rpcs.push_back(
+        metrics_.counter("soe.rpc.node." + std::to_string(i) + ".tasks"));
     nodes_.push_back(std::make_unique<SoeNode>(i, options_.default_mode));
     discovery_.RegisterNode(i);
   }
@@ -90,7 +107,11 @@ Status SoeCluster::WithRetries(const char* what, const std::function<Status()>& 
   for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++total_retries_;
-      net_.AdvanceVirtualTime(BackoffNanos(attempt - 1));
+      cm_.retries->Add(1);
+      uint64_t wait = BackoffNanos(attempt - 1);
+      cm_.backoff_nanos->Add(wait);
+      cm_.backoff_hist->Observe(wait);
+      net_.AdvanceVirtualTime(wait);
       PumpFaults();  // time passed: scheduled heals/cuts may fire
       if (net_.virtual_nanos() - start >= options_.retry.op_timeout_nanos) {
         return Status::Unavailable(std::string(what) + " timed out after " +
@@ -155,6 +176,8 @@ StatusOr<uint64_t> SoeCluster::CommitInserts(const std::string& table,
     POLY_ASSIGN_OR_RETURN(offset, log_.Append(encoded));
     return Status::OK();
   }));
+  cm_.txn_commits->Add(1);
+  cm_.txn_rows->Add(rows.size());
 
   // OLTP nodes hosting touched partitions incorporate the log in-line.
   // Best-effort: the commit is already durable, so a node that stays
@@ -194,7 +217,11 @@ StatusOr<ResultSet> SoeCluster::RunPartitionTask(const CatalogService::TableInfo
     if (attempt > 0) {
       ++last_stats_.retries;
       ++total_retries_;
-      net_.AdvanceVirtualTime(BackoffNanos(attempt - 1));
+      cm_.retries->Add(1);
+      uint64_t wait = BackoffNanos(attempt - 1);
+      cm_.backoff_nanos->Add(wait);
+      cm_.backoff_hist->Observe(wait);
+      net_.AdvanceVirtualTime(wait);
       PumpFaults();
       if (net_.virtual_nanos() - start >= options_.retry.op_timeout_nanos) break;
     }
@@ -228,10 +255,17 @@ StatusOr<ResultSet> SoeCluster::RunPartitionTask(const CatalogService::TableInfo
         return Status::OK();
       }();
       if (st.ok()) {
-        if (!on_primary) ++last_stats_.failovers;
+        if (!on_primary) {
+          ++last_stats_.failovers;
+          cm_.dqp_failovers->Add(1);
+        }
         last_stats_.result_bytes_gathered += gathered;
         last_stats_.total_exec_nanos += exec_nanos;
         stats_.RecordQuery(n, 0, exec_nanos);
+        if (n >= 0 && n < static_cast<int>(cm_.node_rpcs.size())) {
+          cm_.node_rpcs[n]->Add(1);
+        }
+        cm_.task_nanos->Observe(net_.virtual_nanos() - start);
         *served_by = n;
         return result;
       }
@@ -357,6 +391,8 @@ StatusOr<ResultSet> SoeCluster::DistributedAggregate(const std::string& table,
   for (const auto& [_, nanos] : node_nanos) {
     last_stats_.makespan_nanos = std::max(last_stats_.makespan_nanos, nanos);
   }
+  cm_.dqp_queries->Add(1);
+  cm_.dqp_result_bytes->Add(last_stats_.result_bytes_gathered);
 
   // Finalize.
   ResultSet out;
@@ -428,6 +464,8 @@ StatusOr<ResultSet> SoeCluster::DistributedScan(const std::string& table,
   for (const auto& [_, nanos] : node_nanos) {
     last_stats_.makespan_nanos = std::max(last_stats_.makespan_nanos, nanos);
   }
+  cm_.dqp_queries->Add(1);
+  cm_.dqp_result_bytes->Add(last_stats_.result_bytes_gathered);
   return out;
 }
 
@@ -442,12 +480,14 @@ Status SoeCluster::SetNodeMode(int node, NodeMode mode) {
 Status SoeCluster::KillNode(int node) {
   POLY_RETURN_IF_ERROR(discovery_.MarkDown(node));
   net_.SetEndpointDown(node, true);
+  cm_.node_kills->Add(1);
   return Status::OK();
 }
 
 Status SoeCluster::RestartNode(int node) {
   POLY_RETURN_IF_ERROR(discovery_.MarkUp(node));
   net_.SetEndpointDown(node, false);
+  cm_.node_restarts->Add(1);
   return Status::OK();
 }
 
@@ -494,6 +534,7 @@ Status SoeCluster::Rebalance() {
         }));
         replicas.push_back(best);
         ++live_count;
+        cm_.rebuilds->Add(1);
       }
     }
   }

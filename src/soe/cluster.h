@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "soe/fault_schedule.h"
 #include "soe/node.h"
@@ -135,6 +136,14 @@ class SoeCluster {
   DiscoveryService& discovery() { return discovery_; }
   ClusterStatisticsService& statistics() { return stats_; }
 
+  /// Cluster-wide metric registry (DESIGN.md §10). Every subsystem records
+  /// here: the fault fabric (`soe.net.*`), the shared log (`soe.log.*`),
+  /// the retry layer (`soe.retry.*`), the distributed query coordinator
+  /// (`soe.dqp.*`), the transaction broker (`soe.txn.*`), the cluster
+  /// manager (`soe.clustermgr.*`), and v2stats (`soe.node.<id>.*`).
+  /// `metrics().TextPage()` is the cluster's Prometheus-style scrape.
+  metrics::Registry& metrics() { return metrics_; }
+
  private:
   /// First live node hosting a partition (primary preferred).
   StatusOr<int> RouteToNode(const CatalogService::TableInfo& info, size_t partition) const;
@@ -150,12 +159,32 @@ class SoeCluster {
   StatusOr<ResultSet> RunPartitionTask(const CatalogService::TableInfo& info,
                                        size_t p, const PlanPtr& plan, int* served_by);
 
+  /// Cached registry pointers for the cluster's own layers (fabric and log
+  /// cache their own); created once in the constructor.
+  struct ClusterMetrics {
+    metrics::Counter* retries = nullptr;           ///< soe.retry.count
+    metrics::Counter* backoff_nanos = nullptr;     ///< soe.retry.backoff_nanos
+    metrics::Histogram* backoff_hist = nullptr;    ///< soe.retry.backoff_wait_nanos
+    metrics::Counter* dqp_queries = nullptr;       ///< soe.dqp.queries
+    metrics::Counter* dqp_result_bytes = nullptr;  ///< soe.dqp.result_bytes
+    metrics::Counter* dqp_failovers = nullptr;     ///< soe.dqp.failovers
+    metrics::Histogram* task_nanos = nullptr;      ///< soe.dqp.task_virtual_nanos
+    metrics::Counter* txn_commits = nullptr;       ///< soe.txn.commits
+    metrics::Counter* txn_rows = nullptr;          ///< soe.txn.rows_committed
+    metrics::Counter* node_kills = nullptr;        ///< soe.clustermgr.node_kills
+    metrics::Counter* node_restarts = nullptr;     ///< soe.clustermgr.node_restarts
+    metrics::Counter* rebuilds = nullptr;          ///< soe.clustermgr.partition_rebuilds
+    std::vector<metrics::Counter*> node_rpcs;      ///< soe.rpc.node.<id>.tasks
+  };
+
   Options options_;
+  metrics::Registry metrics_;  ///< must outlive every subsystem recording into it
   SimulatedNetwork net_;
   SharedLog log_;
   CatalogService catalog_;
   DiscoveryService discovery_;
   ClusterStatisticsService stats_;
+  ClusterMetrics cm_;
   std::vector<std::unique_ptr<SoeNode>> nodes_;
   int next_placement_ = 0;
   DistributedQueryStats last_stats_;

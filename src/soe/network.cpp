@@ -2,6 +2,22 @@
 
 namespace poly {
 
+void SimulatedNetwork::set_metrics(metrics::Registry* registry) {
+  // Attach before traffic starts: the cached pointers are written without
+  // synchronization against concurrent Send callers.
+  if (registry == nullptr) {
+    metrics_ = FabricMetrics{};
+    return;
+  }
+  metrics_.messages = registry->counter("soe.net.messages");
+  metrics_.bytes = registry->counter("soe.net.bytes");
+  metrics_.dropped = registry->counter("soe.net.dropped");
+  metrics_.duplicated = registry->counter("soe.net.duplicated");
+  metrics_.delayed = registry->counter("soe.net.delayed");
+  metrics_.partitions_installed = registry->counter("soe.net.partitions_installed");
+  metrics_.send_nanos = registry->histogram("soe.net.send_nanos");
+}
+
 void SimulatedNetwork::Account(uint64_t bytes, uint64_t extra_delay_nanos) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -15,6 +31,11 @@ void SimulatedNetwork::Account(uint64_t bytes, uint64_t extra_delay_nanos) {
   uint64_t nanos = static_cast<uint64_t>(
       opts_latency + static_cast<double>(bytes) / opts_bw * 1e9);
   virtual_nanos_.fetch_add(nanos + extra_delay_nanos, std::memory_order_relaxed);
+  if (metrics_.messages != nullptr) {
+    metrics_.messages->Add(1);
+    metrics_.bytes->Add(bytes);
+    metrics_.send_nanos->Observe(nanos + extra_delay_nanos);
+  }
 }
 
 bool SimulatedNetwork::BlockedLocked(int from, int to) const {
@@ -46,9 +67,13 @@ Status SimulatedNetwork::Send(int from, int to, uint64_t bytes) {
                                " cannot reach " + std::to_string(to));
   }
   Account(bytes, delay);
-  if (delay > 0) delayed_.fetch_add(1, std::memory_order_relaxed);
+  if (delay > 0) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.delayed != nullptr) metrics_.delayed->Add(1);
+  }
   if (drop) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.dropped != nullptr) metrics_.dropped->Add(1);
     return Status::Unavailable("message " + std::to_string(from) + "->" +
                                std::to_string(to) + " dropped");
   }
@@ -57,19 +82,26 @@ Status SimulatedNetwork::Send(int from, int to, uint64_t bytes) {
     // must be idempotent at the receiver (the shared log keys by offset).
     Account(bytes, 0);
     duplicated_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.duplicated != nullptr) metrics_.duplicated->Add(1);
   }
   return Status::OK();
 }
 
 void SimulatedNetwork::Partition(int a, int b) {
-  std::lock_guard<std::mutex> lock(mu_);
-  blocked_.insert({a, b});
-  blocked_.insert({b, a});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked_.insert({a, b});
+    blocked_.insert({b, a});
+  }
+  if (metrics_.partitions_installed != nullptr) metrics_.partitions_installed->Add(1);
 }
 
 void SimulatedNetwork::PartitionOneWay(int from, int to) {
-  std::lock_guard<std::mutex> lock(mu_);
-  blocked_.insert({from, to});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked_.insert({from, to});
+  }
+  if (metrics_.partitions_installed != nullptr) metrics_.partitions_installed->Add(1);
 }
 
 void SimulatedNetwork::Heal(int a, int b) {

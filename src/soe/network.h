@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -83,6 +84,15 @@ class SimulatedNetwork {
     options_ = options;
   }
 
+  // ---- metrics export ----
+
+  /// Mirrors the fabric counters into `registry` under `soe.net.*`
+  /// (messages, bytes, dropped, duplicated, delayed, partitions_installed,
+  /// plus a `send_nanos` histogram of per-message modeled cost). Metric
+  /// pointers are cached here, so the per-message cost is a few relaxed
+  /// atomic adds. Pass nullptr to detach.
+  void set_metrics(metrics::Registry* registry);
+
   // ---- counters / clocks ----
 
   uint64_t messages() const { return messages_.load(std::memory_order_relaxed); }
@@ -123,9 +133,21 @@ class SimulatedNetwork {
   void Account(uint64_t bytes, uint64_t extra_delay_nanos);
   bool BlockedLocked(int from, int to) const;
 
+  /// Cached registry metric pointers (all null when no registry attached).
+  struct FabricMetrics {
+    metrics::Counter* messages = nullptr;
+    metrics::Counter* bytes = nullptr;
+    metrics::Counter* dropped = nullptr;
+    metrics::Counter* duplicated = nullptr;
+    metrics::Counter* delayed = nullptr;
+    metrics::Counter* partitions_installed = nullptr;
+    metrics::Histogram* send_nanos = nullptr;
+  };
+
   mutable std::mutex mu_;  ///< guards options_, rng_, blocked_, down_
   Options options_;
   Random rng_;
+  FabricMetrics metrics_;
   std::set<std::pair<int, int>> blocked_;  ///< directed (from, to) edges
   std::set<int> down_;
   std::atomic<uint64_t> messages_{0};

@@ -88,37 +88,85 @@ bool DiscoveryService::Authorize(const std::string& principal,
   return it != credentials_.end() && it->second == secret;
 }
 
+ClusterStatisticsService::ClusterStatisticsService()
+    : owned_registry_(std::make_unique<metrics::Registry>()),
+      registry_(owned_registry_.get()),
+      query_nanos_(registry_->histogram("soe.stats.query_nanos")) {}
+
+ClusterStatisticsService::ClusterStatisticsService(metrics::Registry* registry)
+    : registry_(registry),
+      query_nanos_(registry_->histogram("soe.stats.query_nanos")) {}
+
+const ClusterStatisticsService::NodeCounters& ClusterStatisticsService::CountersFor(
+    int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeCounters& c = nodes_[node];
+  if (c.queries == nullptr) {
+    const std::string prefix = "soe.node." + std::to_string(node);
+    c.queries = registry_->counter(metrics::JoinName(prefix, "queries"));
+    c.rows_scanned = registry_->counter(metrics::JoinName(prefix, "rows_scanned"));
+    c.busy_nanos = registry_->counter(metrics::JoinName(prefix, "busy_nanos"));
+    c.records_applied =
+        registry_->counter(metrics::JoinName(prefix, "records_applied"));
+  }
+  return c;
+}
+
 void ClusterStatisticsService::RecordQuery(int node, uint64_t rows_scanned,
                                            uint64_t nanos) {
-  std::lock_guard<std::mutex> lock(mu_);
-  NodeStats& s = stats_[node];
-  ++s.queries;
-  s.rows_scanned += rows_scanned;
-  s.busy_nanos += nanos;
+  const NodeCounters& c = CountersFor(node);
+  c.queries->Add(1);
+  c.rows_scanned->Add(rows_scanned);
+  c.busy_nanos->Add(nanos);
+  query_nanos_->Observe(nanos);
 }
 
 void ClusterStatisticsService::RecordApply(int node, uint64_t records) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_[node].records_applied += records;
+  CountersFor(node).records_applied->Add(records);
 }
 
 ClusterStatisticsService::NodeStats ClusterStatisticsService::Stats(int node) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = stats_.find(node);
-  return it == stats_.end() ? NodeStats{} : it->second;
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return NodeStats{};
+  return NodeStats{it->second.queries->Value(), it->second.rows_scanned->Value(),
+                   it->second.busy_nanos->Value(),
+                   it->second.records_applied->Value()};
 }
 
 int ClusterStatisticsService::Hotspot() const {
   std::lock_guard<std::mutex> lock(mu_);
   int hot = -1;
   uint64_t best = 0;
-  for (const auto& [node, s] : stats_) {
-    if (s.busy_nanos >= best) {
-      best = s.busy_nanos;
+  for (const auto& [node, c] : nodes_) {
+    uint64_t busy = c.busy_nanos->Value();
+    if (busy >= best) {
+      best = busy;
       hot = node;
     }
   }
   return hot;
+}
+
+std::vector<int> ClusterStatisticsService::Nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.reserve(nodes_.size());
+  for (const auto& [node, _] : nodes_) out.push_back(node);
+  return out;
+}
+
+std::string ClusterStatisticsService::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [node, c] : nodes_) {
+    out += "node " + std::to_string(node) +
+           ": queries=" + std::to_string(c.queries->Value()) +
+           " rows_scanned=" + std::to_string(c.rows_scanned->Value()) +
+           " busy_nanos=" + std::to_string(c.busy_nanos->Value()) +
+           " records_applied=" + std::to_string(c.records_applied->Value()) + "\n";
+  }
+  return out;
 }
 
 }  // namespace poly

@@ -2,10 +2,12 @@
 #define POLY_SOE_SERVICES_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "soe/partition.h"
 
@@ -57,8 +59,21 @@ class DiscoveryService {
 /// Cluster statistics service (Figure 3, v2stats): per-node counters the
 /// cluster manager uses "to identify hotspots or to monitor performance
 /// goals".
+///
+/// Backed entirely by a `metrics::Registry` — each node's figures live as
+/// `soe.node.<id>.{queries,rows_scanned,busy_nanos,records_applied}`
+/// counters plus a cluster-wide `soe.stats.query_nanos` histogram, so
+/// `Hotspot()`, `Stats()`, `Report()`, and the registry's text page all
+/// derive from the same numbers (DESIGN.md §10). By default the service
+/// owns a private registry; pass the cluster registry to fold v2stats into
+/// the cluster-wide metric namespace.
 class ClusterStatisticsService {
  public:
+  /// Standalone service with its own private registry.
+  ClusterStatisticsService();
+  /// Records into `registry` (not owned; must outlive the service).
+  explicit ClusterStatisticsService(metrics::Registry* registry);
+
   void RecordQuery(int node, uint64_t rows_scanned, uint64_t nanos);
   void RecordApply(int node, uint64_t records);
 
@@ -69,12 +84,35 @@ class ClusterStatisticsService {
     uint64_t records_applied = 0;
   };
   NodeStats Stats(int node) const;
-  /// Node with the most accumulated busy time (hotspot), or -1.
+  /// Node with the most accumulated busy time (hotspot), or -1. Ties go to
+  /// the highest node id (map-order last-max-wins, kept from the original
+  /// service).
   int Hotspot() const;
 
+  /// Node ids that have recorded at least one event, ascending.
+  std::vector<int> Nodes() const;
+  /// Human-readable per-node table (one line per node) for operator
+  /// consoles and the cluster tour example.
+  std::string Report() const;
+
+  /// Registry the counters live in (the private one unless injected).
+  metrics::Registry* registry() const { return registry_; }
+
  private:
-  mutable std::mutex mu_;
-  std::map<int, NodeStats> stats_;
+  /// Cached per-node counter pointers; created on first record for a node.
+  struct NodeCounters {
+    metrics::Counter* queries = nullptr;
+    metrics::Counter* rows_scanned = nullptr;
+    metrics::Counter* busy_nanos = nullptr;
+    metrics::Counter* records_applied = nullptr;
+  };
+  const NodeCounters& CountersFor(int node);
+
+  std::unique_ptr<metrics::Registry> owned_registry_;
+  metrics::Registry* registry_;
+  metrics::Histogram* query_nanos_;  ///< cluster-wide query latency
+  mutable std::mutex mu_;            ///< guards nodes_
+  std::map<int, NodeCounters> nodes_;
 };
 
 }  // namespace poly

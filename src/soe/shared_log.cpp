@@ -15,6 +15,19 @@ SharedLog::SharedLog(Options options, SimulatedNetwork* net)
   unit_alive_.assign(options_.num_log_units, true);
 }
 
+void SharedLog::set_metrics(metrics::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = LogMetrics{};
+    return;
+  }
+  metrics_.appends = registry->counter("soe.log.appends");
+  metrics_.append_failures = registry->counter("soe.log.append_failures");
+  metrics_.replica_writes = registry->counter("soe.log.replica_writes");
+  metrics_.reads = registry->counter("soe.log.reads");
+  metrics_.read_failovers = registry->counter("soe.log.read_failovers");
+  metrics_.rereplicated_records = registry->counter("soe.log.rereplicated_records");
+}
+
 std::vector<int> SharedLog::ReplicasOf(uint64_t offset) const {
   std::vector<int> replicas;
   for (int i = 0; i < options_.replication; ++i) {
@@ -42,8 +55,13 @@ StatusOr<uint64_t> SharedLog::Append(std::string record, int writer) {
     ++written;
   }
   if (written == 0) {
+    if (metrics_.append_failures != nullptr) metrics_.append_failures->Add(1);
     return Status::Unavailable("no log replica reachable for offset " +
                                std::to_string(offset));
+  }
+  if (metrics_.appends != nullptr) {
+    metrics_.appends->Add(1);
+    metrics_.replica_writes->Add(written);
   }
   sequencer_.store(offset + 1, std::memory_order_release);
   return offset;
@@ -66,9 +84,11 @@ StatusOr<std::string> SharedLog::Read(uint64_t offset, int reader) const {
                                it->second.size() + 16);
       if (!sent.ok()) {
         last_send = sent;
+        if (metrics_.read_failovers != nullptr) metrics_.read_failovers->Add(1);
         return nullptr;  // fail over to the next replica
       }
     }
+    if (metrics_.reads != nullptr) metrics_.reads->Add(1);
     return &it->second;
   };
   for (int unit : ReplicasOf(offset)) {
@@ -152,6 +172,9 @@ Status SharedLog::ReReplicate() {
       }
       units_[u][off] = *copy;
       ++holders;
+      if (metrics_.rereplicated_records != nullptr) {
+        metrics_.rereplicated_records->Add(1);
+      }
     }
   }
   return Status::OK();

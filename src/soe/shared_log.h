@@ -63,12 +63,28 @@ class SharedLog {
   int num_units() const { return static_cast<int>(units_.size()); }
   uint64_t records_stored(int unit) const;
 
+  /// Mirrors log activity into `registry` under `soe.log.*` (appends,
+  /// append_failures, replica_writes, reads, read_failovers,
+  /// rereplicated_records). Attach before concurrent use; nullptr detaches.
+  void set_metrics(metrics::Registry* registry);
+
  private:
   /// Deterministic replica set of an offset (round-robin chains).
   std::vector<int> ReplicasOf(uint64_t offset) const;
 
+  /// Cached registry metric pointers (all null when no registry attached).
+  struct LogMetrics {
+    metrics::Counter* appends = nullptr;
+    metrics::Counter* append_failures = nullptr;
+    metrics::Counter* replica_writes = nullptr;
+    metrics::Counter* reads = nullptr;
+    metrics::Counter* read_failovers = nullptr;
+    metrics::Counter* rereplicated_records = nullptr;
+  };
+
   Options options_;
   SimulatedNetwork* net_;
+  LogMetrics metrics_;
   mutable std::mutex mu_;
   std::atomic<uint64_t> sequencer_{0};  ///< published tail; advanced under mu_
   std::vector<std::map<uint64_t, std::string>> units_;  ///< unit -> offset -> record

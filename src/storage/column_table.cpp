@@ -1,5 +1,6 @@
 #include "storage/column_table.h"
 
+#include "common/metrics.h"
 #include "types/value_serde.h"
 
 namespace poly {
@@ -95,6 +96,11 @@ TableMergeStats ColumnTable::Merge() {
     }
     stats.ids_reencoded += cs.ids_reencoded;
   }
+  metrics::Registry& reg = metrics::Default();
+  reg.counter("storage.merge.count")->Add(1);
+  reg.counter("storage.merge.rows_moved")->Add(stats.rows_moved);
+  reg.counter("storage.merge.columns_fast_path")->Add(stats.columns_fast_path);
+  reg.counter("storage.merge.ids_reencoded")->Add(stats.ids_reencoded);
   return stats;
 }
 

@@ -573,6 +573,89 @@ void RunChaosOracle(uint64_t seed) {
   (void)commits_failed;
 }
 
+// ---------- Metrics under chaos (DESIGN.md §10) ----------
+
+// The registry is instrumented inside the same code paths the legacy
+// counters live in, so the two can never drift: retries observed by the
+// cluster == retries counted in the registry, and the fabric's own fault
+// counters == their soe.net.* mirrors.
+TEST(ChaosMetrics, RegistryAgreesWithLegacyCounters) {
+  SoeCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.net.drop_probability = 0.25;
+  opts.net.duplicate_probability = 0.1;
+  opts.net.delay_probability = 0.1;
+  opts.net.fault_seed = 5;
+  opts.retry.max_attempts = 10;
+  SoeCluster cluster(opts);
+  Schema s({ColumnDef("k", DataType::kInt64), ColumnDef("v", DataType::kDouble)});
+  ASSERT_TRUE(cluster.CreateTable("t", s, PartitionSpec::Hash("k", 8), 2).ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) rows.push_back({Value::Int(i), Value::Dbl(i)});
+  ASSERT_TRUE(cluster.CommitInserts("t", rows).ok());
+  AggSpec cnt{AggFunc::kCount, nullptr, "cnt"};
+  for (int q = 0; q < 5; ++q) {
+    ASSERT_TRUE(cluster.DistributedAggregate("t", nullptr, "", {cnt}).ok());
+  }
+
+  metrics::RegistrySnapshot snap = cluster.metrics().TakeSnapshot();
+  EXPECT_GT(cluster.total_retries(), 0u);
+  EXPECT_EQ(snap.counter("soe.retry.count"), cluster.total_retries());
+  EXPECT_EQ(snap.counter("soe.net.messages"), cluster.network().messages());
+  EXPECT_EQ(snap.counter("soe.net.bytes"), cluster.network().bytes());
+  EXPECT_GT(cluster.network().dropped(), 0u);
+  EXPECT_EQ(snap.counter("soe.net.dropped"), cluster.network().dropped());
+  EXPECT_EQ(snap.counter("soe.net.duplicated"), cluster.network().duplicated());
+  EXPECT_EQ(snap.counter("soe.net.delayed"), cluster.network().delayed());
+  EXPECT_EQ(snap.counter("soe.dqp.queries"), 5u);
+  EXPECT_EQ(snap.counter("soe.txn.commits"), 1u);
+  EXPECT_EQ(snap.counter("soe.txn.rows_committed"), 200u);
+  // Every commit durably appended exactly one log record.
+  EXPECT_EQ(snap.counter("soe.log.appends"), cluster.log().Tail());
+  // Backoff waits advanced the virtual clock; the histogram saw each wait.
+  EXPECT_EQ(snap.histograms.at("soe.retry.backoff_wait_nanos").count,
+            cluster.total_retries());
+  EXPECT_GT(snap.counter("soe.retry.backoff_nanos"), 0u);
+  // v2stats derives from the same registry: per-node RPC counters sum to
+  // the tasks the statistics service recorded.
+  uint64_t rpc_total = 0;
+  uint64_t stats_queries = 0;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    rpc_total += snap.counter("soe.rpc.node." + std::to_string(n) + ".tasks");
+    stats_queries += cluster.statistics().Stats(n).queries;
+  }
+  EXPECT_GT(rpc_total, 0u);
+  EXPECT_EQ(rpc_total, stats_queries);
+}
+
+TEST(ChaosMetrics, FaultScheduleEventsAreCounted) {
+  SoeCluster::Options opts;
+  opts.num_nodes = 3;
+  SoeCluster cluster(opts);
+  Schema s({ColumnDef("k", DataType::kInt64)});
+  ASSERT_TRUE(cluster.CreateTable("t", s, PartitionSpec::Hash("k", 3), 2).ok());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(cluster.Insert("t", {Value::Int(i)}).ok());
+
+  cluster.InstallFaultSchedule(FaultSchedule(
+      {FaultEvent{0, FaultEvent::Kind::kCrashNode, 0},
+       FaultEvent{0, FaultEvent::Kind::kPartition, kCoordinatorEndpoint, 1},
+       FaultEvent{1, FaultEvent::Kind::kHealAll}}));
+  ASSERT_TRUE(cluster.DistributedScan("t", nullptr).ok());
+  ASSERT_TRUE(cluster.Rebalance().ok());
+  ASSERT_TRUE(cluster.RestartNode(0).ok());
+
+  metrics::RegistrySnapshot snap = cluster.metrics().TakeSnapshot();
+  EXPECT_EQ(snap.counter("soe.clustermgr.node_kills"), 1u);
+  EXPECT_EQ(snap.counter("soe.clustermgr.node_restarts"), 1u);
+  EXPECT_EQ(snap.counter("soe.net.partitions_installed"), 1u);
+  EXPECT_GT(snap.counter("soe.clustermgr.partition_rebuilds"), 0u);
+  // The cluster page renders every one of these without touching any
+  // subsystem-private state.
+  std::string page = cluster.metrics().TextPage();
+  EXPECT_NE(page.find("soe_clustermgr_node_kills 1"), std::string::npos);
+  EXPECT_NE(page.find("soe_net_messages"), std::string::npos);
+}
+
 TEST(ChaosOracle, FaultyAndReferenceClustersConverge) {
   if (const char* env = std::getenv("POLY_CHAOS_SEED")) {
     RunChaosOracle(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
