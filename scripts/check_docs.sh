@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Documentation freshness gate (ctest label: docs).
 #
-# The docs make three kinds of checkable claims, and each has rotted at
+# The docs make five kinds of checkable claims, and each has rotted at
 # least once before this gate existed:
 #   1. repo paths in backticks (`src/...`, `tests/...`, `scripts/...`)
 #   2. section references of the form `DESIGN.md §N` — in the docs AND in
 #      source comments
 #   3. experiment rows `| E<k> ...` in EXPERIMENTS.md (must be contiguous
 #      from E1) and `bench_<name>` binaries the docs tell the reader to run
+#   4. C++ code fences in README.md (compile-checked against src/)
+#   5. `ctest -L <label>` commands (the label must exist in tests/CMakeLists.txt)
 #
 # Fails loudly with every stale reference, not just the first.
 
@@ -72,6 +74,44 @@ if grep -q 'bench_output\.txt' EXPERIMENTS.md; then
   [ -f bench_output.txt ] ||
     fail "EXPERIMENTS.md references bench_output.txt but it is not in the tree"
 fi
+
+# ---- 4. README C++ snippets must compile --------------------------------
+# Every ```cpp fence in README.md is stitched into one translation unit:
+# #include lines are hoisted to the top, each snippet body becomes a nested
+# scope inside main() (nested, not sibling, so later snippets may use
+# variables earlier ones declared). Syntax-only: no linking, no running.
+if grep -q '^```cpp' README.md; then
+  snippet_dir=$(mktemp -d)
+  awk '/^```cpp/{inblock=1; n++; next} /^```/{inblock=0; next}
+       inblock{print > sprintf("'"$snippet_dir"'/snippet%03d.inc", n)}' README.md
+  tu="$snippet_dir/readme_snippets.cpp"
+  {
+    grep -h '^#include' "$snippet_dir"/snippet*.inc 2>/dev/null | sort -u
+    echo "using namespace poly;"
+    echo "int main() {"
+    opens=0
+    for inc in "$snippet_dir"/snippet*.inc; do
+      [ -f "$inc" ] || continue
+      echo "{"
+      opens=$((opens + 1))
+      grep -v '^#include' "$inc"
+    done
+    for _ in $(seq 1 "$opens"); do echo "}"; done
+    echo "return 0; }"
+  } > "$tu"
+  if ! "${CXX:-c++}" -std=c++20 -fsyntax-only -I "$ROOT/src" "$tu" 2> "$snippet_dir/err"; then
+    sed 's/^/check_docs:   /' "$snippet_dir/err" >&2
+    fail "README.md \`\`\`cpp snippets no longer compile against src/ (see above)"
+  fi
+  rm -rf "$snippet_dir"
+fi
+
+# ---- 5. ctest labels the docs mention must exist -------------------------
+for label in $(grep -rhoE 'ctest[^|)]* -L [a-z0-9_-]+' $DOCS 2>/dev/null |
+               sed -E 's/.* -L ([a-z0-9_-]+).*/\1/' | sort -u); do
+  grep -qE "LABELS[[:space:]]+.*\b${label}\b" tests/CMakeLists.txt ||
+    fail "docs tell the reader to run 'ctest -L ${label}' but tests/CMakeLists.txt defines no such label"
+done
 
 # ---- summary ------------------------------------------------------------
 if [ "$failures" -gt 0 ]; then

@@ -89,6 +89,12 @@ Status ExtendedStorage::Drop(const std::string& table) {
   return Status::OK();
 }
 
+uint64_t ExtendedStorage::BytesOf(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store_.find(table);
+  return it == store_.end() ? 0 : it->second.size();
+}
+
 uint64_t ExtendedStorage::bytes_stored() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;

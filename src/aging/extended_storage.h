@@ -42,6 +42,10 @@ class ExtendedStorage {
   bool Contains(const std::string& table) const;
   Status Drop(const std::string& table);
 
+  /// Serialized size of a warm table; 0 if absent. The tiering policy
+  /// meters its migration budget in these bytes.
+  uint64_t BytesOf(const std::string& table) const;
+
   /// Accrued simulated access cost (ns) and volume.
   double simulated_nanos() const { return simulated_nanos_; }
   uint64_t bytes_stored() const;

@@ -34,6 +34,14 @@ struct ExecOptions {
   /// ResultSet. Off by default; the cost when on is per *operator*, never
   /// per row (E21 measures it at well under 3%).
   bool trace = false;
+
+  /// Report per-partition AccessEvents to the Database's AccessObserver
+  /// (when one is attached) so the tiering heat tracker sees real workload.
+  /// On by default because the cost is one virtual call per (query,
+  /// partition) — nothing per row — and zero when no observer is attached.
+  /// Internal scans that should not perturb heat (tier movement itself,
+  /// recovery replay) turn it off.
+  bool track_access = true;
 };
 
 }  // namespace poly

@@ -39,6 +39,9 @@ HistogramSnapshot Histogram::Snapshot() const {
   uint64_t min = min_.load(std::memory_order_relaxed);
   snap.min = min == UINT64_MAX ? 0 : min;
   snap.max = max_.load(std::memory_order_relaxed);
+  snap.p50 = snap.Quantile(0.50);
+  snap.p90 = snap.Quantile(0.90);
+  snap.p99 = snap.Quantile(0.99);
   return snap;
 }
 
@@ -137,6 +140,10 @@ std::string Registry::TextPage() const {
     out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
     out += n + "_sum " + std::to_string(h.sum) + "\n";
     out += n + "_count " + std::to_string(h.count) + "\n";
+    // Precomputed quantiles as plain gauges (Prometheus summary idiom).
+    out += n + "_p50 " + std::to_string(h.p50) + "\n";
+    out += n + "_p90 " + std::to_string(h.p90) + "\n";
+    out += n + "_p99 " + std::to_string(h.p99) + "\n";
   }
   return out;
 }

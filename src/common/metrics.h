@@ -70,6 +70,11 @@ struct HistogramSnapshot {
   /// bucket[i] counts observations with value < 2^i (non-cumulative;
   /// bucket 0 holds the zeros).
   std::vector<uint64_t> buckets;
+  /// Standard latency quantiles, precomputed at snapshot time (same
+  /// log-scale bound as Quantile(): exact to a factor of 2). 0 when empty.
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
 
   double Mean() const { return count ? static_cast<double>(sum) / count : 0.0; }
   /// Upper bound of the bucket containing quantile `q` in [0,1] — a

@@ -227,7 +227,18 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
   std::string group_col_name;
 
   for (const auto& name : tables) {
-    POLY_ASSIGN_OR_RETURN(ColumnTable * table, db_->GetTable(name));
+    // Pin + demand-page exactly like the interpreted executor's ExecScan:
+    // the handle survives a concurrent demotion, and a demoted partition is
+    // promoted back through the tier resolver instead of failing.
+    auto pinned = db_->PinTable(name);
+    if (!pinned.ok() && pinned.status().IsNotFound()) {
+      if (TierResolver* resolver = db_->tier_resolver()) {
+        auto resolved = resolver->ResolveMissing(name);
+        if (resolved.ok()) pinned = std::move(resolved);
+      }
+    }
+    POLY_ASSIGN_OR_RETURN(std::shared_ptr<ColumnTable> pinned_table, std::move(pinned));
+    ColumnTable* table = pinned_table.get();
     uint64_t n = table->num_versions();
     uint64_t kernel_wall0 = 0, kernel_cpu0 = 0;
     if (trace_) {
@@ -323,6 +334,14 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
       kernel.wall_nanos = TraceWallNanos() - kernel_wall0;
       kernel.cpu_nanos = TraceThreadCpuNanos() - kernel_cpu0;
       root.children.push_back(std::move(kernel));
+    }
+
+    if (AccessObserver* observer = db_->access_observer()) {
+      AccessEvent event;
+      event.partition = name;
+      event.rows_scanned = n;
+      event.bytes = rows_kept * spec.slots.size() * 8;
+      observer->OnAccess(event);
     }
   }
 

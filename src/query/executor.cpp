@@ -376,7 +376,20 @@ StatusOr<ResultSet> Executor::ExecScan(const PlanNode& node) {
                                    : node.scan_partitions;
   bool first = true;
   for (const auto& name : tables) {
-    POLY_ASSIGN_OR_RETURN(ColumnTable * table, db_->GetTable(name));
+    // Pin the partition: a shared handle keeps it alive across the scan even
+    // if the tiering daemon demotes (drops) it concurrently.
+    auto pinned = db_->PinTable(name);
+    if (!pinned.ok() && pinned.status().IsNotFound()) {
+      // Demand paging: offer the miss to the tier resolver (the tiering
+      // daemon promotes demoted partitions back from warm storage and hands
+      // back an already-pinned reference). Without a resolver, demoted
+      // partitions keep failing loudly as before.
+      if (TierResolver* resolver = db_->tier_resolver()) {
+        auto resolved = resolver->ResolveMissing(name);
+        if (resolved.ok()) pinned = std::move(resolved);
+      }
+    }
+    POLY_ASSIGN_OR_RETURN(std::shared_ptr<ColumnTable> table, std::move(pinned));
     if (first) {
       for (size_t c = 0; c < table->schema().num_columns(); ++c) {
         out.column_names.push_back(table->schema().column(c).name);
@@ -384,14 +397,25 @@ StatusOr<ResultSet> Executor::ExecScan(const PlanNode& node) {
       first = false;
     }
     uint64_t scanned_before = stats_.rows_scanned;
+    uint64_t ranges_before = stats_.id_range_scans;
     size_t rows_before = out.rows.size();
     POLY_RETURN_IF_ERROR(ScanOneTable(*table, node.scan_predicate, &out));
     bool aged = name.size() > 5 && name.compare(name.size() - 5, 5, "$aged") == 0;
     (aged ? aged_scans : hot_scans)->Add(1);
     (aged ? aged_rows : hot_rows)->Add(stats_.rows_scanned - scanned_before);
     uint64_t produced = out.rows.size() - rows_before;
-    (aged ? aged_bytes : hot_bytes)
-        ->Add(produced * table->schema().num_columns() * 8);
+    uint64_t bytes = produced * table->schema().num_columns() * 8;
+    (aged ? aged_bytes : hot_bytes)->Add(bytes);
+    if (opts_.track_access) {
+      if (AccessObserver* observer = db_->access_observer()) {
+        AccessEvent event;
+        event.partition = name;
+        event.rows_scanned = stats_.rows_scanned - scanned_before;
+        event.bytes = bytes;
+        event.point_read = stats_.id_range_scans > ranges_before;
+        observer->OnAccess(event);
+      }
+    }
   }
   return out;
 }

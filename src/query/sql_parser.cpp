@@ -106,6 +106,13 @@ struct ParsedOrderKey {
   bool ascending = true;
 };
 
+const std::unordered_map<std::string, AggFunc>& AggFuncs() {
+  static const std::unordered_map<std::string, AggFunc> kAggs = {
+      {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum}, {"AVG", AggFunc::kAvg},
+      {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax}};
+  return kAggs;
+}
+
 class ParserImpl {
  public:
   ParserImpl(const Database* db, std::vector<Token> tokens)
@@ -155,10 +162,26 @@ class ParserImpl {
 
   StatusOr<SelectItem> ParseSelectItem();
 
+  /// HAVING resolution (active while in_having_): aggregate calls and
+  /// aggregate-output column references instead of base-table columns.
+  StatusOr<ExprPtr> ParseHavingAggregate();
+  StatusOr<ExprPtr> ParseHavingColumnRef();
+
   const Database* db_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   std::vector<Binding> bindings_;
+
+  /// Context for parsing the deferred HAVING clause against the aggregate
+  /// output row ([group cols..., agg slots...]). having_slots_ maps
+  /// unqualified names (group column names, select-item aliases) to slots;
+  /// having_aggs_ points at the aggregate list so unmatched aggregate calls
+  /// can append hidden slots.
+  bool in_having_ = false;
+  const std::vector<size_t>* having_group_by_ = nullptr;
+  std::vector<AggSpec>* having_aggs_ = nullptr;
+  std::unordered_map<std::string, size_t> having_slots_;
+  size_t having_hidden_ = 0;
 };
 
 Status ParserImpl::BindTable(const std::string& name) {
@@ -356,8 +379,81 @@ StatusOr<ExprPtr> ParserImpl::ParsePrimary() {
     POLY_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
     return Expr::Literal(std::move(v));
   }
-  if (tok.kind == Token::Kind::kIdent) return ParseColumnRef();
+  if (tok.kind == Token::Kind::kIdent) {
+    if (in_having_) {
+      if (Peek(1).kind == Token::Kind::kSymbol && Peek(1).text == "(" &&
+          AggFuncs().count(tok.upper) > 0) {
+        return ParseHavingAggregate();
+      }
+      return ParseHavingColumnRef();
+    }
+    return ParseColumnRef();
+  }
   return Expect("expression");
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseHavingAggregate() {
+  AggFunc func = AggFuncs().at(Peek().upper);
+  Next();  // function name
+  Next();  // '('
+  ExprPtr input;
+  if (func == AggFunc::kCount && ConsumeSymbol("*")) {
+    input = nullptr;
+  } else {
+    // The aggregate's argument references base-table columns, not the
+    // aggregate output — parse it in normal mode.
+    in_having_ = false;
+    auto parsed = ParseExpr();
+    in_having_ = true;
+    POLY_RETURN_IF_ERROR(parsed.status());
+    input = *parsed;
+  }
+  if (!ConsumeSymbol(")")) return Expect("')' after aggregate in HAVING");
+
+  // Reuse a select-list aggregate when the call matches structurally (same
+  // function; both COUNT(*) or both the same plain column).
+  size_t group_width = having_group_by_->size();
+  for (size_t i = 0; i < having_aggs_->size(); ++i) {
+    const AggSpec& agg = (*having_aggs_)[i];
+    if (agg.func != func) continue;
+    bool both_star = agg.input == nullptr && input == nullptr;
+    bool same_column = agg.input != nullptr && input != nullptr &&
+                       agg.input->kind() == ExprKind::kColumn &&
+                       input->kind() == ExprKind::kColumn &&
+                       agg.input->column_index() == input->column_index();
+    if (both_star || same_column) return Expr::Column(group_width + i);
+  }
+  // No match: compute it as a hidden slot the final projection drops.
+  having_aggs_->push_back(
+      {func, input, "$having" + std::to_string(having_hidden_++)});
+  return Expr::Column(group_width + having_aggs_->size() - 1);
+}
+
+StatusOr<ExprPtr> ParserImpl::ParseHavingColumnRef() {
+  std::string first = Next().text;
+  std::string qualifier, column;
+  if (ConsumeSymbol(".")) {
+    if (Peek().kind != Token::Kind::kIdent) return Expect("column after '.'");
+    qualifier = first;
+    column = Next().text;
+  } else {
+    column = first;
+  }
+  if (qualifier.empty()) {
+    auto it = having_slots_.find(column);
+    if (it != having_slots_.end()) return Expr::Column(it->second);
+  }
+  // Qualified (or un-aliased) reference to a GROUP BY column by its
+  // base-table name.
+  auto base = ResolveColumn(qualifier, column);
+  if (base.ok()) {
+    for (size_t g = 0; g < having_group_by_->size(); ++g) {
+      if ((*having_group_by_)[g] == *base) return Expr::Column(g);
+    }
+  }
+  return Status::InvalidArgument(
+      "HAVING references '" + column +
+      "', which is neither a GROUP BY column nor a select-list aggregate");
 }
 
 StatusOr<SelectItem> ParserImpl::ParseSelectItem() {
@@ -367,9 +463,7 @@ StatusOr<SelectItem> ParserImpl::ParseSelectItem() {
     return item;
   }
   // Aggregate function?
-  static const std::unordered_map<std::string, AggFunc> kAggs = {
-      {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum}, {"AVG", AggFunc::kAvg},
-      {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax}};
+  const auto& kAggs = AggFuncs();
   if (Peek().kind == Token::Kind::kIdent && Peek(1).kind == Token::Kind::kSymbol &&
       Peek(1).text == "(") {
     auto it = kAggs.find(Peek().upper);
@@ -473,6 +567,25 @@ StatusOr<PlanPtr> ParserImpl::ParseSelect() {
     }
   }
 
+  // HAVING references select-list aliases and the aggregate output, which
+  // are only known after the deferred select list parses — remember its
+  // token range like the select list's.
+  bool has_having = false;
+  size_t having_start = 0, having_end = 0;
+  if (ConsumeKeyword("HAVING")) {
+    has_having = true;
+    having_start = pos_;
+    int having_depth = 0;
+    while (Peek().kind != Token::Kind::kEnd) {
+      if (Peek().kind == Token::Kind::kSymbol && Peek().text == "(") ++having_depth;
+      if (Peek().kind == Token::Kind::kSymbol && Peek().text == ")") --having_depth;
+      if (having_depth == 0 && (AtKeyword("ORDER") || AtKeyword("LIMIT"))) break;
+      if (Peek().kind == Token::Kind::kSymbol && Peek().text == ";") break;
+      Next();
+    }
+    having_end = pos_;
+  }
+
   // ORDER BY / LIMIT (parsed now, applied after projection).
   std::vector<ParsedOrderKey> order_keys;
   if (ConsumeKeyword("ORDER")) {
@@ -520,6 +633,11 @@ StatusOr<PlanPtr> ParserImpl::ParseSelect() {
   bool has_aggregates = false;
   for (const auto& item : items) has_aggregates |= item.is_aggregate;
 
+  if (has_having && !has_aggregates && !has_group) {
+    return Status::InvalidArgument(
+        "HAVING requires GROUP BY or an aggregate select list");
+  }
+
   std::vector<std::string> output_names;
   if (has_aggregates || has_group) {
     // Build the aggregate node, then a projection that reorders its output
@@ -553,10 +671,47 @@ StatusOr<PlanPtr> ParserImpl::ParseSelect() {
       }
       output_names.push_back(item.name);
     }
-    plan = PlanBuilder::From(plan)
-               .Aggregate(std::move(group_by), std::move(aggs))
-               .Project(std::move(projections), output_names)
-               .Build();
+
+    // Parse the deferred HAVING clause against the aggregate output row
+    // ([group cols..., agg slots...]); unmatched aggregate calls append
+    // hidden slots to `aggs` that the projection below never references.
+    ExprPtr having_expr;
+    if (has_having) {
+      having_slots_.clear();
+      for (size_t g = 0; g < group_by.size(); ++g) {
+        having_slots_.emplace(bindings_[group_by[g]].column, g);
+      }
+      size_t agg_out = 0;
+      for (const auto& item : items) {
+        if (item.is_aggregate) {
+          having_slots_.emplace(item.name, group_by.size() + agg_out);
+          ++agg_out;
+        } else {
+          size_t col = item.expr->column_index();
+          for (size_t g = 0; g < group_by.size(); ++g) {
+            if (group_by[g] == col) having_slots_.emplace(item.name, g);
+          }
+        }
+      }
+      size_t after_clauses = pos_;
+      pos_ = having_start;
+      in_having_ = true;
+      having_group_by_ = &group_by;
+      having_aggs_ = &aggs;
+      auto parsed = ParseExpr();
+      in_having_ = false;
+      POLY_RETURN_IF_ERROR(parsed.status());
+      having_expr = std::move(*parsed);
+      if (pos_ != having_end) return Expect("end of HAVING clause");
+      pos_ = after_clauses;
+    }
+
+    PlanBuilder built =
+        PlanBuilder::From(plan).Aggregate(std::move(group_by), std::move(aggs));
+    if (having_expr != nullptr) {
+      built = std::move(built).Filter(std::move(having_expr));
+    }
+    plan = std::move(built).Project(std::move(projections), output_names).Build();
   } else if (items.size() == 1 && items[0].star) {
     for (const Binding& b : bindings_) output_names.push_back(b.column);
     // No projection needed: scan/join output is already the full row.

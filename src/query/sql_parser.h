@@ -18,6 +18,7 @@ namespace poly {
 ///   [JOIN <table> ON <col> = <col>]...
 ///   [WHERE <expr>]
 ///   [GROUP BY <col> [, <col>]...]
+///   [HAVING <expr>]
 ///   [ORDER BY <output-col> [ASC|DESC] [, ...]]
 ///   [LIMIT <n>]
 ///
@@ -32,6 +33,15 @@ namespace poly {
 /// Column names resolve against the FROM/JOIN tables; after a join, names
 /// may be qualified ("orders.id") to disambiguate. The resulting plan runs
 /// through the usual Optimizer/Executor/QueryCompiler pipeline.
+///
+/// HAVING requires GROUP BY or an aggregate select list and resolves
+/// against the aggregate's output: GROUP BY columns (by name or alias),
+/// select-list aggregate aliases, and aggregate calls. An aggregate call in
+/// HAVING that does not match a select-list aggregate (same function and
+/// argument) is computed as a hidden aggregate slot and dropped by the
+/// final projection — `SELECT region FROM t GROUP BY region HAVING
+/// COUNT(*) > 5` works. The plan shape is Aggregate -> Filter -> Project
+/// (the optimizer never pushes filters through an aggregate).
 class SqlParser {
  public:
   explicit SqlParser(const Database* db) : db_(db) {}

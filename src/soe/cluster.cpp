@@ -11,7 +11,9 @@ namespace poly {
 SoeCluster::SoeCluster(Options options)
     : options_(options),
       net_(options.net),
-      log_(SharedLog::Options{options.log_units, options.log_replication}, &net_),
+      log_(SharedLog::Options{options.log_units, options.log_replication,
+                              options.log_durable_dir},
+           &net_),
       stats_(&metrics_),
       jitter_rng_(Random::Mix(options.fault_seed, 0x6a17)) {
   net_.set_metrics(&metrics_);

@@ -1,5 +1,8 @@
 #include "soe/shared_log.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 
 namespace poly {
@@ -13,6 +16,52 @@ SharedLog::SharedLog(Options options, SimulatedNetwork* net)
   }
   units_.resize(options_.num_log_units);
   unit_alive_.assign(options_.num_log_units, true);
+  if (!options_.durable_dir.empty()) LoadDurable();
+}
+
+SharedLog::~SharedLog() {
+  for (std::FILE* f : unit_files_) {
+    if (f != nullptr) std::fclose(f);
+  }
+}
+
+void SharedLog::LoadDurable() {
+  ::mkdir(options_.durable_dir.c_str(), 0755);  // EEXIST is fine
+  unit_files_.assign(units_.size(), nullptr);
+  uint64_t max_tail = 0;
+  for (size_t unit = 0; unit < units_.size(); ++unit) {
+    std::string path =
+        options_.durable_dir + "/unit" + std::to_string(unit) + ".log";
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+      // Frame: [u64 offset][u64 len][len payload bytes]. A short read means
+      // the process died mid-frame; everything before it is intact.
+      for (;;) {
+        uint64_t header[2];
+        if (std::fread(header, sizeof(uint64_t), 2, f) != 2) break;
+        std::string payload(header[1], '\0');
+        if (header[1] > 0 &&
+            std::fread(payload.data(), 1, payload.size(), f) != payload.size()) {
+          break;  // truncated tail frame: discard
+        }
+        units_[unit][header[0]] = std::move(payload);
+        max_tail = std::max(max_tail, header[0] + 1);
+      }
+      std::fclose(f);
+    }
+    unit_files_[unit] = std::fopen(path.c_str(), "ab");
+  }
+  sequencer_.store(max_tail, std::memory_order_release);
+}
+
+void SharedLog::PersistRecord(int unit, uint64_t offset, const std::string& record) {
+  if (unit_files_.empty()) return;
+  std::FILE* f = unit_files_[unit];
+  if (f == nullptr) return;
+  uint64_t header[2] = {offset, record.size()};
+  std::fwrite(header, sizeof(uint64_t), 2, f);
+  std::fwrite(record.data(), 1, record.size(), f);
+  std::fflush(f);
+  ::fsync(fileno(f));
 }
 
 void SharedLog::set_metrics(metrics::Registry* registry) {
@@ -52,6 +101,7 @@ StatusOr<uint64_t> SharedLog::Append(std::string record, int writer) {
     // Keyed by offset: a duplicated delivery overwrites with the same
     // payload — chunk writes are idempotent by construction.
     units_[unit][offset] = record;
+    PersistRecord(unit, offset, record);
     ++written;
   }
   if (written == 0) {
@@ -171,6 +221,7 @@ Status SharedLog::ReReplicate() {
         if (!sent.ok()) continue;
       }
       units_[u][off] = *copy;
+      PersistRecord(static_cast<int>(u), off, *copy);
       ++holders;
       if (metrics_.rereplicated_records != nullptr) {
         metrics_.rereplicated_records->Add(1);

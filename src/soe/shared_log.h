@@ -2,6 +2,7 @@
 #define POLY_SOE_SHARED_LOG_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
@@ -28,11 +29,23 @@ class SharedLog {
   struct Options {
     int num_log_units = 3;
     int replication = 2;
+    /// When non-empty, every replica write is mirrored to
+    /// `<durable_dir>/unit<k>.log` with fsync before the append returns,
+    /// and construction replays whatever those files already hold (the
+    /// sequencer resumes past the highest recovered offset). A truncated
+    /// tail frame — a crash mid-write — is tolerated and discarded. This is
+    /// the scale-out sibling of RedoLog::OpenFile: it lets a *fresh*
+    /// cluster recover the shared log across a process "crash".
+    std::string durable_dir;
   };
 
   /// `net` may be null (no accounting, no faults).
   explicit SharedLog(Options options, SimulatedNetwork* net = nullptr);
   SharedLog() : SharedLog(Options()) {}
+  ~SharedLog();
+
+  SharedLog(const SharedLog&) = delete;
+  SharedLog& operator=(const SharedLog&) = delete;
 
   /// Appends a record; returns its global offset (0-based, dense).
   /// `writer` is the sending endpoint (defaults to the coordinator).
@@ -72,6 +85,13 @@ class SharedLog {
   /// Deterministic replica set of an offset (round-robin chains).
   std::vector<int> ReplicasOf(uint64_t offset) const;
 
+  /// Replays `<durable_dir>/unit<k>.log` files into memory and reopens them
+  /// for appending. Called once from the constructor.
+  void LoadDurable();
+  /// Mirrors one replica write to its unit file (fwrite + fflush + fsync).
+  /// No-op for memory-only logs. Caller holds mu_.
+  void PersistRecord(int unit, uint64_t offset, const std::string& record);
+
   /// Cached registry metric pointers (all null when no registry attached).
   struct LogMetrics {
     metrics::Counter* appends = nullptr;
@@ -89,6 +109,7 @@ class SharedLog {
   std::atomic<uint64_t> sequencer_{0};  ///< published tail; advanced under mu_
   std::vector<std::map<uint64_t, std::string>> units_;  ///< unit -> offset -> record
   std::vector<bool> unit_alive_;
+  std::vector<std::FILE*> unit_files_;  ///< per-unit append handles; empty = memory-only
 };
 
 }  // namespace poly

@@ -10,7 +10,7 @@ StatusOr<ColumnTable*> Database::CreateTable(const std::string& name, Schema sch
   if (tables_.count(name) || row_tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' exists");
   }
-  auto table = std::make_unique<ColumnTable>(name, std::move(schema), compress_main);
+  auto table = std::make_shared<ColumnTable>(name, std::move(schema), compress_main);
   ColumnTable* ptr = table.get();
   tables_.emplace(name, std::move(table));
   return ptr;
@@ -34,6 +34,13 @@ StatusOr<ColumnTable*> Database::GetTable(const std::string& name) const {
   return it->second.get();
 }
 
+StatusOr<std::shared_ptr<ColumnTable>> Database::PinTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return it->second;
+}
+
 StatusOr<RowTable*> Database::GetRowTable(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = row_tables_.find(name);
@@ -54,7 +61,7 @@ Status Database::AdoptTable(std::unique_ptr<ColumnTable> table) {
   if (tables_.count(name) || row_tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' exists");
   }
-  tables_.emplace(name, std::move(table));
+  tables_.emplace(name, std::shared_ptr<ColumnTable>(std::move(table)));
   return Status::OK();
 }
 

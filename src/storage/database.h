@@ -1,6 +1,7 @@
 #ifndef POLY_STORAGE_DATABASE_H_
 #define POLY_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,6 +11,7 @@
 #include "common/exec_options.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "storage/access_hooks.h"
 #include "storage/column_table.h"
 #include "storage/row_table.h"
 
@@ -32,6 +34,13 @@ class Database {
   StatusOr<ColumnTable*> GetTable(const std::string& name) const;
   StatusOr<RowTable*> GetRowTable(const std::string& name) const;
 
+  /// Like GetTable but returns a shared handle that keeps the table alive
+  /// even if a concurrent DropTable (e.g. the tiering daemon demoting the
+  /// partition) removes it from the catalog mid-scan. Readers that may race
+  /// tier movement must pin; the raw-pointer GetTable stays valid for
+  /// callers that own the table lifecycle.
+  StatusOr<std::shared_ptr<ColumnTable>> PinTable(const std::string& name) const;
+
   Status DropTable(const std::string& name);
 
   /// Adopts an externally built table (used by recovery and tier movement).
@@ -52,12 +61,35 @@ class Database {
   /// thread is the remaining runner). Null while the default is serial.
   ThreadPool* exec_pool() const;
 
+  /// Access observer fed by the executors after every partition scan (when
+  /// ExecOptions::track_access is on). Null by default; set by the tiering
+  /// daemon. The observer must outlive the queries that see it — detach
+  /// (set nullptr) and quiesce before destroying it.
+  void set_access_observer(AccessObserver* observer) {
+    access_observer_.store(observer, std::memory_order_release);
+  }
+  AccessObserver* access_observer() const {
+    return access_observer_.load(std::memory_order_acquire);
+  }
+
+  /// Demand-paging resolver consulted by the executors when a scan hits a
+  /// partition missing from the catalog (demoted). Same lifetime rules as
+  /// the observer.
+  void set_tier_resolver(TierResolver* resolver) {
+    tier_resolver_.store(resolver, std::memory_order_release);
+  }
+  TierResolver* tier_resolver() const {
+    return tier_resolver_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<ColumnTable>> tables_;
+  std::unordered_map<std::string, std::shared_ptr<ColumnTable>> tables_;
   std::unordered_map<std::string, std::unique_ptr<RowTable>> row_tables_;
   ExecOptions exec_options_;
   mutable std::unique_ptr<ThreadPool> exec_pool_;
+  std::atomic<AccessObserver*> access_observer_{nullptr};
+  std::atomic<TierResolver*> tier_resolver_{nullptr};
 };
 
 }  // namespace poly

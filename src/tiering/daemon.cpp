@@ -1,0 +1,303 @@
+#include "tiering/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace poly::tiering {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool IsAgedPartition(const std::string& name) {
+  static constexpr char kSuffix[] = "$aged";
+  static constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  return name.size() > kSuffixLen &&
+         name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+}
+
+}  // namespace
+
+TieringDaemon::TieringDaemon(Database* db, ExtendedStorage* storage, Options opts,
+                             AgingManager* aging)
+    : db_(db),
+      storage_(storage),
+      aging_(aging),
+      opts_(opts),
+      heat_(opts.heat),
+      policy_(opts.policy) {
+  metrics::Registry& reg = metrics::Default();
+  m_epochs_ = reg.counter("tier.daemon.epochs");
+  m_promotes_ = reg.counter("tier.daemon.promotes");
+  m_demotes_ = reg.counter("tier.daemon.demotes");
+  m_moved_bytes_ = reg.counter("tier.daemon.moved_bytes");
+  m_deferred_budget_ = reg.counter("tier.daemon.deferred_budget");
+  m_deferred_cooldown_ = reg.counter("tier.daemon.deferred_cooldown");
+  m_miss_promotes_ = reg.counter("tier.daemon.miss_promotes");
+  m_epoch_errors_ = reg.counter("tier.daemon.epoch_errors");
+  m_epoch_nanos_ = reg.histogram("tier.daemon.epoch_nanos");
+  db_->set_access_observer(&heat_);
+  db_->set_tier_resolver(this);
+}
+
+TieringDaemon::~TieringDaemon() {
+  Stop();
+  // Detach only if still ours: a later daemon may have replaced us.
+  if (db_->access_observer() == &heat_) db_->set_access_observer(nullptr);
+  if (db_->tier_resolver() == this) db_->set_tier_resolver(nullptr);
+}
+
+void TieringDaemon::Manage(const std::string& partition) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  managed_.insert(partition);
+}
+
+void TieringDaemon::Unmanage(const std::string& partition) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  managed_.erase(partition);
+}
+
+std::vector<std::string> TieringDaemon::Managed() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return {managed_.begin(), managed_.end()};
+}
+
+std::vector<std::string> TieringDaemon::CandidatePartitions() const {
+  std::set<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    names = managed_;
+  }
+  if (aging_ != nullptr) {
+    for (const AgingRule& rule : aging_->rules()) {
+      std::string aged = AgingManager::AgedName(rule.table);
+      if (db_->GetTable(aged).ok() || storage_->Contains(aged)) {
+        names.insert(aged);
+      }
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+StatusOr<EpochReport> TieringDaemon::RunEpoch() {
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  uint64_t started = NowNanos();
+  EpochReport report;
+
+  if (opts_.run_aging && aging_ != nullptr) {
+    POLY_ASSIGN_OR_RETURN(AgingStats aged, aging_->RunAging());
+    report.rows_aged = aged.rows_aged;
+  }
+
+  report.epoch = heat_.AdvanceEpoch();
+
+  std::vector<PartitionState> states;
+  for (const std::string& name : CandidatePartitions()) {
+    PartitionState s;
+    s.partition = name;
+    s.rule_aged = IsAgedPartition(name);
+    s.heat = heat_.HeatOf(name);
+    auto resident = db_->GetTable(name);
+    if (resident.ok()) {
+      s.resident = true;
+      s.bytes = (*resident)->MemoryBytes();
+    } else if (storage_->Contains(name)) {
+      s.resident = false;
+      s.bytes = storage_->BytesOf(name);
+    } else {
+      continue;  // cold/unknown this epoch; nothing the daemon can move
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      auto it = last_move_epoch_.find(name);
+      s.last_move_epoch = it == last_move_epoch_.end() ? 0 : it->second;
+    }
+    states.push_back(std::move(s));
+  }
+
+  report.decisions = policy_.Decide(report.epoch, states);
+
+  for (TieringDecision& d : report.decisions) {
+    switch (d.action) {
+      case TierAction::kPromote: {
+        std::lock_guard<std::mutex> move_lock(move_mu_);
+        if (db_->GetTable(d.partition).ok()) break;  // miss-promoted already
+        auto promoted = storage_->Promote(db_, d.partition);
+        if (!promoted.ok()) {
+          m_epoch_errors_->Add(1);
+          d.reason += " [move failed: " + promoted.status().ToString() + "]";
+          break;
+        }
+        report.promotes++;
+        report.moved_bytes += d.bytes;
+        m_promotes_->Add(1);
+        m_moved_bytes_->Add(d.bytes);
+        std::lock_guard<std::mutex> lock(state_mu_);
+        last_move_epoch_[d.partition] = report.epoch;
+        break;
+      }
+      case TierAction::kDemote: {
+        std::lock_guard<std::mutex> move_lock(move_mu_);
+        if (!db_->GetTable(d.partition).ok()) break;  // already gone
+        Status demoted = storage_->Demote(db_, d.partition);
+        if (!demoted.ok()) {
+          m_epoch_errors_->Add(1);
+          d.reason += " [move failed: " + demoted.ToString() + "]";
+          break;
+        }
+        report.demotes++;
+        report.moved_bytes += d.bytes;
+        m_demotes_->Add(1);
+        m_moved_bytes_->Add(d.bytes);
+        std::lock_guard<std::mutex> lock(state_mu_);
+        last_move_epoch_[d.partition] = report.epoch;
+        break;
+      }
+      case TierAction::kDeferredBudget:
+        report.deferred_budget++;
+        m_deferred_budget_->Add(1);
+        break;
+      case TierAction::kDeferredCooldown:
+        report.deferred_cooldown++;
+        m_deferred_cooldown_->Add(1);
+        break;
+      case TierAction::kKeep:
+        break;
+    }
+    RecordDecision(d);
+  }
+
+  m_epochs_->Add(1);
+  m_epoch_nanos_->Observe(NowNanos() - started);
+  return report;
+}
+
+StatusOr<std::shared_ptr<ColumnTable>> TieringDaemon::ResolveMissing(
+    const std::string& table) {
+  if (!storage_->Contains(table)) {
+    return Status::NotFound("tiering: '" + table + "' not in warm storage");
+  }
+  std::lock_guard<std::mutex> move_lock(move_mu_);
+  // A concurrent query (or an epoch) may have promoted it while we waited.
+  // Pin under the lock: no demotion can run until we return the reference.
+  if (auto resident = db_->PinTable(table); resident.ok()) return resident;
+  POLY_RETURN_IF_ERROR(storage_->Promote(db_, table).status());
+  POLY_ASSIGN_OR_RETURN(std::shared_ptr<ColumnTable> promoted,
+                        db_->PinTable(table));
+  m_miss_promotes_->Add(1);
+  {
+    // On-demand promotion is a tier move: start the cooldown clock so the
+    // next epoch does not immediately demote it back.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    uint64_t epoch = heat_.epoch();
+    last_move_epoch_[table] = epoch == 0 ? 1 : epoch;
+    managed_.insert(table);  // it came from our storage; keep managing it
+  }
+  TieringDecision d;
+  d.partition = table;
+  d.action = TierAction::kPromote;
+  d.effective_heat = heat_.HeatOf(table);
+  d.bytes = storage_->BytesOf(table);
+  d.epoch = heat_.epoch();
+  d.reason = "hot-tier miss: promoted on demand by a query";
+  RecordDecision(d);
+  return promoted;
+}
+
+void TieringDaemon::RecordDecision(const TieringDecision& decision) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  decision_log_.push_back(decision);
+  while (decision_log_.size() > opts_.decision_log_capacity) decision_log_.pop_front();
+  last_decision_[decision.partition] = decision;
+}
+
+std::vector<TieringDecision> TieringDaemon::DecisionLog() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return {decision_log_.begin(), decision_log_.end()};
+}
+
+std::string TieringDaemon::Explain(const std::string& partition) const {
+  bool resident = db_->GetTable(partition).ok();
+  bool warm = storage_->Contains(partition);
+  double heat = heat_.HeatOf(partition);
+
+  uint64_t total_scans = 0, total_points = 0;
+  for (const HeatSample& s : heat_.Snapshot()) {
+    if (s.partition == partition) {
+      total_scans = s.total_scans;
+      total_points = s.total_point_reads;
+      break;
+    }
+  }
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "%s: tier=%s heat=%.2f epoch=%llu scans=%llu point_reads=%llu",
+                partition.c_str(),
+                resident ? "hot" : (warm ? "warm" : "absent"), heat,
+                static_cast<unsigned long long>(heat_.epoch()),
+                static_cast<unsigned long long>(total_scans),
+                static_cast<unsigned long long>(total_points));
+  std::string out = head;
+
+  std::lock_guard<std::mutex> lock(log_mu_);
+  auto it = last_decision_.find(partition);
+  if (it == last_decision_.end()) {
+    out += "\n  last decision: none (never considered)";
+  } else {
+    const TieringDecision& d = it->second;
+    char line[384];
+    std::snprintf(line, sizeof(line),
+                  "\n  last decision: %s at epoch %llu (heat=%.2f, %lluB) — %s",
+                  TierActionName(d.action),
+                  static_cast<unsigned long long>(d.epoch), d.effective_heat,
+                  static_cast<unsigned long long>(d.bytes), d.reason.c_str());
+    out += line;
+  }
+  return out;
+}
+
+void TieringDaemon::Start() { Start(opts_.period); }
+
+void TieringDaemon::Start(std::chrono::milliseconds period) {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stop_requested_) {
+      if (thread_cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+        break;
+      }
+      lock.unlock();
+      auto report = RunEpoch();
+      if (!report.ok()) m_epoch_errors_->Add(1);
+      lock.lock();
+    }
+  });
+}
+
+void TieringDaemon::Stop() {
+  std::thread joined;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    joined = std::move(thread_);
+  }
+  thread_cv_.notify_all();
+  joined.join();
+}
+
+bool TieringDaemon::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return thread_.joinable();
+}
+
+}  // namespace poly::tiering

@@ -1,0 +1,158 @@
+#ifndef POLY_TIERING_DAEMON_H_
+#define POLY_TIERING_DAEMON_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "aging/aging.h"
+#include "aging/extended_storage.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/access_hooks.h"
+#include "storage/database.h"
+#include "tiering/heat.h"
+#include "tiering/policy.h"
+
+namespace poly::tiering {
+
+/// What one epoch did — returned by RunEpoch so tests and tools can assert
+/// on exact behavior without scraping metrics.
+struct EpochReport {
+  uint64_t epoch = 0;
+  uint64_t promotes = 0;
+  uint64_t demotes = 0;
+  uint64_t deferred_budget = 0;
+  uint64_t deferred_cooldown = 0;
+  uint64_t moved_bytes = 0;
+  uint64_t rows_aged = 0;  ///< from the aging pass, when run_aging is on
+  std::vector<TieringDecision> decisions;
+};
+
+/// Background promotion/demotion daemon — the service that closes the
+/// paper's Fig. 1 loop. Owns an AccessHeatTracker (attached to the Database
+/// as its AccessObserver) and a TieringPolicy; each epoch it optionally
+/// runs the application aging rules, folds observed heat, asks the policy
+/// for decisions, and executes them through ExtendedStorage. It also
+/// implements TierResolver: a query hitting a demoted partition promotes it
+/// back on demand (a "hot-tier miss") instead of failing.
+///
+/// Clocking: `RunEpoch()` is synchronous and deterministic — tests drive it
+/// directly (the virtual clock is simply the epoch counter). `Start(period)`
+/// spawns the wall-clock background thread for production use; `Stop()`
+/// joins it. Both may be mixed; epochs are serialized internally.
+///
+/// Safety with concurrent MVCC readers: executors pin partition tables
+/// (`Database::PinTable`), so a demotion mid-scan removes the catalog entry
+/// but the pinned table object survives until the scan drops it. Managed
+/// partitions are expected to be read-mostly (aged history); demoting a
+/// partition with in-flight *writes* would lose them, same as a manual
+/// `ExtendedStorage::Demote` today.
+class TieringDaemon : public TierResolver {
+ public:
+  struct Options {
+    AccessHeatTracker::Options heat;
+    TieringPolicy::Options policy;
+    /// Run AgingManager::RunAging() at the start of every epoch (only if an
+    /// AgingManager was supplied): rule-driven aging and heat-driven
+    /// placement advance on the same cadence.
+    bool run_aging = false;
+    /// Background thread epoch period for Start() with no argument.
+    std::chrono::milliseconds period{1000};
+    /// Ring capacity of the queryable decision log.
+    size_t decision_log_capacity = 512;
+  };
+
+  /// Attaches itself to `db` as access observer + tier resolver. `storage`
+  /// must outlive the daemon; `aging` may be null (heat-only operation).
+  TieringDaemon(Database* db, ExtendedStorage* storage)
+      : TieringDaemon(db, storage, Options(), nullptr) {}
+  TieringDaemon(Database* db, ExtendedStorage* storage, Options opts,
+                AgingManager* aging = nullptr);
+  ~TieringDaemon() override;
+
+  TieringDaemon(const TieringDaemon&) = delete;
+  TieringDaemon& operator=(const TieringDaemon&) = delete;
+
+  /// Registers a partition table (by catalog name) for placement
+  /// management. Partitions of aging rules are discovered automatically;
+  /// Manage is for everything else (e.g. hash partitions).
+  void Manage(const std::string& partition);
+  void Unmanage(const std::string& partition);
+  std::vector<std::string> Managed() const;
+
+  /// One synchronous epoch: [aging] -> fold heat -> decide -> execute.
+  StatusOr<EpochReport> RunEpoch();
+
+  /// Background thread control. Start is idempotent; Stop joins.
+  void Start();
+  void Start(std::chrono::milliseconds period);
+  void Stop();
+  bool running() const;
+
+  /// TierResolver: promote-on-demand for demoted partitions. Returns a
+  /// pinned reference taken under the movement lock, so the caller's scan
+  /// survives an immediate re-demotion.
+  StatusOr<std::shared_ptr<ColumnTable>> ResolveMissing(
+      const std::string& table) override;
+
+  /// "Why is this partition hot/cold": residency, current heat, lifetime
+  /// access counts, and the last policy decision with its reason.
+  std::string Explain(const std::string& partition) const;
+
+  /// Most recent decisions, newest last (bounded ring).
+  std::vector<TieringDecision> DecisionLog() const;
+
+  AccessHeatTracker& heat() { return heat_; }
+  const TieringPolicy& policy() const { return policy_; }
+
+ private:
+  /// Partitions to consider this epoch: explicitly managed plus the aged
+  /// partitions of every aging rule that exist somewhere (hot or warm).
+  std::vector<std::string> CandidatePartitions() const;
+  void RecordDecision(const TieringDecision& decision);
+
+  Database* db_;
+  ExtendedStorage* storage_;
+  AgingManager* aging_;
+  Options opts_;
+  AccessHeatTracker heat_;
+  TieringPolicy policy_;
+
+  mutable std::mutex state_mu_;  // managed set + last-move epochs
+  std::set<std::string> managed_;
+  std::unordered_map<std::string, uint64_t> last_move_epoch_;
+
+  std::mutex epoch_mu_;  // serializes RunEpoch bodies
+  std::mutex move_mu_;   // serializes tier movement (epochs vs miss promotes)
+
+  mutable std::mutex log_mu_;
+  std::deque<TieringDecision> decision_log_;
+  std::unordered_map<std::string, TieringDecision> last_decision_;
+
+  mutable std::mutex thread_mu_;
+  std::condition_variable thread_cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+
+  // Cached metric pointers (tier.daemon.*) in metrics::Default().
+  metrics::Counter* m_epochs_;
+  metrics::Counter* m_promotes_;
+  metrics::Counter* m_demotes_;
+  metrics::Counter* m_moved_bytes_;
+  metrics::Counter* m_deferred_budget_;
+  metrics::Counter* m_deferred_cooldown_;
+  metrics::Counter* m_miss_promotes_;
+  metrics::Counter* m_epoch_errors_;
+  metrics::Histogram* m_epoch_nanos_;
+};
+
+}  // namespace poly::tiering
+
+#endif  // POLY_TIERING_DAEMON_H_

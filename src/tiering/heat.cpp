@@ -1,0 +1,83 @@
+#include "tiering/heat.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace poly::tiering {
+
+AccessHeatTracker::Cell* AccessHeatTracker::CellFor(const std::string& partition) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cells_.find(partition);
+    if (it != cells_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = cells_[partition];
+  if (!slot) slot = std::make_unique<Cell>();
+  return slot.get();
+}
+
+void AccessHeatTracker::OnAccess(const AccessEvent& event) {
+  Cell* cell = CellFor(event.partition);
+  if (event.point_read) {
+    cell->point_reads.fetch_add(1, std::memory_order_relaxed);
+    cell->total_point_reads.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cell->scans.fetch_add(1, std::memory_order_relaxed);
+    cell->total_scans.fetch_add(1, std::memory_order_relaxed);
+  }
+  cell->rows.fetch_add(event.rows_scanned, std::memory_order_relaxed);
+  cell->bytes.fetch_add(event.bytes, std::memory_order_relaxed);
+}
+
+uint64_t AccessHeatTracker::AdvanceEpoch() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [_, cell] : cells_) {
+    uint64_t scans = cell->scans.exchange(0, std::memory_order_relaxed);
+    uint64_t points = cell->point_reads.exchange(0, std::memory_order_relaxed);
+    cell->rows.store(0, std::memory_order_relaxed);
+    cell->bytes.store(0, std::memory_order_relaxed);
+    double fresh = static_cast<double>(scans) +
+                   opts_.point_read_weight * static_cast<double>(points);
+    double old = cell->heat.load(std::memory_order_relaxed);
+    cell->heat.store(opts_.decay * old + fresh, std::memory_order_relaxed);
+  }
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+double AccessHeatTracker::HeatOf(const std::string& partition) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = cells_.find(partition);
+  if (it == cells_.end()) return 0.0;
+  return it->second->heat.load(std::memory_order_relaxed);
+}
+
+std::vector<HeatSample> AccessHeatTracker::Snapshot() const {
+  std::vector<HeatSample> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.reserve(cells_.size());
+    for (const auto& [name, cell] : cells_) {
+      HeatSample s;
+      s.partition = name;
+      s.heat = cell->heat.load(std::memory_order_relaxed);
+      s.epoch_scans = cell->scans.load(std::memory_order_relaxed);
+      s.epoch_point_reads = cell->point_reads.load(std::memory_order_relaxed);
+      s.epoch_rows = cell->rows.load(std::memory_order_relaxed);
+      s.epoch_bytes = cell->bytes.load(std::memory_order_relaxed);
+      s.total_scans = cell->total_scans.load(std::memory_order_relaxed);
+      s.total_point_reads = cell->total_point_reads.load(std::memory_order_relaxed);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeatSample& a, const HeatSample& b) { return a.partition < b.partition; });
+  return out;
+}
+
+void AccessHeatTracker::Forget(const std::string& partition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cells_.erase(partition);
+}
+
+}  // namespace poly::tiering

@@ -1,0 +1,105 @@
+#ifndef POLY_TIERING_HEAT_H_
+#define POLY_TIERING_HEAT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/access_hooks.h"
+
+namespace poly::tiering {
+
+/// Point-in-time heat reading for one partition.
+struct HeatSample {
+  std::string partition;
+  /// Decayed heat after the last AdvanceEpoch (exponential moving score).
+  double heat = 0.0;
+  /// Raw counts accumulated since the last epoch fold.
+  uint64_t epoch_scans = 0;
+  uint64_t epoch_point_reads = 0;
+  uint64_t epoch_rows = 0;
+  uint64_t epoch_bytes = 0;
+  /// Lifetime totals (never decayed) for explain output.
+  uint64_t total_scans = 0;
+  uint64_t total_point_reads = 0;
+};
+
+/// Lock-cheap per-partition access-heat tracker. Query threads call
+/// OnAccess (via the Database's AccessObserver hook); the hot path is one
+/// shared-lock map probe plus a handful of relaxed atomic adds — no
+/// exclusive lock unless the partition has never been seen before. The
+/// daemon thread periodically calls AdvanceEpoch, which folds the raw epoch
+/// counts into a decayed score:
+///
+///   heat' = decay * heat + scans + point_read_weight * point_reads
+///
+/// so recent access dominates and idle partitions cool off geometrically —
+/// the "observed access behavior" half of the paper's Fig. 1 loop, in the
+/// spirit of Polynesia's workload-driven placement (PAPERS.md).
+class AccessHeatTracker : public AccessObserver {
+ public:
+  struct Options {
+    /// Multiplier applied to accumulated heat at every epoch boundary.
+    /// 0.5 -> a partition loses half its score per idle epoch.
+    double decay = 0.5;
+    /// How much hotter a point read counts than one analytic scan. Point
+    /// reads are OLTP-shaped: latency-sensitive, so they argue harder for
+    /// hot residency than a batch sweep touching the same partition.
+    double point_read_weight = 4.0;
+  };
+
+  AccessHeatTracker() : AccessHeatTracker(Options{}) {}
+  explicit AccessHeatTracker(Options opts) : opts_(opts) {}
+
+  AccessHeatTracker(const AccessHeatTracker&) = delete;
+  AccessHeatTracker& operator=(const AccessHeatTracker&) = delete;
+
+  /// Thread-safe, called concurrently from query threads.
+  void OnAccess(const AccessEvent& event) override;
+
+  /// Folds the current epoch's raw counts into decayed heat for every
+  /// tracked partition and resets the epoch counters. Returns the new epoch
+  /// number (first call returns 1). Called by the daemon; safe to run
+  /// concurrently with OnAccess — counts racing the fold land in the next
+  /// epoch, never lost.
+  uint64_t AdvanceEpoch();
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Decayed heat for one partition; 0 if never seen.
+  double HeatOf(const std::string& partition) const;
+
+  /// Snapshot of every tracked partition, sorted by name (deterministic).
+  std::vector<HeatSample> Snapshot() const;
+
+  /// Forgets one partition (e.g. after its table is dropped for good).
+  void Forget(const std::string& partition);
+
+  const Options& options() const { return opts_; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> scans{0};
+    std::atomic<uint64_t> point_reads{0};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> total_scans{0};
+    std::atomic<uint64_t> total_point_reads{0};
+    std::atomic<double> heat{0.0};
+  };
+
+  Cell* CellFor(const std::string& partition);
+
+  Options opts_;
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::shared_mutex mu_;  // guards the map shape, not the cells
+  std::unordered_map<std::string, std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace poly::tiering
+
+#endif  // POLY_TIERING_HEAT_H_

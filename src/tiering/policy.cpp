@@ -1,0 +1,131 @@
+#include "tiering/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace poly::tiering {
+
+const char* TierActionName(TierAction action) {
+  switch (action) {
+    case TierAction::kKeep: return "keep";
+    case TierAction::kPromote: return "promote";
+    case TierAction::kDemote: return "demote";
+    case TierAction::kDeferredBudget: return "deferred-budget";
+    case TierAction::kDeferredCooldown: return "deferred-cooldown";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string FormatHeat(double h) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", h);
+  return buf;
+}
+
+}  // namespace
+
+TieringPolicy::TieringPolicy(Options opts) : opts_(opts) {
+  assert(opts_.promote_threshold > opts_.demote_threshold &&
+         "hysteresis band requires promote_threshold > demote_threshold");
+}
+
+std::vector<TieringDecision> TieringPolicy::Decide(
+    uint64_t epoch, const std::vector<PartitionState>& states) const {
+  std::vector<TieringDecision> wants_promote, wants_demote, rest;
+
+  for (const PartitionState& s : states) {
+    TieringDecision d;
+    d.partition = s.partition;
+    d.bytes = s.bytes;
+    d.epoch = epoch;
+    double eff = s.heat - (s.rule_aged ? opts_.aged_bias : 0.0);
+    if (eff < 0.0) eff = 0.0;
+    d.effective_heat = eff;
+
+    bool wants_move = false;
+    if (!s.resident && eff >= opts_.promote_threshold) {
+      d.action = TierAction::kPromote;
+      d.reason = "heat " + FormatHeat(eff) + " >= promote threshold " +
+                 FormatHeat(opts_.promote_threshold);
+      wants_move = true;
+    } else if (s.resident && eff < opts_.demote_threshold) {
+      d.action = TierAction::kDemote;
+      d.reason = "heat " + FormatHeat(eff) + " < demote threshold " +
+                 FormatHeat(opts_.demote_threshold) +
+                 (s.rule_aged ? " (rule-aged, bias applied)" : "");
+      wants_move = true;
+    } else {
+      d.action = TierAction::kKeep;
+      d.reason = s.resident
+                     ? "resident, heat " + FormatHeat(eff) + " inside band"
+                     : "demoted, heat " + FormatHeat(eff) + " inside band";
+    }
+
+    if (wants_move && s.last_move_epoch != 0 && opts_.cooldown_epochs > 0 &&
+        epoch < s.last_move_epoch + opts_.cooldown_epochs) {
+      d.reason = std::string("wanted ") + TierActionName(d.action) +
+                 " but moved at epoch " + std::to_string(s.last_move_epoch) +
+                 " (cooldown " + std::to_string(opts_.cooldown_epochs) + ")";
+      d.action = TierAction::kDeferredCooldown;
+      wants_move = false;
+    }
+
+    if (d.action == TierAction::kPromote) {
+      wants_promote.push_back(std::move(d));
+    } else if (d.action == TierAction::kDemote) {
+      wants_demote.push_back(std::move(d));
+    } else {
+      rest.push_back(std::move(d));
+    }
+  }
+
+  // Hottest promotions first, coldest demotions first: the budget admits
+  // the moves with the most placement value.
+  std::sort(wants_promote.begin(), wants_promote.end(),
+            [](const TieringDecision& a, const TieringDecision& b) {
+              if (a.effective_heat != b.effective_heat)
+                return a.effective_heat > b.effective_heat;
+              return a.partition < b.partition;
+            });
+  std::sort(wants_demote.begin(), wants_demote.end(),
+            [](const TieringDecision& a, const TieringDecision& b) {
+              if (a.effective_heat != b.effective_heat)
+                return a.effective_heat < b.effective_heat;
+              return a.partition < b.partition;
+            });
+  std::sort(rest.begin(), rest.end(),
+            [](const TieringDecision& a, const TieringDecision& b) {
+              return a.partition < b.partition;
+            });
+
+  uint64_t budget_left = opts_.epoch_budget_bytes;
+  auto meter = [&](TieringDecision& d) {
+    if (opts_.epoch_budget_bytes == 0) return;  // unlimited
+    if (d.bytes <= budget_left) {
+      budget_left -= d.bytes;
+    } else {
+      d.reason = std::string("wanted ") + TierActionName(d.action) +
+                 " but epoch budget exhausted (" + std::to_string(d.bytes) +
+                 "B move, " + std::to_string(budget_left) + "B left)";
+      d.action = TierAction::kDeferredBudget;
+    }
+  };
+
+  std::vector<TieringDecision> out;
+  out.reserve(states.size());
+  for (auto& d : wants_promote) {
+    meter(d);
+    out.push_back(std::move(d));
+  }
+  for (auto& d : wants_demote) {
+    meter(d);
+    out.push_back(std::move(d));
+  }
+  for (auto& d : rest) out.push_back(std::move(d));
+  return out;
+}
+
+}  // namespace poly::tiering

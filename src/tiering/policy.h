@@ -1,0 +1,92 @@
+#ifndef POLY_TIERING_POLICY_H_
+#define POLY_TIERING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poly::tiering {
+
+/// What the policy knows about one partition when deciding placement.
+struct PartitionState {
+  std::string partition;
+  /// True = lives in hot memory (catalog-resident); false = warm/cold tier.
+  bool resident = true;
+  /// True when the application aging rules classify this partition as aged
+  /// (the "$aged" partition tables AgingManager maintains). Aging rules are
+  /// the *application-knowledge* half of the Fig. 1 loop; heat is the
+  /// observed half.
+  bool rule_aged = false;
+  /// Decayed heat from the AccessHeatTracker.
+  double heat = 0.0;
+  /// In-memory footprint (or serialized size when demoted) — the unit the
+  /// migration budget meters.
+  uint64_t bytes = 0;
+  /// Epoch of this partition's last promote/demote; 0 = never moved.
+  uint64_t last_move_epoch = 0;
+};
+
+enum class TierAction : uint8_t {
+  kKeep = 0,            // inside the hysteresis band or already placed right
+  kPromote,             // warm/cold -> hot
+  kDemote,              // hot -> warm
+  kDeferredBudget,      // wanted to move, out of epoch byte budget
+  kDeferredCooldown,    // wanted to move, moved too recently (anti-thrash)
+};
+
+const char* TierActionName(TierAction action);
+
+/// One decision with its inputs, kept for the decision log / Explain.
+struct TieringDecision {
+  std::string partition;
+  TierAction action = TierAction::kKeep;
+  double effective_heat = 0.0;
+  uint64_t bytes = 0;
+  uint64_t epoch = 0;
+  std::string reason;
+};
+
+/// Deterministic placement policy: pure function of (epoch, states), no
+/// clock, no RNG, no I/O — the same inputs always yield the same decisions,
+/// which is what makes the convergence tests exact. Hysteresis comes from
+/// two thresholds (promote above, demote below; the gap is the dead band),
+/// thrash-resistance from a per-partition cooldown, and foreground
+/// protection from a per-epoch migration byte budget.
+class TieringPolicy {
+ public:
+  struct Options {
+    /// Promote a non-resident partition when effective heat rises above
+    /// this. Must be > demote_threshold; the gap is the hysteresis band.
+    double promote_threshold = 8.0;
+    /// Demote a resident partition when effective heat falls below this.
+    double demote_threshold = 2.0;
+    /// Additive bias subtracted from the effective heat of rule-aged
+    /// partitions: the application said "old", so they must be this much
+    /// hotter than an unaged partition to earn the same placement.
+    double aged_bias = 1.0;
+    /// Max bytes of promotions+demotions per epoch. 0 = unlimited.
+    uint64_t epoch_budget_bytes = 64ull << 20;
+    /// A partition that moved within the last N epochs is not moved again
+    /// (kDeferredCooldown), even if its heat crossed a threshold.
+    uint64_t cooldown_epochs = 2;
+  };
+
+  TieringPolicy() : TieringPolicy(Options{}) {}
+  explicit TieringPolicy(Options opts);
+
+  /// Decides every partition. Output order: promotes hottest-first, then
+  /// demotes coldest-first, then keeps/deferrals; ties broken by partition
+  /// name, so the budget always admits the most valuable moves and the
+  /// result is reproducible.
+  std::vector<TieringDecision> Decide(uint64_t epoch,
+                                      const std::vector<PartitionState>& states) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace poly::tiering
+
+#endif  // POLY_TIERING_POLICY_H_

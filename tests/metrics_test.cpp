@@ -54,6 +54,35 @@ TEST(MetricsHistogram, LogScaleBuckets) {
   EXPECT_EQ(s.Quantile(1.0), (1ull << 20) - 1);
 }
 
+TEST(MetricsHistogram, SnapshotPrecomputesQuantiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  HistogramSnapshot s = h.Snapshot();
+  // Log-scale quantiles are bucket upper bounds (exact to a factor of 2):
+  // rank 499 of 1000 lands in bucket 9 (values 256..511), rank 899 and 989
+  // in bucket 10 (512..1023).
+  EXPECT_EQ(s.p50, s.Quantile(0.50));
+  EXPECT_EQ(s.p50, 511u);
+  EXPECT_EQ(s.p90, 1023u);
+  EXPECT_EQ(s.p99, 1023u);
+
+  // Empty histogram: quantiles are 0, not garbage.
+  Histogram empty;
+  HistogramSnapshot e = empty.Snapshot();
+  EXPECT_EQ(e.p50, 0u);
+  EXPECT_EQ(e.p99, 0u);
+}
+
+TEST(MetricsRegistry, TextPageExportsQuantileSeries) {
+  Registry reg;
+  Histogram* h = reg.histogram("soe.dqp.task_virtual_nanos");
+  for (uint64_t v = 1; v <= 100; ++v) h->Observe(v);
+  std::string page = reg.TextPage();
+  EXPECT_NE(page.find("soe_dqp_task_virtual_nanos_p50 63"), std::string::npos);
+  EXPECT_NE(page.find("soe_dqp_task_virtual_nanos_p90 127"), std::string::npos);
+  EXPECT_NE(page.find("soe_dqp_task_virtual_nanos_p99 127"), std::string::npos);
+}
+
 TEST(MetricsRegistry, GetOrCreateReturnsStablePointers) {
   Registry reg;
   Counter* a = reg.counter("soe.net.messages");

@@ -100,6 +100,77 @@ TEST_F(SqlFixture, GroupByWithAggregates) {
   for (const auto& row : rs.rows) EXPECT_EQ(row[1], Value::Int(10));
 }
 
+TEST_F(SqlFixture, HavingOnAggregateAlias) {
+  // Region sums: north 450, south 475, east 500, west 525.
+  ResultSet rs = Run(
+      "SELECT region, SUM(amount) AS total FROM orders "
+      "GROUP BY region HAVING total > 480 ORDER BY total DESC");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.column_names, (std::vector<std::string>{"region", "total"}));
+  EXPECT_EQ(rs.rows[0][0], Value::Str("west"));
+  EXPECT_EQ(rs.rows[0][1], Value::Dbl(525.0));
+  EXPECT_EQ(rs.rows[1][0], Value::Str("east"));
+}
+
+TEST_F(SqlFixture, HavingOnAggregateCallMatchesSelectList) {
+  // The HAVING aggregate structurally matches a select-list aggregate, so
+  // it reuses that slot instead of computing a hidden one.
+  ResultSet rs = Run(
+      "SELECT region, SUM(amount) AS total FROM orders "
+      "GROUP BY region HAVING SUM(amount) > 480 ORDER BY region");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("east"));
+  EXPECT_EQ(rs.rows[1][0], Value::Str("west"));
+}
+
+TEST_F(SqlFixture, HavingHiddenAggregateDroppedFromOutput) {
+  // COUNT(*) appears only in HAVING: computed as a hidden slot, filtered
+  // on, then projected away — the output has just the group column.
+  ResultSet rs = Run(
+      "SELECT region FROM orders GROUP BY region HAVING COUNT(*) > 5 "
+      "ORDER BY region");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.column_names, (std::vector<std::string>{"region"}));
+  ASSERT_EQ(rs.rows[0].size(), 1u);
+
+  // And a selective hidden aggregate: only west's SUM clears 510.
+  ResultSet top = Run(
+      "SELECT region FROM orders GROUP BY region HAVING SUM(amount) > 510");
+  ASSERT_EQ(top.num_rows(), 1u);
+  EXPECT_EQ(top.rows[0][0], Value::Str("west"));
+}
+
+TEST_F(SqlFixture, HavingOnGroupByColumnAndCompoundPredicate) {
+  ResultSet rs = Run(
+      "SELECT region, COUNT(*) AS c FROM orders "
+      "GROUP BY region HAVING region = 'north' AND c > 5");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("north"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(10));
+}
+
+TEST_F(SqlFixture, HavingOnGlobalAggregate) {
+  // Aggregate select list without GROUP BY: HAVING filters the single row.
+  EXPECT_EQ(Run("SELECT COUNT(*) AS n FROM orders HAVING n > 10").num_rows(), 1u);
+  EXPECT_EQ(Run("SELECT COUNT(*) AS n FROM orders HAVING n > 100").num_rows(), 0u);
+}
+
+TEST_F(SqlFixture, HavingErrors) {
+  // HAVING needs an aggregate context.
+  Status s = ParseError("SELECT o_id FROM orders HAVING o_id > 3");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  // A raw (non-grouped, non-aggregated) column is not in scope.
+  s = ParseError(
+      "SELECT region, COUNT(*) AS c FROM orders GROUP BY region "
+      "HAVING amount > 3");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("neither a GROUP BY column"), std::string::npos);
+  // Dangling HAVING expression.
+  EXPECT_FALSE(ParseError("SELECT region, COUNT(*) AS c FROM orders "
+                          "GROUP BY region HAVING")
+                   .ok());
+}
+
 TEST_F(SqlFixture, SelectOrderReorderedVsAggregateOutput) {
   // Aggregate node emits [group, aggs]; SELECT asks aggs first.
   ResultSet rs = Run(
