@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "query/executor.h"  // TryIdRangePredicate, for access classification
+
 namespace poly {
 
 namespace {
@@ -336,12 +338,22 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
       root.children.push_back(std::move(kernel));
     }
 
-    if (AccessObserver* observer = db_->access_observer()) {
-      AccessEvent event;
-      event.partition = name;
-      event.rows_scanned = n;
-      event.bytes = rows_kept * spec.slots.size() * 8;
-      observer->OnAccess(event);
+    if (opts_.track_access) {
+      if (AccessObserver* observer = db_->access_observer()) {
+        AccessEvent event;
+        event.partition = name;
+        event.rows_scanned = n;
+        event.bytes = rows_kept * spec.slots.size() * 8;
+        // The fused loop always sweeps every row, but classify the access
+        // the way the interpreted scan would have served it, so compiled
+        // point reads keep their OLTP heat weighting.
+        size_t range_col = 0;
+        uint64_t lo = 0, hi = 0;
+        event.point_read =
+            scan.scan_predicate != nullptr &&
+            TryIdRangePredicate(*table, *scan.scan_predicate, &range_col, &lo, &hi);
+        observer->OnAccess(event);
+      }
     }
   }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/exec_options.h"
 #include "query/plan.h"
 #include "query/result.h"
 #include "storage/database.h"
@@ -24,7 +25,15 @@ namespace poly {
 ///     over Scan(table, predicate: conjunction of <col cmp literal>)
 class QueryCompiler {
  public:
-  QueryCompiler(const Database* db, ReadView view) : db_(db), view_(view) {}
+  /// Runs with the database's default execution options (like Executor).
+  QueryCompiler(const Database* db, ReadView view)
+      : QueryCompiler(db, view, db->exec_options()) {}
+  /// Runs with explicit options. The fused loop is single-threaded by
+  /// construction, so only `trace` and `track_access` apply here; internal
+  /// scans that must not perturb tiering heat pass track_access = false,
+  /// exactly as on the interpreted path.
+  QueryCompiler(const Database* db, ReadView view, const ExecOptions& opts)
+      : db_(db), view_(view), opts_(opts), trace_(opts.trace) {}
 
   /// True if the plan lowers to a fused kernel.
   bool CanCompile(const PlanPtr& plan) const;
@@ -42,9 +51,12 @@ class QueryCompiler {
   /// Span tree of the last traced Execute (null when tracing is off).
   const OperatorSpan* trace() const { return trace_root_.get(); }
 
+  const ExecOptions& options() const { return opts_; }
+
  private:
   const Database* db_;
   ReadView view_;
+  ExecOptions opts_;
   bool trace_ = false;
   std::shared_ptr<OperatorSpan> trace_root_;  ///< shared with the ResultSet
 };

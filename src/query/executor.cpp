@@ -140,9 +140,10 @@ struct GroupTable {
 /// which is the same order).
 using JoinIndex = std::unordered_map<Value, std::vector<size_t>, ValueHash>;
 
-/// If the predicate is `($col <op> literal)` over a main-store column, the
-/// sorted dictionary turns it into a value-ID range test — no value
-/// materialization. Returns false if the shape does not match.
+}  // namespace
+
+// Declared in executor.h; shared with the compiled path's access
+// classification.
 bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col_out,
                          uint64_t* lo_out, uint64_t* hi_out) {
   if (pred.kind() != ExprKind::kCompare) return false;
@@ -181,8 +182,6 @@ bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col
   *hi_out = hi;
   return true;
 }
-
-}  // namespace
 
 Executor::Executor(const Database* db, ReadView view)
     : Executor(db, view, db->exec_options()) {

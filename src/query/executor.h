@@ -25,6 +25,15 @@ struct ExecStats {
   uint64_t partitions_scanned = 0;
 };
 
+/// If the predicate is `($col <op> literal)` over a main-store column, the
+/// sorted dictionary turns it into a value-ID range test — no value
+/// materialization. Returns false if the shape does not match. Scans served
+/// this way are the OLTP-shaped "point read" signal for the tiering heat
+/// tracker; the interpreted scan executes the range, the compiled path
+/// calls this only to classify the access.
+bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col_out,
+                         uint64_t* lo_out, uint64_t* hi_out);
+
 /// Vectorized-enough interpreted executor: every operator materializes its
 /// result (simple, predictable, and a fair baseline for the compiled path of
 /// E13). Reads run under snapshot-isolation `view`.

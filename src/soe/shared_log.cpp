@@ -35,6 +35,7 @@ void SharedLog::LoadDurable() {
     if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
       // Frame: [u64 offset][u64 len][len payload bytes]. A short read means
       // the process died mid-frame; everything before it is intact.
+      uint64_t valid_bytes = 0;  // length of the complete-frame prefix
       for (;;) {
         uint64_t header[2];
         if (std::fread(header, sizeof(uint64_t), 2, f) != 2) break;
@@ -45,8 +46,14 @@ void SharedLog::LoadDurable() {
         }
         units_[unit][header[0]] = std::move(payload);
         max_tail = std::max(max_tail, header[0] + 1);
+        valid_bytes += 2 * sizeof(uint64_t) + header[1];
       }
       std::fclose(f);
+      // Chop the torn frame off before reopening for append. Appending
+      // after the garbage bytes would make every later frame unreachable
+      // to the next recovery's reader — fsynced records silently lost on
+      // the second crash.
+      ::truncate(path.c_str(), static_cast<off_t>(valid_bytes));
     }
     unit_files_[unit] = std::fopen(path.c_str(), "ab");
   }

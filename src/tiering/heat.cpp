@@ -5,20 +5,21 @@
 
 namespace poly::tiering {
 
-AccessHeatTracker::Cell* AccessHeatTracker::CellFor(const std::string& partition) {
+std::shared_ptr<AccessHeatTracker::Cell> AccessHeatTracker::CellFor(
+    const std::string& partition) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = cells_.find(partition);
-    if (it != cells_.end()) return it->second.get();
+    if (it != cells_.end()) return it->second;
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto& slot = cells_[partition];
-  if (!slot) slot = std::make_unique<Cell>();
-  return slot.get();
+  if (!slot) slot = std::make_shared<Cell>();
+  return slot;
 }
 
 void AccessHeatTracker::OnAccess(const AccessEvent& event) {
-  Cell* cell = CellFor(event.partition);
+  std::shared_ptr<Cell> cell = CellFor(event.partition);
   if (event.point_read) {
     cell->point_reads.fetch_add(1, std::memory_order_relaxed);
     cell->total_point_reads.fetch_add(1, std::memory_order_relaxed);

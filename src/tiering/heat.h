@@ -92,12 +92,15 @@ class AccessHeatTracker : public AccessObserver {
     std::atomic<double> heat{0.0};
   };
 
-  Cell* CellFor(const std::string& partition);
+  /// Returns a shared handle, not a raw pointer: a concurrent Forget may
+  /// erase the map entry while OnAccess is still bumping the cell, and the
+  /// handle keeps the cell alive until the last reader drops it.
+  std::shared_ptr<Cell> CellFor(const std::string& partition);
 
   Options opts_;
   std::atomic<uint64_t> epoch_{0};
   mutable std::shared_mutex mu_;  // guards the map shape, not the cells
-  std::unordered_map<std::string, std::unique_ptr<Cell>> cells_;
+  std::unordered_map<std::string, std::shared_ptr<Cell>> cells_;
 };
 
 }  // namespace poly::tiering

@@ -1,7 +1,6 @@
 #include "tiering/policy.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 
 namespace poly::tiering {
@@ -28,8 +27,13 @@ std::string FormatHeat(double h) {
 }  // namespace
 
 TieringPolicy::TieringPolicy(Options opts) : opts_(opts) {
-  assert(opts_.promote_threshold > opts_.demote_threshold &&
-         "hysteresis band requires promote_threshold > demote_threshold");
+  // The hysteresis band requires promote_threshold > demote_threshold; an
+  // inverted band would demote and re-promote the same partition every
+  // epoch (partially masked by cooldown). Normalized in every build, not
+  // assert()ed — NDEBUG would compile the check out and ship the thrash.
+  if (!(opts_.promote_threshold > opts_.demote_threshold)) {
+    opts_.demote_threshold = opts_.promote_threshold;
+  }
 }
 
 std::vector<TieringDecision> TieringPolicy::Decide(

@@ -57,6 +57,8 @@ class TieringPolicy {
   struct Options {
     /// Promote a non-resident partition when effective heat rises above
     /// this. Must be > demote_threshold; the gap is the hysteresis band.
+    /// An inverted pair is normalized by the constructor (demote_threshold
+    /// lowered to promote_threshold — a zero-width band cannot oscillate).
     double promote_threshold = 8.0;
     /// Demote a resident partition when effective heat falls below this.
     double demote_threshold = 2.0;

@@ -91,6 +91,49 @@ TEST(ChaosDurableLog, TruncatedTailFrameIsDiscarded) {
   EXPECT_EQ(*off, 2u);
 }
 
+TEST(ChaosDurableLog, AppendAfterTornTailSurvivesSecondCrash) {
+  std::string dir = FreshLogDir("poly_durable_log_torn_append");
+  SharedLog::Options opts;
+  opts.num_log_units = 1;  // one unit: recovery depends on this exact file
+  opts.replication = 1;
+  opts.durable_dir = dir;
+
+  {
+    SharedLog log(opts);
+    ASSERT_TRUE(log.Append("alpha").ok());
+    ASSERT_TRUE(log.Append("beta").ok());
+  }
+
+  // Crash mid-write: a torn frame at the tail of the only unit file.
+  {
+    std::FILE* f = std::fopen((dir + "/unit0.log").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    uint64_t offset = 2, len = 1000;
+    std::fwrite(&offset, sizeof(offset), 1, f);
+    std::fwrite(&len, sizeof(len), 1, f);
+    std::fwrite("xx", 1, 2, f);  // far short of len
+    std::fclose(f);
+  }
+
+  // First recovery must not just skip the torn frame in memory — it must
+  // truncate it, or the next append lands after the garbage bytes and the
+  // SECOND recovery's frame reader silently drops it (a committed, fsynced
+  // record lost across crash -> recover -> append -> crash).
+  {
+    SharedLog log(opts);
+    ASSERT_EQ(log.Tail(), 2u);
+    auto off = log.Append("gamma");
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(*off, 2u);
+  }
+
+  SharedLog recovered(opts);
+  EXPECT_EQ(recovered.Tail(), 3u);
+  EXPECT_EQ(*recovered.Read(0), "alpha");
+  EXPECT_EQ(*recovered.Read(1), "beta");
+  EXPECT_EQ(*recovered.Read(2), "gamma");
+}
+
 TEST(ChaosDurableLog, FreshClusterRecoversCommittedWrites) {
   std::string dir = FreshLogDir("poly_durable_log_cluster");
   Schema schema({ColumnDef("id", DataType::kInt64),

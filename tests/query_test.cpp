@@ -454,6 +454,47 @@ TEST_F(CompiledFixture, UnsupportedShapesRejected) {
   EXPECT_FALSE(qc.CanCompile(opt.Optimize(like)));
 }
 
+TEST_F(CompiledFixture, AccessTrackingHonorsExecOptions) {
+  struct RecordingObserver : AccessObserver {
+    void OnAccess(const AccessEvent& event) override { events.push_back(event); }
+    std::vector<AccessEvent> events;
+  } obs;
+  db_.set_access_observer(&obs);
+
+  AggSpec cnt{AggFunc::kCount, nullptr, "c"};
+  auto sweep = PlanBuilder::Scan("orders").Aggregate({}, {cnt}).Build();
+  Optimizer opt;
+  PlanPtr point = opt.Optimize(PlanBuilder::Scan("orders")
+                                   .Filter(Expr::Compare(CmpOp::kEq, Expr::Column(0),
+                                                         Expr::Literal(Value::Int(20))))
+                                   .Aggregate({}, {cnt})
+                                   .Build());
+
+  // Session default: tracking on, a full sweep is not a point read.
+  QueryCompiler qc(&db_, tm_.AutoCommitView());
+  ASSERT_TRUE(qc.Execute(sweep).ok());
+  ASSERT_EQ(obs.events.size(), 1u);
+  EXPECT_EQ(obs.events[0].partition, "orders");
+  EXPECT_FALSE(obs.events[0].point_read);
+
+  // A PK-shaped predicate is classified as a point read, exactly like the
+  // interpreted scan's ID-range fast path (keeps the 4x heat weighting).
+  ASSERT_TRUE(qc.CanCompile(point));
+  ASSERT_TRUE(qc.Execute(point).ok());
+  ASSERT_EQ(obs.events.size(), 2u);
+  EXPECT_TRUE(obs.events[1].point_read);
+
+  // Internal scans disable track_access to avoid perturbing heat; the
+  // compiled path must honor that just like the interpreted executor.
+  ExecOptions quiet;
+  quiet.track_access = false;
+  QueryCompiler internal(&db_, tm_.AutoCommitView(), quiet);
+  ASSERT_TRUE(internal.Execute(sweep).ok());
+  EXPECT_EQ(obs.events.size(), 2u);
+
+  db_.set_access_observer(nullptr);
+}
+
 // Property sweep: compiled == interpreted over random data/predicates.
 class CompiledEquivalence : public ::testing::TestWithParam<int> {};
 

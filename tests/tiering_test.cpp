@@ -100,6 +100,33 @@ TEST(HeatTrackerTest, ConcurrentObserversCountExactly) {
                    static_cast<double>(kThreads * kPerThread));
 }
 
+TEST(HeatTrackerTest, ForgetWhileObserversRunIsSafe) {
+  // Forget erases the map entry while reader threads are inside OnAccess;
+  // the shared cell handle must keep their counts landing on live memory
+  // (TSan/ASan guard the use-after-free this test exists for).
+  AccessHeatTracker tracker;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracker, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        tracker.OnAccess(Scan("doomed"));
+        tracker.OnAccess(PointRead("doomed"));
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    tracker.Forget("doomed");
+    tracker.AdvanceEpoch();
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  tracker.Forget("doomed");
+  EXPECT_DOUBLE_EQ(tracker.HeatOf("doomed"), 0.0);
+  EXPECT_TRUE(tracker.Snapshot().empty());
+}
+
 // ----------------------------------------------------------------- policy --
 
 PartitionState State(const std::string& name, bool resident, double heat,
@@ -187,6 +214,24 @@ TEST(TieringPolicyTest, CooldownDefersRecentMovers) {
   EXPECT_EQ(at(5), TierAction::kDeferredCooldown);
   EXPECT_EQ(at(6), TierAction::kDeferredCooldown);
   EXPECT_EQ(at(7), TierAction::kDemote);
+}
+
+TEST(TieringPolicyTest, InvertedBandIsNormalizedInAllBuilds) {
+  auto opts = PolicyOpts();
+  opts.promote_threshold = 2.0;  // inverted: promote below demote
+  opts.demote_threshold = 8.0;
+  TieringPolicy policy(opts);
+  // Normalized to a zero-width band at promote_threshold in every build —
+  // an assert would vanish under NDEBUG and ship promote/demote thrash.
+  EXPECT_DOUBLE_EQ(policy.options().demote_threshold, 2.0);
+
+  // Heat 5 sat between the inverted thresholds: the raw options would
+  // demote it while resident and promote it while demoted, every epoch.
+  // After normalization it moves at most once and then stays put.
+  auto resident = policy.Decide(1, {State("p", true, 5.0)});
+  EXPECT_EQ(resident[0].action, TierAction::kKeep);
+  auto demoted = policy.Decide(2, {State("p", false, 5.0)});
+  EXPECT_EQ(demoted[0].action, TierAction::kPromote);
 }
 
 TEST(TieringPolicyTest, DeterministicTieBreakByName) {
