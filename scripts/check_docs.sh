@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Documentation freshness gate (ctest label: docs).
 #
-# The docs make five kinds of checkable claims, and each has rotted at
+# The docs make six kinds of checkable claims, and each has rotted at
 # least once before this gate existed:
 #   1. repo paths in backticks (`src/...`, `tests/...`, `scripts/...`)
 #   2. section references of the form `DESIGN.md §N` — in the docs AND in
@@ -10,6 +10,8 @@
 #      from E1) and `bench_<name>` binaries the docs tell the reader to run
 #   4. C++ code fences in README.md (compile-checked against src/)
 #   5. `ctest -L <label>` commands (the label must exist in tests/CMakeLists.txt)
+#   6. benchmark figures quoted in prose, via `<!-- bench-quote: ... -->`
+#      annotations diffed against bench_output.txt with a tolerance
 #
 # Fails loudly with every stale reference, not just the first.
 
@@ -112,6 +114,50 @@ for label in $(grep -rhoE 'ctest[^|)]* -L [a-z0-9_-]+' $DOCS 2>/dev/null |
   grep -qE "LABELS[[:space:]]+.*\b${label}\b" tests/CMakeLists.txt ||
     fail "docs tell the reader to run 'ctest -L ${label}' but tests/CMakeLists.txt defines no such label"
 done
+
+# ---- 6. bench numbers quoted in docs must match bench_output.txt ---------
+# Prose that quotes a benchmark figure carries a machine-readable annotation
+# on an adjacent line:
+#   <!-- bench-quote: <BenchmarkName> <field> <value> [tol=<pct>] -->
+# field is `time` (wall time, in the unit bench_output.txt prints for that
+# row), `cpu`, or a google-benchmark counter name (e.g. hot_hit_rate). The
+# value is diffed against the committed capture with a relative tolerance:
+# default 5%, per-quote override via tol=, global override via
+# BENCH_QUOTE_TOL. Re-quoting after a re-run means updating both the prose
+# and the annotation — which is the point.
+if [ -f bench_output.txt ]; then
+  grep -hoE '<!-- bench-quote: [^>]+ -->' README.md EXPERIMENTS.md 2>/dev/null |
+  sed -E 's/<!-- bench-quote: (.*) -->/\1/' |
+  while read -r name field value rest; do
+    tol="${BENCH_QUOTE_TOL:-5}"
+    case "$rest" in tol=*) tol="${rest#tol=}" ;; esac
+    row=$(grep -E "^${name}[[:space:]]" bench_output.txt | head -1)
+    if [ -z "$row" ]; then
+      echo "bench-quote: no '${name}' row in bench_output.txt"
+      continue
+    fi
+    case "$field" in
+      time) actual=$(echo "$row" | awk '{print $2}') ;;
+      cpu)  actual=$(echo "$row" | awk '{print $4}') ;;
+      *)    actual=$(echo "$row" | grep -oE "${field}=[0-9.eE+-]+" | head -1 |
+                     cut -d= -f2) ;;
+    esac
+    if [ -z "$actual" ]; then
+      echo "bench-quote: '${name}' row has no field '${field}' in bench_output.txt"
+      continue
+    fi
+    ok=$(awk -v q="$value" -v a="$actual" -v t="$tol" 'BEGIN {
+      d = q - a; if (d < 0) d = -d
+      base = a; if (base < 0) base = -base
+      if (base == 0) print (d == 0 ? "yes" : "no")
+      else print (d / base * 100 <= t ? "yes" : "no")
+    }')
+    [ "$ok" = yes ] ||
+      echo "bench-quote: docs quote ${name} ${field}=${value} but bench_output.txt has ${actual} (tolerance ${tol}%)"
+  done > /tmp/check_docs_bench.$$
+  while read -r line; do fail "$line"; done < /tmp/check_docs_bench.$$
+  rm -f /tmp/check_docs_bench.$$
+fi
 
 # ---- summary ------------------------------------------------------------
 if [ "$failures" -gt 0 ]; then

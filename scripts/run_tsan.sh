@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Whole-suite ThreadSanitizer gate (tier 2).
+#
+# Configures a dedicated build tree with -DPOLY_SANITIZE=thread, builds the
+# test binary, and runs every gtest suite (`ctest -L tsan-full`) under TSan
+# with halt_on_error=1 so ANY data-race report fails the run — there is no
+# quarantine list. The reader-safe MVCC version store (DESIGN.md §12) is what
+# makes the full suite eligible: snapshot readers bound their scans by an
+# atomically published watermark and pin an epoch instead of racing writer
+# push_backs.
+#
+# Usage:
+#   scripts/run_tsan.sh [build-dir]       # default build dir: build-tsan
+#
+# Optional environment:
+#   CTEST_LABEL=concurrency   run a narrower label instead of the full suite
+#   POLY_MVCC_SEED=<n>        replay one oracle seed (see mvcc_concurrency_test)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+LABEL="${CTEST_LABEL:-tsan-full}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DPOLY_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+# halt_on_error=1: the first report aborts the test binary, so a single race
+# fails ctest rather than scrolling past. second_deadlock_stack aids lock-
+# order reports from the tiering daemon tests.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+
+cd "${BUILD_DIR}"
+ctest -L "${LABEL}" --output-on-failure
+echo "TSan gate (${LABEL}): clean"

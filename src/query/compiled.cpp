@@ -241,7 +241,12 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
     }
     POLY_ASSIGN_OR_RETURN(std::shared_ptr<ColumnTable> pinned_table, std::move(pinned));
     ColumnTable* table = pinned_table.get();
-    uint64_t n = table->num_versions();
+    // Pin the version store once for the whole kernel: the fused loop below
+    // reads two stamps per row, and the guard bounds n to the published
+    // watermark so concurrent writers never hand us a half-written row
+    // (DESIGN.md §12).
+    VersionStore::ReadGuard stamps = table->ReadStamps();
+    uint64_t n = stamps.size();
     uint64_t kernel_wall0 = 0, kernel_cpu0 = 0;
     if (trace_) {
       kernel_wall0 = TraceWallNanos();
@@ -297,7 +302,7 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
 
     // The fused loop ("the compiled query").
     for (uint64_t r = 0; r < n; ++r) {
-      if (!view_.RowVisible(table->cts(r), table->dts(r))) continue;
+      if (!view_.RowVisible(stamps.cts(r), stamps.dts(r))) continue;
       bool pass = true;
       for (const RangeCheck& c : spec.checks) {
         if (!CheckPasses(c, cols[c.col_slot][r])) {

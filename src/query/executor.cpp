@@ -317,6 +317,10 @@ Status Executor::ScanOneTable(const ColumnTable& table, const ExprPtr& predicate
       predicate && TryIdRangePredicate(table, *predicate, &range_col, &lo, &hi);
   if (use_range) ++stats_.id_range_scans;
 
+  // num_versions() is the version store's published watermark (DESIGN.md
+  // §12): every morsel below it reads fully-published rows, and each
+  // ScanVisibleRange call pins its own epoch guard, so the whole morsel
+  // fan-out is latch-free against concurrent writers.
   uint64_t n = table.num_versions();
   ThreadPool* tp = pool();
   uint64_t morsel = morsel_rows();

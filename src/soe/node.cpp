@@ -39,7 +39,10 @@ Status SoeNode::ApplyUpTo(const SharedLog& log, uint64_t target) {
       if (!Hosts(w.table, w.partition)) continue;
       POLY_ASSIGN_OR_RETURN(ColumnTable * t,
                             db_.GetTable(PartitionTableName(w.table, w.partition)));
-      // Offset+1 keeps timestamps > 0 (0 is "never").
+      // Offset+1 keeps timestamps > 0 (0 is "never"). AppendVersion
+      // publishes through the reader-safe version store (DESIGN.md §12),
+      // so PartitionRowCount/ExecuteLocal snapshots taken concurrently with
+      // log apply are bounded by the watermark instead of racing the append.
       POLY_RETURN_IF_ERROR(t->AppendVersion(w.row, offset + 1).status());
     }
     ++records_applied_;

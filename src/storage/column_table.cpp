@@ -27,30 +27,33 @@ StatusOr<uint64_t> ColumnTable::AppendVersion(const Row& values, uint64_t cts_st
     }
     columns_[c].Append(values[c]);
   }
-  cts_.push_back(cts_stamp);
-  dts_.push_back(kNoStamp);
-  return cts_.size() - 1;
+  // Column data is fully written before the version store publishes the new
+  // watermark, so a reader that observes the row also observes its values
+  // (modulo the column-growth caveat in the class comment).
+  return versions_.Append(cts_stamp, kNoStamp);
 }
 
 Status ColumnTable::SetDeleteStamp(uint64_t row, uint64_t stamp) {
-  if (row >= dts_.size()) return Status::OutOfRange("row out of range");
-  if (dts_[row] != kNoStamp) {
+  if (row >= versions_.WriterSize()) return Status::OutOfRange("row out of range");
+  if (versions_.WriterLoadDts(row) != kNoStamp) {
     return Status::Aborted("write-write conflict on " + name_ + " row " +
                            std::to_string(row));
   }
-  dts_[row] = stamp;
+  versions_.WriterStoreDts(row, stamp);
   return Status::OK();
 }
 
 void ColumnTable::ResolveCreateStamp(uint64_t row, uint64_t commit_ts) {
-  cts_[row] = commit_ts;
+  versions_.WriterStoreCts(row, commit_ts);
 }
 
 void ColumnTable::ResolveDeleteStamp(uint64_t row, uint64_t commit_ts) {
-  dts_[row] = commit_ts;
+  versions_.WriterStoreDts(row, commit_ts);
 }
 
-void ColumnTable::ClearDeleteStamp(uint64_t row) { dts_[row] = kNoStamp; }
+void ColumnTable::ClearDeleteStamp(uint64_t row) {
+  versions_.WriterStoreDts(row, kNoStamp);
+}
 
 Row ColumnTable::GetRow(uint64_t row) const {
   Row out;
@@ -60,7 +63,7 @@ Row ColumnTable::GetRow(uint64_t row) const {
 }
 
 uint64_t ColumnTable::CountVisible(const ReadView& view) const {
-  return CountVisibleRange(view, 0, cts_.size());
+  return CountVisibleRange(view, 0, ~0ull);
 }
 
 uint64_t ColumnTable::CountVisibleRange(const ReadView& view, uint64_t begin,
@@ -78,7 +81,7 @@ Status ColumnTable::AddColumn(ColumnDef def) {
     return Status::InvalidArgument("late-added columns must be nullable");
   }
   Column col(compress_main_);
-  for (uint64_t r = 0; r < cts_.size(); ++r) col.Append(Value::Null());
+  for (uint64_t r = 0; r < versions_.WriterSize(); ++r) col.Append(Value::Null());
   columns_.push_back(std::move(col));
   schema_.AddColumn(std::move(def));
   return Status::OK();
@@ -106,13 +109,22 @@ TableMergeStats ColumnTable::Merge() {
 
 uint64_t ColumnTable::Vacuum(uint64_t watermark) {
   std::vector<uint64_t> survivors;
-  survivors.reserve(cts_.size());
-  for (uint64_t r = 0; r < cts_.size(); ++r) {
-    bool dead = dts_[r] != kNoStamp && !StampIsUncommitted(dts_[r]) &&
-                dts_[r] <= watermark;
-    if (!dead) survivors.push_back(r);
+  std::vector<std::pair<uint64_t, uint64_t>> surviving_stamps;
+  uint64_t n;
+  {
+    VersionStore::ReadGuard stamps = versions_.Read();
+    n = stamps.size();
+    survivors.reserve(n);
+    for (uint64_t r = 0; r < n; ++r) {
+      uint64_t dts = stamps.dts(r);
+      bool dead = dts != kNoStamp && !StampIsUncommitted(dts) && dts <= watermark;
+      if (!dead) {
+        survivors.push_back(r);
+        surviving_stamps.emplace_back(stamps.cts(r), dts);
+      }
+    }
   }
-  uint64_t removed = cts_.size() - survivors.size();
+  uint64_t removed = n - survivors.size();
   if (removed == 0) return 0;
 
   std::vector<Column> new_columns;
@@ -123,21 +135,15 @@ uint64_t ColumnTable::Vacuum(uint64_t watermark) {
     col.Merge(schema_.column(c).generated_key_order);
     new_columns.push_back(std::move(col));
   }
-  std::vector<uint64_t> new_cts, new_dts;
-  new_cts.reserve(survivors.size());
-  new_dts.reserve(survivors.size());
-  for (uint64_t r : survivors) {
-    new_cts.push_back(cts_[r]);
-    new_dts.push_back(dts_[r]);
-  }
   columns_ = std::move(new_columns);
-  cts_ = std::move(new_cts);
-  dts_ = std::move(new_dts);
+  // Publishes the renumbered stamps and epoch-retires the old chunks; a
+  // concurrent stamp reader keeps its pinned pre-vacuum view until it unpins.
+  versions_.Rebuild(surviving_stamps);
   return removed;
 }
 
 size_t ColumnTable::MemoryBytes() const {
-  size_t bytes = cts_.capacity() * sizeof(uint64_t) * 2;
+  size_t bytes = versions_.MemoryBytes();
   for (const auto& col : columns_) bytes += col.MemoryBytes();
   return bytes;
 }
@@ -152,10 +158,11 @@ void ColumnTable::SaveTo(Serializer* out) const {
     out->PutU8(def.nullable ? 1 : 0);
     out->PutU8(def.generated_key_order ? 1 : 0);
   }
-  out->PutVarint(cts_.size());
-  for (uint64_t r = 0; r < cts_.size(); ++r) {
-    out->PutU64(cts_[r]);
-    out->PutU64(dts_[r]);
+  VersionStore::ReadGuard stamps = versions_.Read();
+  out->PutVarint(stamps.size());
+  for (uint64_t r = 0; r < stamps.size(); ++r) {
+    out->PutU64(stamps.cts(r));
+    out->PutU64(stamps.dts(r));
     for (const auto& col : columns_) {
       WriteValue(out, col.Get(r));
     }
@@ -189,7 +196,7 @@ StatusOr<std::unique_ptr<ColumnTable>> ColumnTable::LoadFrom(Deserializer* in) {
       row.push_back(std::move(v));
     }
     POLY_ASSIGN_OR_RETURN(uint64_t rid, table->AppendVersion(row, cts));
-    if (dts != kNoStamp) table->dts_[rid] = dts;
+    if (dts != kNoStamp) table->versions_.WriterStoreDts(rid, dts);
   }
   return table;
 }

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "storage/column.h"
 #include "storage/mvcc.h"
+#include "storage/version_store.h"
 #include "types/schema.h"
 
 namespace poly {
@@ -22,12 +23,19 @@ struct TableMergeStats {
 };
 
 /// A main-memory column-store table (§II-A): one Column per schema column
-/// plus table-level MVCC stamp vectors. Row versions are append-only; an
-/// UPDATE is a delete-stamp on the old version plus a new version.
+/// plus a reader-safe MVCC version store (DESIGN.md §12). Row versions are
+/// append-only; an UPDATE is a delete-stamp on the old version plus a new
+/// version.
 ///
-/// Thread model: concurrent readers are safe against each other; writers
-/// must be serialized by the caller (the TransactionManager holds a table
-/// write latch). Merge requires a quiesced table (no in-flight writers).
+/// Thread model: writers must be serialized by the caller (the
+/// TransactionManager holds a table write latch). Version-stamp readers —
+/// ScanVisible/ScanVisibleRange row-id iteration, CountVisible,
+/// num_versions(), cts()/dts() — are latch-free and safe against concurrent
+/// writers and Vacuum: scans are bounded by the version store's published
+/// watermark and pinned via epoch guards. Reading column *values* (GetRow/
+/// GetValue/column()) concurrently with writers is still unsafe — Column's
+/// delta vectors may reallocate on append (the remaining unguarded-growth
+/// shape; see DESIGN.md §12.5). Merge requires a quiesced table.
 class ColumnTable {
  public:
   ColumnTable(std::string name, Schema schema, bool compress_main = true);
@@ -49,12 +57,19 @@ class ColumnTable {
   void ResolveDeleteStamp(uint64_t row, uint64_t commit_ts);
   void ClearDeleteStamp(uint64_t row);
 
-  uint64_t cts(uint64_t row) const { return cts_[row]; }
-  uint64_t dts(uint64_t row) const { return dts_[row]; }
+  /// Latch-free single-stamp reads (briefly pin an epoch slot). Hot loops
+  /// should take ReadStamps() once instead.
+  uint64_t cts(uint64_t row) const { return versions_.ReadCts(row); }
+  uint64_t dts(uint64_t row) const { return versions_.ReadDts(row); }
 
-  /// Total row versions (visible or not).
-  uint64_t num_versions() const { return cts_.size(); }
+  /// Total published row versions (visible or not) — the version store's
+  /// watermark, so concurrent readers never see a partially-written row.
+  uint64_t num_versions() const { return versions_.size(); }
   uint64_t num_columns() const { return columns_.size(); }
+
+  /// Pins the version store for a batch of stamp reads (the compiled
+  /// executor's fused loop holds one across its whole kernel).
+  VersionStore::ReadGuard ReadStamps() const { return versions_.Read(); }
 
   Value GetValue(uint64_t row, size_t col) const { return columns_[col].Get(row); }
   Row GetRow(uint64_t row) const;
@@ -65,20 +80,22 @@ class ColumnTable {
   /// Invokes fn(row_id) for every version visible in `view`.
   template <typename F>
   void ScanVisible(const ReadView& view, F&& fn) const {
-    ScanVisibleRange(view, 0, cts_.size(), std::forward<F>(fn));
+    ScanVisibleRange(view, 0, ~0ull, std::forward<F>(fn));
   }
 
   /// Chunked read API for morsel-driven scans: invokes fn(row_id) for every
   /// version in [begin, end) visible in `view`, in ascending row order.
-  /// `end` is clamped to num_versions(). Safe to call concurrently from
-  /// many reader threads (see the thread model above); morsels over
-  /// disjoint ranges cover exactly the rows a full ScanVisible would.
+  /// `end` is clamped to the published watermark. Latch-free and safe
+  /// against concurrent writers (one epoch pin per call, DESIGN.md §12);
+  /// morsels over disjoint ranges cover exactly the rows a full ScanVisible
+  /// would.
   template <typename F>
   void ScanVisibleRange(const ReadView& view, uint64_t begin, uint64_t end,
                         F&& fn) const {
-    if (end > cts_.size()) end = cts_.size();
+    VersionStore::ReadGuard stamps = versions_.Read();
+    if (end > stamps.size()) end = stamps.size();
     for (uint64_t r = begin; r < end; ++r) {
-      if (view.RowVisible(cts_[r], dts_[r])) fn(r);
+      if (view.RowVisible(stamps.cts(r), stamps.dts(r))) fn(r);
     }
   }
 
@@ -105,7 +122,9 @@ class ColumnTable {
   /// versions with a committed delete stamp <= watermark. Returns the number
   /// of versions removed. WARNING: surviving rows are renumbered — external
   /// row IDs (indexes, graph views) must be rebuilt. Caller must guarantee
-  /// no concurrent access.
+  /// no concurrent writers or column-value readers; concurrent *stamp*
+  /// readers (CountVisible etc.) are safe — the replaced version chunks are
+  /// epoch-retired, never freed under a live reader (DESIGN.md §12.4).
   uint64_t Vacuum(uint64_t watermark);
 
   /// Bytes across all columns plus MVCC vectors.
@@ -121,8 +140,7 @@ class ColumnTable {
   Schema schema_;
   bool compress_main_;
   std::vector<Column> columns_;
-  std::vector<uint64_t> cts_;
-  std::vector<uint64_t> dts_;
+  VersionStore versions_;
 };
 
 }  // namespace poly

@@ -7,23 +7,22 @@ StatusOr<uint64_t> RowTable::AppendVersion(const Row& values, uint64_t cts_stamp
     return Status::InvalidArgument("row width mismatch for table " + name_);
   }
   rows_.push_back(values);
-  cts_.push_back(cts_stamp);
-  dts_.push_back(kNoStamp);
-  return rows_.size() - 1;
+  // Row data lands before the watermark publish inside Append.
+  return versions_.Append(cts_stamp, kNoStamp);
 }
 
 Status RowTable::SetDeleteStamp(uint64_t row, uint64_t stamp) {
-  if (row >= dts_.size()) return Status::OutOfRange("row out of range");
-  if (dts_[row] != kNoStamp) {
+  if (row >= versions_.WriterSize()) return Status::OutOfRange("row out of range");
+  if (versions_.WriterLoadDts(row) != kNoStamp) {
     return Status::Aborted("write-write conflict on " + name_ + " row " +
                            std::to_string(row));
   }
-  dts_[row] = stamp;
+  versions_.WriterStoreDts(row, stamp);
   return Status::OK();
 }
 
 size_t RowTable::MemoryBytes() const {
-  size_t bytes = cts_.capacity() * sizeof(uint64_t) * 2 + rows_.capacity() * sizeof(Row);
+  size_t bytes = versions_.MemoryBytes() + rows_.capacity() * sizeof(Row);
   for (const auto& row : rows_) {
     bytes += row.capacity() * sizeof(Value);
     for (const auto& v : row) {

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "storage/mvcc.h"
+#include "storage/version_store.h"
 #include "types/schema.h"
 
 namespace poly {
@@ -14,6 +15,12 @@ namespace poly {
 /// the baseline for experiments E2/E3: the paper's §II-A claim is that one
 /// column store can carry *both* workloads that traditionally needed a row
 /// OLTP store plus a replicated column OLAP store.
+///
+/// Thread model mirrors ColumnTable: writers caller-serialized; version-
+/// stamp readers (ScanVisible row ids, CountVisible, num_versions, cts/dts)
+/// are latch-free against writers via the shared VersionStore (DESIGN.md
+/// §12). Reading row *values* (GetRow/GetValue) concurrently with writers
+/// is still unsafe — rows_ may reallocate on append (see §12.5).
 class RowTable {
  public:
   RowTable(std::string name, Schema schema)
@@ -24,21 +31,26 @@ class RowTable {
 
   StatusOr<uint64_t> AppendVersion(const Row& values, uint64_t cts_stamp);
   Status SetDeleteStamp(uint64_t row, uint64_t stamp);
-  void ResolveCreateStamp(uint64_t row, uint64_t commit_ts) { cts_[row] = commit_ts; }
-  void ResolveDeleteStamp(uint64_t row, uint64_t commit_ts) { dts_[row] = commit_ts; }
-  void ClearDeleteStamp(uint64_t row) { dts_[row] = kNoStamp; }
+  void ResolveCreateStamp(uint64_t row, uint64_t commit_ts) {
+    versions_.WriterStoreCts(row, commit_ts);
+  }
+  void ResolveDeleteStamp(uint64_t row, uint64_t commit_ts) {
+    versions_.WriterStoreDts(row, commit_ts);
+  }
+  void ClearDeleteStamp(uint64_t row) { versions_.WriterStoreDts(row, kNoStamp); }
 
-  uint64_t cts(uint64_t row) const { return cts_[row]; }
-  uint64_t dts(uint64_t row) const { return dts_[row]; }
-  uint64_t num_versions() const { return rows_.size(); }
+  uint64_t cts(uint64_t row) const { return versions_.ReadCts(row); }
+  uint64_t dts(uint64_t row) const { return versions_.ReadDts(row); }
+  uint64_t num_versions() const { return versions_.size(); }
 
   const Row& GetRow(uint64_t row) const { return rows_[row]; }
   Value GetValue(uint64_t row, size_t col) const { return rows_[row][col]; }
 
   template <typename F>
   void ScanVisible(const ReadView& view, F&& fn) const {
-    for (uint64_t r = 0; r < rows_.size(); ++r) {
-      if (view.RowVisible(cts_[r], dts_[r])) fn(r);
+    VersionStore::ReadGuard stamps = versions_.Read();
+    for (uint64_t r = 0; r < stamps.size(); ++r) {
+      if (view.RowVisible(stamps.cts(r), stamps.dts(r))) fn(r);
     }
   }
 
@@ -54,8 +66,7 @@ class RowTable {
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
-  std::vector<uint64_t> cts_;
-  std::vector<uint64_t> dts_;
+  VersionStore versions_;
 };
 
 }  // namespace poly

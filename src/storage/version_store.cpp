@@ -1,0 +1,217 @@
+#include "storage/version_store.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace poly {
+
+namespace {
+uint64_t ShiftFor(uint64_t pow2) {
+  uint64_t s = 0;
+  while ((1ull << s) < pow2) ++s;
+  return s;
+}
+}  // namespace
+
+VersionStore::VersionStore(uint64_t chunk_rows)
+    : chunk_rows_(chunk_rows),
+      chunk_shift_(ShiftFor(chunk_rows)),
+      chunk_mask_(chunk_rows - 1),
+      dir_(new Directory(kInitialDirectoryChunks)) {}
+
+VersionStore::~VersionStore() {
+  // Contract: no live ReadGuards at destruction, so every retired entry is
+  // reclaimable and the current directory can be freed directly.
+  ReclaimExpired();
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    for (auto& e : retired_) e.free_fn();
+    retired_.clear();
+  }
+  Directory* dir = dir_.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < dir->capacity; ++i) {
+    delete[] dir->chunks[i].load(std::memory_order_relaxed);
+  }
+  delete dir;
+}
+
+int VersionStore::PinSlot() const {
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kReaderSlots;
+  for (;;) {
+    for (int i = 0; i < kReaderSlots; ++i) {
+      size_t s = (start + i) % kReaderSlots;
+      uint64_t idle = kIdleEpoch;
+      // seq_cst: the pin must be totally ordered against the reclaimer's
+      // slot scan — if the scan missed this pin, our subsequent directory
+      // load is ordered after the directory republish and cannot return
+      // the retired pointer.
+      if (slots_[s].epoch.compare_exchange_strong(idle, e,
+                                                  std::memory_order_seq_cst)) {
+        return static_cast<int>(s);
+      }
+    }
+    // All slots busy (> kReaderSlots concurrent guards): wait for one.
+    std::this_thread::yield();
+    e = epoch_.load(std::memory_order_acquire);
+  }
+}
+
+void VersionStore::UnpinSlot(int s) const {
+  // release: everything this reader did with the pinned directory
+  // happens-before a reclaimer that acquires the idle value and frees it.
+  slots_[s].epoch.store(kIdleEpoch, std::memory_order_release);
+}
+
+uint64_t VersionStore::Append(uint64_t cts, uint64_t dts) {
+  uint64_t row = size_;
+  uint64_t ci = row >> chunk_shift_;
+  Directory* dir = dir_.load(std::memory_order_relaxed);
+  if (ci >= dir->capacity) dir = Grow(dir);
+  Stamp* chunk = dir->chunks[ci].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Stamp[chunk_rows_];
+    dir->chunks[ci].store(chunk, std::memory_order_release);
+    num_chunks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t off = row & chunk_mask_;
+  chunk[off].cts.store(cts, std::memory_order_relaxed);
+  chunk[off].dts.store(dts, std::memory_order_relaxed);
+  ++size_;
+  // The publish: a reader that acquires the new watermark observes the
+  // chunk pointer and both stamp stores above.
+  dir->watermark.store(size_, std::memory_order_release);
+  return row;
+}
+
+VersionStore::Directory* VersionStore::Grow(Directory* old) {
+  auto* bigger = new Directory(old->capacity * 2);
+  for (uint64_t i = 0; i < old->capacity; ++i) {
+    bigger->chunks[i].store(old->chunks[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  }
+  bigger->watermark.store(size_, std::memory_order_relaxed);
+  // seq_cst publish: pairs with the reader's pin + directory load.
+  dir_.store(bigger, std::memory_order_seq_cst);
+  // Only the pointer array is retired — the chunks are shared with the new
+  // directory and live on.
+  Retire([old] { delete old; });
+  ReclaimExpired();
+  return bigger;
+}
+
+void VersionStore::WriterStoreCts(uint64_t row, uint64_t v) {
+  Directory* dir = dir_.load(std::memory_order_relaxed);
+  dir->chunks[row >> chunk_shift_]
+      .load(std::memory_order_relaxed)[row & chunk_mask_]
+      .cts.store(v, std::memory_order_relaxed);
+}
+
+void VersionStore::WriterStoreDts(uint64_t row, uint64_t v) {
+  Directory* dir = dir_.load(std::memory_order_relaxed);
+  dir->chunks[row >> chunk_shift_]
+      .load(std::memory_order_relaxed)[row & chunk_mask_]
+      .dts.store(v, std::memory_order_relaxed);
+}
+
+uint64_t VersionStore::WriterLoadCts(uint64_t row) const {
+  Directory* dir = dir_.load(std::memory_order_relaxed);
+  return dir->chunks[row >> chunk_shift_]
+      .load(std::memory_order_relaxed)[row & chunk_mask_]
+      .cts.load(std::memory_order_relaxed);
+}
+
+uint64_t VersionStore::WriterLoadDts(uint64_t row) const {
+  Directory* dir = dir_.load(std::memory_order_relaxed);
+  return dir->chunks[row >> chunk_shift_]
+      .load(std::memory_order_relaxed)[row & chunk_mask_]
+      .dts.load(std::memory_order_relaxed);
+}
+
+void VersionStore::Rebuild(const std::vector<std::pair<uint64_t, uint64_t>>& stamps) {
+  uint64_t n = stamps.size();
+  uint64_t chunks_needed = (n + chunk_rows_ - 1) >> chunk_shift_;
+  uint64_t cap = kInitialDirectoryChunks;
+  while (cap < chunks_needed) cap *= 2;
+  auto* fresh = new Directory(cap);
+  for (uint64_t ci = 0; ci < chunks_needed; ++ci) {
+    Stamp* chunk = new Stamp[chunk_rows_];
+    uint64_t base = ci << chunk_shift_;
+    uint64_t limit = std::min(n - base, chunk_rows_);
+    for (uint64_t off = 0; off < limit; ++off) {
+      chunk[off].cts.store(stamps[base + off].first, std::memory_order_relaxed);
+      chunk[off].dts.store(stamps[base + off].second, std::memory_order_relaxed);
+    }
+    fresh->chunks[ci].store(chunk, std::memory_order_relaxed);
+  }
+  fresh->watermark.store(n, std::memory_order_relaxed);
+
+  Directory* old = dir_.load(std::memory_order_relaxed);
+  dir_.store(fresh, std::memory_order_seq_cst);
+  size_ = n;
+  num_chunks_.store(chunks_needed, std::memory_order_relaxed);
+
+  std::vector<Stamp*> old_chunks;
+  for (uint64_t i = 0; i < old->capacity; ++i) {
+    Stamp* c = old->chunks[i].load(std::memory_order_relaxed);
+    if (c != nullptr) old_chunks.push_back(c);
+  }
+  Retire([old, old_chunks = std::move(old_chunks)] {
+    for (Stamp* c : old_chunks) delete[] c;
+    delete old;
+  });
+  ReclaimExpired();
+}
+
+void VersionStore::Retire(std::function<void()> free_fn) {
+  uint64_t e = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.push_back({e, std::move(free_fn)});
+  metrics::Default().counter("storage.mvcc.retired")->Add(1);
+}
+
+size_t VersionStore::ReclaimExpired() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  uint64_t min_active = kIdleEpoch;
+  for (const Slot& s : slots_) {
+    // seq_cst scan paired with the reader's seq_cst pin; acquire semantics
+    // make an unpinned reader's accesses happen-before the frees below.
+    uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e < min_active) min_active = e;
+  }
+  size_t freed = 0;
+  for (size_t i = 0; i < retired_.size();) {
+    if (retired_[i].epoch < min_active) {
+      retired_[i].free_fn();
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  if (freed > 0) {
+    metrics::Default().counter("storage.mvcc.reclaimed")->Add(freed);
+  }
+  return freed;
+}
+
+size_t VersionStore::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+uint64_t VersionStore::directory_capacity() const {
+  ReadGuard g(this);
+  return g.dir_->capacity;
+}
+
+size_t VersionStore::MemoryBytes() const {
+  ReadGuard g(this);
+  return g.dir_->capacity * sizeof(std::atomic<Stamp*>) +
+         num_chunks_.load(std::memory_order_relaxed) * chunk_rows_ * sizeof(Stamp);
+}
+
+}  // namespace poly

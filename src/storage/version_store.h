@@ -1,0 +1,196 @@
+#ifndef POLY_STORAGE_VERSION_STORE_H_
+#define POLY_STORAGE_VERSION_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace poly {
+
+/// Reader-safe MVCC version-stamp storage (DESIGN.md §12).
+///
+/// Replaces the growable cts/dts vectors that made latch-free readers race
+/// against writer growth: stamps live in preallocated fixed-size chunks of
+/// atomics that never move once published, a chunk *directory* (an array of
+/// atomic chunk pointers) is republished RCU-style when it fills, and the
+/// number of fully-written rows is an atomically published *watermark* that
+/// readers bound their scans by. Directories and chunks retired by growth,
+/// Vacuum, or Rebuild are reclaimed with an epoch scheme: a reader pins an
+/// epoch slot for the duration of a ReadGuard, and retired memory is freed
+/// only once every pinned epoch has moved past the retirement epoch — so
+/// reclamation never frees a chunk a reader still holds.
+///
+/// Thread model:
+///  - any number of concurrent readers, latch-free (ReadGuard / size() /
+///    ReadCts() / ReadDts()); a reader never takes a mutex;
+///  - exactly one logical writer at a time (Append / WriterStore* / Rebuild);
+///    callers serialize writers externally (the TransactionManager's write
+///    latch, or single-threaded load/merge phases);
+///  - readers may overlap *any* writer operation, including Rebuild.
+class VersionStore {
+ public:
+  static constexpr uint64_t kDefaultChunkRows = 1024;  // power of two
+  static constexpr uint64_t kIdleEpoch = ~0ull;
+  static constexpr int kReaderSlots = 64;
+  static constexpr uint64_t kInitialDirectoryChunks = 4;
+
+  /// `chunk_rows` must be a power of two; small values are for tests that
+  /// want to cross chunk and directory boundaries cheaply.
+  explicit VersionStore(uint64_t chunk_rows = kDefaultChunkRows);
+  ~VersionStore();
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+ private:
+  /// One row version's stamps. Atomics so the commit-time in-place rewrite
+  /// (txn stamp -> commit ts) is race-free against readers.
+  struct Stamp {
+    std::atomic<uint64_t> cts{0};
+    std::atomic<uint64_t> dts{0};
+  };
+
+  /// The chunk directory. `chunks[i]` points at a preallocated array of
+  /// `chunk_rows` Stamps; `watermark` is the number of fully-written rows
+  /// *under this directory*. The watermark lives inside the directory so a
+  /// reader always pairs a directory with a watermark that is consistent
+  /// with it (a reader holding a just-replaced directory sees its frozen
+  /// watermark, never the successor's larger one).
+  struct Directory {
+    explicit Directory(uint64_t cap)
+        : capacity(cap), chunks(new std::atomic<Stamp*>[cap]) {
+      for (uint64_t i = 0; i < cap; ++i)
+        chunks[i].store(nullptr, std::memory_order_relaxed);
+    }
+    const uint64_t capacity;  // chunk slots
+    std::atomic<uint64_t> watermark{0};
+    std::unique_ptr<std::atomic<Stamp*>[]> chunks;
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdleEpoch};
+  };
+
+ public:
+  /// Pins an epoch slot and snapshots the directory + watermark. All reads
+  /// through one guard see a consistent prefix of the version history; the
+  /// guard must not outlive the VersionStore. Cheap: one CAS to pin, one
+  /// store to unpin.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const VersionStore* vs) : vs_(vs) {
+      slot_ = vs_->PinSlot();
+      // seq_cst pairs with the seq_cst directory publish + slot scan in the
+      // writer (see DESIGN.md §12.3): a reader whose pin the reclaimer did
+      // not observe is guaranteed to load the *new* directory here.
+      dir_ = vs_->dir_.load(std::memory_order_seq_cst);
+      size_ = dir_->watermark.load(std::memory_order_acquire);
+    }
+    ~ReadGuard() { vs_->UnpinSlot(slot_); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    /// Number of rows this guard may read: the watermark at pin time.
+    uint64_t size() const { return size_; }
+    uint64_t cts(uint64_t row) const {
+      return StampAt(row)->cts.load(std::memory_order_relaxed);
+    }
+    uint64_t dts(uint64_t row) const {
+      return StampAt(row)->dts.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class VersionStore;
+
+    const Stamp* StampAt(uint64_t row) const {
+      uint64_t ci = row >> vs_->chunk_shift_;
+      if (ci != cached_index_) {
+        cached_chunk_ = dir_->chunks[ci].load(std::memory_order_acquire);
+        cached_index_ = ci;
+      }
+      return cached_chunk_ + (row & vs_->chunk_mask_);
+    }
+
+    const VersionStore* vs_;
+    const Directory* dir_;
+    int slot_;
+    uint64_t size_;
+    mutable uint64_t cached_index_ = ~0ull;
+    mutable const Stamp* cached_chunk_ = nullptr;
+  };
+
+  ReadGuard Read() const { return ReadGuard(this); }
+
+  /// Published row count (latch-free; pins briefly).
+  uint64_t size() const { return ReadGuard(this).size(); }
+  /// Single-stamp latch-free reads (row must be < size()).
+  uint64_t ReadCts(uint64_t row) const { return ReadGuard(this).cts(row); }
+  uint64_t ReadDts(uint64_t row) const { return ReadGuard(this).dts(row); }
+
+  // ---- writer API: callers must serialize externally ---------------------
+
+  /// Appends one version and publishes the watermark (release) so readers
+  /// that observe the new size also observe the stamps. Returns the row id.
+  uint64_t Append(uint64_t cts, uint64_t dts);
+
+  /// In-place stamp rewrites (commit/abort resolution, recovery). Visibility
+  /// to snapshot readers piggybacks on the TransactionManager's clock
+  /// publish; see DESIGN.md §12.2.
+  void WriterStoreCts(uint64_t row, uint64_t v);
+  void WriterStoreDts(uint64_t row, uint64_t v);
+  uint64_t WriterLoadCts(uint64_t row) const;
+  uint64_t WriterLoadDts(uint64_t row) const;
+  /// Row count as the writer knows it (== size(); no pin needed because the
+  /// caller holds the write latch).
+  uint64_t WriterSize() const { return size_; }
+
+  /// Replaces the whole store with `stamps` (Vacuum's renumbering). The old
+  /// directory and all its chunks are retired, not freed: a concurrent
+  /// ReadGuard keeps reading the pre-rebuild history until it unpins.
+  void Rebuild(const std::vector<std::pair<uint64_t, uint64_t>>& stamps);
+
+  /// Frees retired directories/chunks whose retirement epoch every pinned
+  /// reader has moved past. Called internally on retire; public for tests.
+  /// Returns the number of retired entries freed.
+  size_t ReclaimExpired();
+
+  // ---- introspection -----------------------------------------------------
+  size_t retired_count() const;
+  uint64_t num_chunks() const { return num_chunks_.load(std::memory_order_relaxed); }
+  uint64_t directory_capacity() const;
+  uint64_t chunk_rows() const { return chunk_rows_; }
+  size_t MemoryBytes() const;
+
+ private:
+  int PinSlot() const;
+  void UnpinSlot(int s) const;
+  Directory* Grow(Directory* old);
+  void Retire(std::function<void()> free_fn);
+
+  uint64_t chunk_rows_;
+  uint64_t chunk_shift_;
+  uint64_t chunk_mask_;
+
+  std::atomic<Directory*> dir_;
+  uint64_t size_ = 0;  // writer-private logical size (== published watermark)
+  std::atomic<uint64_t> num_chunks_{0};
+
+  // Epoch-based reclamation state.
+  mutable std::array<Slot, kReaderSlots> slots_;
+  std::atomic<uint64_t> epoch_{1};
+  struct RetiredEntry {
+    uint64_t epoch;
+    std::function<void()> free_fn;
+  };
+  mutable std::mutex retire_mu_;
+  std::vector<RetiredEntry> retired_;  // guarded by retire_mu_
+};
+
+}  // namespace poly
+
+#endif  // POLY_STORAGE_VERSION_STORE_H_

@@ -71,7 +71,14 @@ Status TransactionManager::Update(Transaction* txn, ColumnTable* table, uint64_t
 Status TransactionManager::Commit(Transaction* txn) {
   if (txn->state_ != TxnState::kActive) return Status::InvalidArgument("txn not active");
   std::lock_guard<std::mutex> lock(write_mu_);
-  uint64_t commit_ts = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Resolve every stamp BEFORE publishing the new clock value: a reader
+  // whose snapshot_ts >= commit_ts must find all of this commit's stamps
+  // already rewritten, or its visible count would transiently miss rows the
+  // snapshot entitles it to (the §12 oracle harness checks every observed
+  // (snapshot_ts, visible_count) pair against a serial replay). clock_ is
+  // only ever advanced here, under write_mu_, so a plain load/store pair is
+  // race-free; the release store pairs with AutoCommitView's acquire load.
+  uint64_t commit_ts = clock_.load(std::memory_order_relaxed) + 1;
   for (const auto& op : txn->writes_) {
     std::visit(
         [&](auto* table) {
@@ -85,6 +92,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   txn->commit_ts_ = commit_ts;
   txn->state_ = TxnState::kCommitted;
+  clock_.store(commit_ts, std::memory_order_release);
   {
     std::lock_guard<std::mutex> snap_lock(mu_);
     active_snapshots_.erase(txn->id_);

@@ -30,6 +30,11 @@ class Transaction {
   /// Read view for statements inside this transaction.
   ReadView View() const { return ReadView{snapshot_ts_, id_}; }
 
+  /// Row id of this transaction's most recent write (insert or delete).
+  /// Lets callers learn the ids of their own inserts without re-scanning;
+  /// requires at least one prior write.
+  uint64_t last_write_row() const { return writes_.back().row; }
+
  private:
   friend class TransactionManager;
 
@@ -53,7 +58,11 @@ class Transaction {
 /// rebuilds a database from the log.
 ///
 /// Concurrency: Begin/Commit/Abort and all write paths are internally
-/// latched; readers never block.
+/// latched; readers never block. Commit resolves all stamps in the tables'
+/// reader-safe version stores (DESIGN.md §12) and only then publishes the
+/// advanced clock, so any snapshot taken at or after a commit timestamp
+/// observes that commit completely — visible counts are exact, not just
+/// eventually consistent.
 class TransactionManager {
  public:
   /// `log` may be null (no durability, e.g. inside benches).
