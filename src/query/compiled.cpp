@@ -241,34 +241,35 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
     }
     POLY_ASSIGN_OR_RETURN(std::shared_ptr<ColumnTable> pinned_table, std::move(pinned));
     ColumnTable* table = pinned_table.get();
-    // Pin the version store once for the whole kernel: the fused loop below
-    // reads two stamps per row, and the guard bounds n to the published
-    // watermark so concurrent writers never hand us a half-written row
-    // (DESIGN.md §12).
-    VersionStore::ReadGuard stamps = table->ReadStamps();
-    uint64_t n = stamps.size();
+    // ONE unified guard for the whole kernel (DESIGN.md §12.5): a single
+    // epoch pin covering stamps and the value snapshots of every column.
+    // The fused loop below reads two stamps per row, and the guard bounds n
+    // to the published watermark so concurrent writers never hand us a
+    // half-written row or an unpublished delta value.
+    ColumnTable::ReadGuard guard(table);
+    uint64_t n = guard.size();
     uint64_t kernel_wall0 = 0, kernel_cpu0 = 0;
     if (trace_) {
       kernel_wall0 = TraceWallNanos();
       kernel_cpu0 = TraceThreadCpuNanos();
     }
     uint64_t rows_kept = 0;
-    if (spec.has_group) group_col_name = table->schema().column(spec.group_col).name;
+    if (spec.has_group) group_col_name = guard.schema().column(spec.group_col).name;
 
     // "Code generation" setup: decode every referenced column to a primitive
     // array once, via its dictionary (decode cost is part of the kernel).
     std::vector<std::vector<double>> col_data(spec.slots.size());
     std::vector<const double*> col_ptrs(spec.slots.size(), nullptr);
     for (const auto& [col, slot] : spec.slots) {
-      const Column& c = table->column(col);
+      const Column::Reader& c = guard.col(col);
       // Dictionary -> double lookup tables.
       std::vector<double> main_lut(c.main_dictionary().size());
       for (uint64_t i = 0; i < main_lut.size(); ++i) {
         main_lut[i] = c.main_dictionary().At(i).NumericValue();
       }
-      std::vector<double> delta_lut(c.delta_dictionary().size());
+      std::vector<double> delta_lut(c.delta_dict_size());
       for (uint64_t i = 0; i < delta_lut.size(); ++i) {
-        delta_lut[i] = c.delta_dictionary().At(i).NumericValue();
+        delta_lut[i] = c.DeltaDictValue(i).NumericValue();
       }
       std::vector<double>& data = col_data[slot];
       data.resize(n);
@@ -283,26 +284,27 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
     std::vector<uint32_t> main_group_lut, delta_group_lut;
     uint64_t group_main_n = 0;
     if (spec.has_group) {
-      const Column& g = table->column(spec.group_col);
+      const Column::Reader& g = guard.col(spec.group_col);
       group_main_n = g.main_size();
       main_group_lut.resize(g.main_dictionary().size());
       for (uint64_t i = 0; i < main_group_lut.size(); ++i) {
         main_group_lut[i] =
             static_cast<uint32_t>(group_slot_for(g.main_dictionary().At(i)));
       }
-      delta_group_lut.resize(g.delta_dictionary().size());
+      delta_group_lut.resize(g.delta_dict_size());
       for (uint64_t i = 0; i < delta_group_lut.size(); ++i) {
         delta_group_lut[i] =
-            static_cast<uint32_t>(group_slot_for(g.delta_dictionary().At(i)));
+            static_cast<uint32_t>(group_slot_for(g.DeltaDictValue(i)));
       }
     }
 
-    const Column* group_col = spec.has_group ? &table->column(spec.group_col) : nullptr;
+    const Column::Reader* group_col =
+        spec.has_group ? &guard.col(spec.group_col) : nullptr;
     const double* const* cols = col_ptrs.data();
 
     // The fused loop ("the compiled query").
     for (uint64_t r = 0; r < n; ++r) {
-      if (!view_.RowVisible(stamps.cts(r), stamps.dts(r))) continue;
+      if (!view_.RowVisible(guard.cts(r), guard.dts(r))) continue;
       bool pass = true;
       for (const RangeCheck& c : spec.checks) {
         if (!CheckPasses(c, cols[c.col_slot][r])) {
@@ -356,7 +358,7 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
         uint64_t lo = 0, hi = 0;
         event.point_read =
             scan.scan_predicate != nullptr &&
-            TryIdRangePredicate(*table, *scan.scan_predicate, &range_col, &lo, &hi);
+            TryIdRangePredicate(guard, *scan.scan_predicate, &range_col, &lo, &hi);
         observer->OnAccess(event);
       }
     }

@@ -146,6 +146,12 @@ using JoinIndex = std::unordered_map<Value, std::vector<size_t>, ValueHash>;
 // classification.
 bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col_out,
                          uint64_t* lo_out, uint64_t* hi_out) {
+  ColumnTable::ReadGuard guard(&table);
+  return TryIdRangePredicate(guard, pred, col_out, lo_out, hi_out);
+}
+
+bool TryIdRangePredicate(const ColumnTable::ReadGuard& guard, const Expr& pred,
+                         size_t* col_out, uint64_t* lo_out, uint64_t* hi_out) {
   if (pred.kind() != ExprKind::kCompare) return false;
   const ExprPtr& l = pred.left();
   const ExprPtr& r = pred.right();
@@ -153,8 +159,8 @@ bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col
   if (l->kind() != ExprKind::kColumn || r->kind() != ExprKind::kLiteral) return false;
   if (pred.cmp_op() == CmpOp::kNe) return false;
   size_t col = l->column_index();
-  if (col >= table.num_columns()) return false;
-  const SortedDictionary& dict = table.column(col).main_dictionary();
+  if (col >= guard.num_columns()) return false;
+  const SortedDictionary& dict = guard.col(col).main_dictionary();
   const Value& v = r->literal();
   uint64_t lo = 0, hi = dict.size();
   switch (pred.cmp_op()) {
@@ -281,19 +287,20 @@ StatusOr<ResultSet> Executor::Dispatch(const PlanNode& node) {
   return Status::Internal("unknown plan node");
 }
 
-void Executor::ScanMorsel(const ColumnTable& table, const ExprPtr& predicate,
-                          bool use_range, size_t range_col, uint64_t lo,
-                          uint64_t hi, uint64_t begin, uint64_t end,
-                          ResultSet* out, ExecStats* stats) const {
-  size_t ncols = table.num_columns();
-  uint64_t main_size = ncols ? table.column(0).main_size() : 0;
-  table.ScanVisibleRange(view_, begin, end, [&](uint64_t r) {
+void Executor::ScanMorsel(const ColumnTable::ReadGuard& guard,
+                          const ExprPtr& predicate, bool use_range,
+                          size_t range_col, uint64_t lo, uint64_t hi,
+                          uint64_t begin, uint64_t end, ResultSet* out,
+                          ExecStats* stats) const {
+  size_t ncols = guard.num_columns();
+  uint64_t main_size = ncols ? guard.col(0).main_size() : 0;
+  guard.ScanVisibleRange(view_, begin, end, [&](uint64_t r) {
     ++stats->rows_scanned;
     if (use_range && r < main_size) {
-      uint64_t id = table.column(range_col).MainId(r);
+      uint64_t id = guard.col(range_col).MainId(r);
       if (id < lo || id >= hi) return;
     } else if (predicate) {
-      Row probe = table.GetRow(r);
+      Row probe = guard.GetRow(r);
       if (!predicate->EvalBool(probe)) return;
       ++stats->rows_materialized;
       out->rows.push_back(std::move(probe));
@@ -301,7 +308,7 @@ void Executor::ScanMorsel(const ColumnTable& table, const ExprPtr& predicate,
     }
     Row row;
     row.reserve(ncols);
-    for (size_t c = 0; c < ncols; ++c) row.push_back(table.GetValue(r, c));
+    for (size_t c = 0; c < ncols; ++c) row.push_back(guard.GetValue(r, c));
     ++stats->rows_materialized;
     out->rows.push_back(std::move(row));
   });
@@ -311,21 +318,25 @@ Status Executor::ScanOneTable(const ColumnTable& table, const ExprPtr& predicate
                               ResultSet* out) {
   ++stats_.partitions_scanned;
 
+  // ONE unified guard per table scan (DESIGN.md §12.5): a single epoch pin
+  // covering the table state, the stamp snapshot, and a value snapshot of
+  // every column. Its size() is the version store's published watermark:
+  // every morsel below it reads fully-published rows AND fully-published
+  // values, latch-free against concurrent writers, AddColumn, Merge, and
+  // Vacuum. The guard is immutable, so all morsel workers share it.
+  ColumnTable::ReadGuard guard(&table);
+
   size_t range_col = 0;
   uint64_t lo = 0, hi = 0;
   bool use_range =
-      predicate && TryIdRangePredicate(table, *predicate, &range_col, &lo, &hi);
+      predicate && TryIdRangePredicate(guard, *predicate, &range_col, &lo, &hi);
   if (use_range) ++stats_.id_range_scans;
 
-  // num_versions() is the version store's published watermark (DESIGN.md
-  // §12): every morsel below it reads fully-published rows, and each
-  // ScanVisibleRange call pins its own epoch guard, so the whole morsel
-  // fan-out is latch-free against concurrent writers.
-  uint64_t n = table.num_versions();
+  uint64_t n = guard.size();
   ThreadPool* tp = pool();
   uint64_t morsel = morsel_rows();
   if (tp == nullptr || n <= morsel) {
-    ScanMorsel(table, predicate, use_range, range_col, lo, hi, 0, n, out, &stats_);
+    ScanMorsel(guard, predicate, use_range, range_col, lo, hi, 0, n, out, &stats_);
     return Status::OK();
   }
 
@@ -339,7 +350,7 @@ Status Executor::ScanOneTable(const ColumnTable& table, const ExprPtr& predicate
       num_morsels,
       [&](size_t m) {
         uint64_t begin = m * morsel;
-        ScanMorsel(table, predicate, use_range, range_col, lo, hi, begin,
+        ScanMorsel(guard, predicate, use_range, range_col, lo, hi, begin,
                    std::min<uint64_t>(n, begin + morsel), &frags[m], &local[m]);
       },
       /*grain=*/1);

@@ -33,6 +33,10 @@ struct ExecStats {
 /// calls this only to classify the access.
 bool TryIdRangePredicate(const ColumnTable& table, const Expr& pred, size_t* col_out,
                          uint64_t* lo_out, uint64_t* hi_out);
+/// Same, against an already-pinned unified guard (the scan paths hold one
+/// guard for stamps + values and classify through it).
+bool TryIdRangePredicate(const ColumnTable::ReadGuard& guard, const Expr& pred,
+                         size_t* col_out, uint64_t* lo_out, uint64_t* hi_out);
 
 /// Vectorized-enough interpreted executor: every operator materializes its
 /// result (simple, predictable, and a fair baseline for the compiled path of
@@ -75,9 +79,12 @@ class Executor {
   StatusOr<ResultSet> ExecScan(const PlanNode& node);
   Status ScanOneTable(const ColumnTable& table, const ExprPtr& predicate,
                       ResultSet* out);
-  /// Scans rows [begin, end) of `table` into `out`, counting into `stats`
-  /// (which may be a worker-local partial). One morsel of a scan.
-  void ScanMorsel(const ColumnTable& table, const ExprPtr& predicate,
+  /// Scans rows [begin, end) through `guard` into `out`, counting into
+  /// `stats` (which may be a worker-local partial). One morsel of a scan.
+  /// The guard is immutable and shared by every morsel of one table scan:
+  /// one pin covers stamps and values for the whole fan-out (DESIGN.md
+  /// §12.5).
+  void ScanMorsel(const ColumnTable::ReadGuard& guard, const ExprPtr& predicate,
                   bool use_range, size_t range_col, uint64_t lo, uint64_t hi,
                   uint64_t begin, uint64_t end, ResultSet* out,
                   ExecStats* stats) const;

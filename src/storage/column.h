@@ -1,10 +1,13 @@
 #ifndef POLY_STORAGE_COLUMN_H_
 #define POLY_STORAGE_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitpack.h"
+#include "storage/chunked_vector.h"
 #include "storage/dictionary.h"
 #include "types/value.h"
 
@@ -24,38 +27,113 @@ struct ColumnMergeStats {
 ///
 /// Physical layout:
 ///   main  = SortedDictionary + bit-packed value-ID vector
-///   delta = DeltaDictionary (insertion order) + plain value-ID vector
+///   delta = DeltaDictionary (insertion order) + chunked value-ID vector
 /// Row position r < main_size() reads from main, else from delta.
+///
+/// Reader safety (DESIGN.md §12.5): the whole layout hangs off one
+/// atomically published State. Appends go to chunked delta storage that
+/// never moves published elements; Merge builds a NEW State (fresh main,
+/// empty delta) and republishes it RCU-style, retiring the old one through
+/// the shared EpochGC — so a reader that pinned before the merge keeps a
+/// fully consistent pre-merge column, and row ids mean the same thing in
+/// both generations (merge preserves row order).
 class Column {
  public:
   /// `compress_main`: SOE nodes relax reference compression for cheaper
   /// (more energy-efficient) decoding (§IV-A); false stores 64-bit IDs.
-  explicit Column(bool compress_main = true) : compress_main_(compress_main) {}
+  /// A null `gc` means single-threaded standalone use (tests): the column
+  /// owns a private gc.
+  explicit Column(bool compress_main = true, EpochGC* gc = nullptr);
+  ~Column();
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
 
-  /// Appends a value to the delta; returns the global row position.
+ private:
+  struct State {
+    State(EpochGC* gc, uint64_t delta_chunk_rows)
+        : main_ids(1), delta_dict(gc, delta_chunk_rows),
+          delta_ids(gc, delta_chunk_rows) {}
+    SortedDictionary main_dict;
+    BitPackedVector main_ids;
+    DeltaDictionary delta_dict;
+    ChunkedVector<uint64_t> delta_ids;
+  };
+
+ public:
+  /// Appends a value to the delta; returns the global row position. Writer
+  /// order matters: the dictionary value is published before the row id, so
+  /// a reader that sees the id (bounded by its snapshot watermark) can
+  /// resolve it.
   uint64_t Append(const Value& v);
+
+  /// A consistent view of the column taken under an EpochGC pin: the state
+  /// pointer (seq_cst, pairs with Merge's republish), a delta row-id
+  /// snapshot, and — taken after it — a delta dictionary snapshot covering
+  /// every id the row snapshot can yield. No mutable cache: one Reader may
+  /// be shared by all threads of a morsel fan-out.
+  class Reader {
+   public:
+    Reader() = default;
+    explicit Reader(const Column* c) {
+      st_ = c->state_.load(std::memory_order_seq_cst);
+      delta_ids_ = st_->delta_ids.Snap();
+      delta_vals_ = st_->delta_dict.Snap();
+      main_n_ = st_->main_ids.size();
+    }
+
+    uint64_t size() const { return main_n_ + delta_ids_.size(); }
+    uint64_t main_size() const { return main_n_; }
+    uint64_t delta_size() const { return delta_ids_.size(); }
+
+    Value Get(uint64_t row) const {
+      if (row < main_n_) return st_->main_dict.At(st_->main_ids.Get(row));
+      return delta_vals_[delta_ids_[row - main_n_]];
+    }
+
+    const SortedDictionary& main_dictionary() const { return st_->main_dict; }
+    uint64_t MainId(uint64_t row) const { return st_->main_ids.Get(row); }
+    uint64_t DeltaId(uint64_t i) const { return delta_ids_[i]; }
+    /// Number of delta-dictionary entries this snapshot can resolve.
+    uint64_t delta_dict_size() const { return delta_vals_.size(); }
+    const Value& DeltaDictValue(uint64_t id) const { return delta_vals_[id]; }
+    void DecodeMainIds(uint64_t begin, uint64_t end, uint64_t* out) const {
+      st_->main_ids.Decode(begin, end, out);
+    }
+
+   private:
+    const State* st_ = nullptr;
+    ChunkedVector<uint64_t>::Snapshot delta_ids_;
+    ChunkedVector<Value>::Snapshot delta_vals_;
+    uint64_t main_n_ = 0;
+  };
+
+  /// Caller must hold a pin on the shared gc (a table ReadGuard does).
+  Reader SnapshotForRead() const { return Reader(this); }
+
+  // ---- writer-consistent accessors ---------------------------------------
+  // Safe from the writer or when the column is quiesced (single-threaded
+  // tests, load/merge phases). Concurrent readers use a Reader instead.
 
   /// Value at global row position.
   Value Get(uint64_t row) const;
 
-  uint64_t size() const { return main_ids_.size() + delta_ids_.size(); }
-  uint64_t main_size() const { return main_ids_.size(); }
-  uint64_t delta_size() const { return delta_ids_.size(); }
+  uint64_t size() const;
+  uint64_t main_size() const;
+  uint64_t delta_size() const;
 
-  const SortedDictionary& main_dictionary() const { return main_dict_; }
-  const DeltaDictionary& delta_dictionary() const { return delta_dict_; }
+  const SortedDictionary& main_dictionary() const;
+  const DeltaDictionary& delta_dictionary() const;
 
   /// Raw main value ID (row < main_size()).
-  uint64_t MainId(uint64_t row) const { return main_ids_.Get(row); }
+  uint64_t MainId(uint64_t row) const;
   /// Raw delta value ID (index into delta rows).
-  uint64_t DeltaId(uint64_t i) const { return delta_ids_[i]; }
+  uint64_t DeltaId(uint64_t i) const;
 
   /// Decodes main value IDs [begin, end) into `out`.
-  void DecodeMainIds(uint64_t begin, uint64_t end, uint64_t* out) const {
-    main_ids_.Decode(begin, end, out);
-  }
+  void DecodeMainIds(uint64_t begin, uint64_t end, uint64_t* out) const;
 
-  /// Merges delta into main, rebuilding or appending to the dictionary.
+  /// Merges delta into main by building and atomically publishing a fresh
+  /// State (old one retired through the gc — a pinned reader keeps it).
   /// `hint_generated_order` declares the §III application knowledge that new
   /// keys sort after all existing ones; the merge verifies the hint and
   /// falls back to the general path if it does not hold.
@@ -65,11 +143,14 @@ class Column {
   size_t MemoryBytes() const;
 
  private:
+  static constexpr uint64_t kDeltaChunkRows = 256;
+
   bool compress_main_;
-  SortedDictionary main_dict_;
-  BitPackedVector main_ids_{1};
-  DeltaDictionary delta_dict_;
-  std::vector<uint64_t> delta_ids_;
+  // Declared before state_ so the owned gc (when present) is destroyed
+  // after the current state; retired states are freed by the gc destructor.
+  std::unique_ptr<EpochGC> owned_gc_;
+  EpochGC* gc_;  // never null
+  std::atomic<State*> state_;
 };
 
 }  // namespace poly

@@ -6,60 +6,102 @@
 namespace poly {
 
 ColumnTable::ColumnTable(std::string name, Schema schema, bool compress_main)
-    : name_(std::move(name)), schema_(std::move(schema)), compress_main_(compress_main) {
-  columns_.reserve(schema_.num_columns());
-  for (size_t i = 0; i < schema_.num_columns(); ++i) {
-    columns_.emplace_back(compress_main_);
+    : name_(std::move(name)), compress_main_(compress_main) {
+  auto* st = new TableState;
+  st->schema = std::move(schema);
+  st->cols.reserve(st->schema.num_columns());
+  for (size_t i = 0; i < st->schema.num_columns(); ++i) {
+    st->cols.push_back(std::make_shared<Column>(compress_main_, &gc_));
   }
+  st->versions =
+      std::make_shared<VersionStore>(VersionStore::kDefaultChunkRows, &gc_);
+  state_.store(st, std::memory_order_release);
+}
+
+ColumnTable::~ColumnTable() {
+  // Contract: no live guards. The current state is freed here; retired
+  // generations (and their columns/version stores, via shared_ptr) are
+  // freed by gc_'s destructor, which runs after this body.
+  delete state_.load(std::memory_order_relaxed);
 }
 
 StatusOr<uint64_t> ColumnTable::AppendVersion(const Row& values, uint64_t cts_stamp) {
-  if (values.size() != columns_.size()) {
+  TableState* st = state_.load(std::memory_order_relaxed);
+  if (values.size() != st->cols.size()) {
     return Status::InvalidArgument("row width " + std::to_string(values.size()) +
                                    " != schema width " +
-                                   std::to_string(columns_.size()) + " for table " +
+                                   std::to_string(st->cols.size()) + " for table " +
                                    name_);
   }
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    if (values[c].is_null() && !schema_.column(c).nullable) {
+  for (size_t c = 0; c < st->cols.size(); ++c) {
+    if (values[c].is_null() && !st->schema.column(c).nullable) {
       return Status::InvalidArgument("null in non-nullable column " +
-                                     schema_.column(c).name);
+                                     st->schema.column(c).name);
     }
-    columns_[c].Append(values[c]);
+    st->cols[c]->Append(values[c]);
   }
-  // Column data is fully written before the version store publishes the new
+  // Column values (and any new delta-dictionary entries) are fully written
+  // and release-published before the version store publishes the new
   // watermark, so a reader that observes the row also observes its values
-  // (modulo the column-growth caveat in the class comment).
-  return versions_.Append(cts_stamp, kNoStamp);
+  // (DESIGN.md §12.5).
+  return st->versions->Append(cts_stamp, kNoStamp);
 }
 
 Status ColumnTable::SetDeleteStamp(uint64_t row, uint64_t stamp) {
-  if (row >= versions_.WriterSize()) return Status::OutOfRange("row out of range");
-  if (versions_.WriterLoadDts(row) != kNoStamp) {
+  VersionStore* vs = state_.load(std::memory_order_relaxed)->versions.get();
+  if (row >= vs->WriterSize()) return Status::OutOfRange("row out of range");
+  if (vs->WriterLoadDts(row) != kNoStamp) {
     return Status::Aborted("write-write conflict on " + name_ + " row " +
                            std::to_string(row));
   }
-  versions_.WriterStoreDts(row, stamp);
+  vs->WriterStoreDts(row, stamp);
   return Status::OK();
 }
 
 void ColumnTable::ResolveCreateStamp(uint64_t row, uint64_t commit_ts) {
-  versions_.WriterStoreCts(row, commit_ts);
+  state_.load(std::memory_order_relaxed)->versions->WriterStoreCts(row, commit_ts);
 }
 
 void ColumnTable::ResolveDeleteStamp(uint64_t row, uint64_t commit_ts) {
-  versions_.WriterStoreDts(row, commit_ts);
+  state_.load(std::memory_order_relaxed)->versions->WriterStoreDts(row, commit_ts);
 }
 
 void ColumnTable::ClearDeleteStamp(uint64_t row) {
-  versions_.WriterStoreDts(row, kNoStamp);
+  state_.load(std::memory_order_relaxed)->versions->WriterStoreDts(row, kNoStamp);
+}
+
+uint64_t ColumnTable::cts(uint64_t row) const {
+  EpochPin pin(&gc_);
+  const TableState* st = state_.load(std::memory_order_seq_cst);
+  return st->versions->SnapUnderPin().cts(row);
+}
+
+uint64_t ColumnTable::dts(uint64_t row) const {
+  EpochPin pin(&gc_);
+  const TableState* st = state_.load(std::memory_order_seq_cst);
+  return st->versions->SnapUnderPin().dts(row);
+}
+
+uint64_t ColumnTable::num_versions() const {
+  EpochPin pin(&gc_);
+  const TableState* st = state_.load(std::memory_order_seq_cst);
+  return st->versions->SnapUnderPin().size();
+}
+
+size_t ColumnTable::num_columns() const {
+  EpochPin pin(&gc_);
+  return state_.load(std::memory_order_seq_cst)->cols.size();
+}
+
+Value ColumnTable::GetValue(uint64_t row, size_t col) const {
+  EpochPin pin(&gc_);
+  const TableState* st = state_.load(std::memory_order_seq_cst);
+  return Column::Reader(st->cols[col].get()).Get(row);
 }
 
 Row ColumnTable::GetRow(uint64_t row) const {
-  Row out;
-  out.reserve(columns_.size());
-  for (const auto& col : columns_) out.push_back(col.Get(row));
-  return out;
+  ReadGuard g(this);
+  return g.GetRow(row);
 }
 
 uint64_t ColumnTable::CountVisible(const ReadView& view) const {
@@ -74,24 +116,40 @@ uint64_t ColumnTable::CountVisibleRange(const ReadView& view, uint64_t begin,
 }
 
 Status ColumnTable::AddColumn(ColumnDef def) {
-  if (schema_.Contains(def.name)) {
+  TableState* st = state_.load(std::memory_order_relaxed);
+  if (st->schema.Contains(def.name)) {
     return Status::AlreadyExists("column '" + def.name + "' exists in " + name_);
   }
   if (!def.nullable) {
     return Status::InvalidArgument("late-added columns must be nullable");
   }
-  Column col(compress_main_);
-  for (uint64_t r = 0; r < versions_.WriterSize(); ++r) col.Append(Value::Null());
-  columns_.push_back(std::move(col));
-  schema_.AddColumn(std::move(def));
+  auto col = std::make_shared<Column>(compress_main_, &gc_);
+  for (uint64_t r = 0; r < st->versions->WriterSize(); ++r) {
+    col->Append(Value::Null());
+  }
+  // Publish a fresh state that SHARES the existing columns and version
+  // store; only the column-list vector and schema are new. An in-flight
+  // guard keeps the old state (old column count) until it unpins — adding
+  // a column never invalidates a running scan (DESIGN.md §12.5).
+  auto* fresh = new TableState;
+  fresh->schema = st->schema;
+  fresh->schema.AddColumn(std::move(def));
+  fresh->cols = st->cols;
+  fresh->cols.push_back(std::move(col));
+  fresh->versions = st->versions;
+  state_.store(fresh, std::memory_order_seq_cst);
+  gc_.Retire([st] { delete st; });
+  gc_.ReclaimExpired();
   return Status::OK();
 }
 
 TableMergeStats ColumnTable::Merge() {
+  TableState* st = state_.load(std::memory_order_relaxed);
   TableMergeStats stats;
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    stats.rows_moved = std::max(stats.rows_moved, columns_[c].delta_size());
-    ColumnMergeStats cs = columns_[c].Merge(schema_.column(c).generated_key_order);
+  for (size_t c = 0; c < st->cols.size(); ++c) {
+    stats.rows_moved = std::max(stats.rows_moved, st->cols[c]->delta_size());
+    ColumnMergeStats cs =
+        st->cols[c]->Merge(st->schema.column(c).generated_key_order);
     if (cs.fast_path) {
       ++stats.columns_fast_path;
     } else {
@@ -108,63 +166,74 @@ TableMergeStats ColumnTable::Merge() {
 }
 
 uint64_t ColumnTable::Vacuum(uint64_t watermark) {
+  TableState* st = state_.load(std::memory_order_relaxed);
+  // Writer-side stamp walk: Vacuum runs under the write latch, so the
+  // writer view of the version store is stable.
+  VersionStore* vs = st->versions.get();
+  uint64_t n = vs->WriterSize();
   std::vector<uint64_t> survivors;
   std::vector<std::pair<uint64_t, uint64_t>> surviving_stamps;
-  uint64_t n;
-  {
-    VersionStore::ReadGuard stamps = versions_.Read();
-    n = stamps.size();
-    survivors.reserve(n);
-    for (uint64_t r = 0; r < n; ++r) {
-      uint64_t dts = stamps.dts(r);
-      bool dead = dts != kNoStamp && !StampIsUncommitted(dts) && dts <= watermark;
-      if (!dead) {
-        survivors.push_back(r);
-        surviving_stamps.emplace_back(stamps.cts(r), dts);
-      }
+  survivors.reserve(n);
+  for (uint64_t r = 0; r < n; ++r) {
+    uint64_t dts = vs->WriterLoadDts(r);
+    bool dead = dts != kNoStamp && !StampIsUncommitted(dts) && dts <= watermark;
+    if (!dead) {
+      survivors.push_back(r);
+      surviving_stamps.emplace_back(vs->WriterLoadCts(r), dts);
     }
   }
   uint64_t removed = n - survivors.size();
   if (removed == 0) return 0;
 
-  std::vector<Column> new_columns;
-  new_columns.reserve(columns_.size());
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    Column col(compress_main_);
-    for (uint64_t r : survivors) col.Append(columns_[c].Get(r));
-    col.Merge(schema_.column(c).generated_key_order);
-    new_columns.push_back(std::move(col));
+  // Build a completely fresh generation: renumbered values AND renumbered
+  // stamps travel in ONE TableState, published with one atomic store — a
+  // reader can never pair post-vacuum stamps with pre-vacuum values or
+  // vice versa. The old generation is retired; a pinned guard keeps it.
+  auto* fresh = new TableState;
+  fresh->schema = st->schema;
+  fresh->cols.reserve(st->cols.size());
+  for (size_t c = 0; c < st->cols.size(); ++c) {
+    auto col = std::make_shared<Column>(compress_main_, &gc_);
+    for (uint64_t r : survivors) col->Append(st->cols[c]->Get(r));
+    col->Merge(st->schema.column(c).generated_key_order);
+    fresh->cols.push_back(std::move(col));
   }
-  columns_ = std::move(new_columns);
-  // Publishes the renumbered stamps and epoch-retires the old chunks; a
-  // concurrent stamp reader keeps its pinned pre-vacuum view until it unpins.
-  versions_.Rebuild(surviving_stamps);
+  fresh->versions =
+      std::make_shared<VersionStore>(VersionStore::kDefaultChunkRows, &gc_);
+  for (const auto& [cts, dts] : surviving_stamps) {
+    fresh->versions->Append(cts, dts);
+  }
+  state_.store(fresh, std::memory_order_seq_cst);
+  gc_.Retire([st] { delete st; });
+  gc_.ReclaimExpired();
   return removed;
 }
 
 size_t ColumnTable::MemoryBytes() const {
-  size_t bytes = versions_.MemoryBytes();
-  for (const auto& col : columns_) bytes += col.MemoryBytes();
+  EpochPin pin(&gc_);
+  const TableState* st = state_.load(std::memory_order_seq_cst);
+  size_t bytes = st->versions->MemoryBytes();
+  for (const auto& col : st->cols) bytes += col->MemoryBytes();
   return bytes;
 }
 
 void ColumnTable::SaveTo(Serializer* out) const {
+  ReadGuard g(this);
   out->PutString(name_);
-  out->PutVarint(schema_.num_columns());
-  for (size_t c = 0; c < schema_.num_columns(); ++c) {
-    const ColumnDef& def = schema_.column(c);
+  out->PutVarint(g.schema().num_columns());
+  for (size_t c = 0; c < g.schema().num_columns(); ++c) {
+    const ColumnDef& def = g.schema().column(c);
     out->PutString(def.name);
     out->PutU8(static_cast<uint8_t>(def.type));
     out->PutU8(def.nullable ? 1 : 0);
     out->PutU8(def.generated_key_order ? 1 : 0);
   }
-  VersionStore::ReadGuard stamps = versions_.Read();
-  out->PutVarint(stamps.size());
-  for (uint64_t r = 0; r < stamps.size(); ++r) {
-    out->PutU64(stamps.cts(r));
-    out->PutU64(stamps.dts(r));
-    for (const auto& col : columns_) {
-      WriteValue(out, col.Get(r));
+  out->PutVarint(g.size());
+  for (uint64_t r = 0; r < g.size(); ++r) {
+    out->PutU64(g.cts(r));
+    out->PutU64(g.dts(r));
+    for (size_t c = 0; c < g.num_columns(); ++c) {
+      WriteValue(out, g.GetValue(r, c));
     }
   }
 }
@@ -196,7 +265,7 @@ StatusOr<std::unique_ptr<ColumnTable>> ColumnTable::LoadFrom(Deserializer* in) {
       row.push_back(std::move(v));
     }
     POLY_ASSIGN_OR_RETURN(uint64_t rid, table->AppendVersion(row, cts));
-    if (dts != kNoStamp) table->versions_.WriterStoreDts(rid, dts);
+    if (dts != kNoStamp) table->ResolveDeleteStamp(rid, dts);
   }
   return table;
 }

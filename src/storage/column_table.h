@@ -8,6 +8,7 @@
 #include "common/serializer.h"
 #include "common/status.h"
 #include "storage/column.h"
+#include "storage/epoch_gc.h"
 #include "storage/mvcc.h"
 #include "storage/version_store.h"
 #include "types/schema.h"
@@ -28,20 +29,103 @@ struct TableMergeStats {
 /// version.
 ///
 /// Thread model: writers must be serialized by the caller (the
-/// TransactionManager holds a table write latch). Version-stamp readers —
-/// ScanVisible/ScanVisibleRange row-id iteration, CountVisible,
-/// num_versions(), cts()/dts() — are latch-free and safe against concurrent
-/// writers and Vacuum: scans are bounded by the version store's published
-/// watermark and pinned via epoch guards. Reading column *values* (GetRow/
-/// GetValue/column()) concurrently with writers is still unsafe — Column's
-/// delta vectors may reallocate on append (the remaining unguarded-growth
-/// shape; see DESIGN.md §12.5). Merge requires a quiesced table.
+/// TransactionManager holds a table write latch). ALL reads — stamps AND
+/// values — are latch-free and safe against concurrent AppendVersion,
+/// AddColumn, Merge, and Vacuum (DESIGN.md §12.5): the schema, column list,
+/// and version store hang off one atomically published TableState, values
+/// live in chunked storage that never moves published elements, and a
+/// unified ReadGuard pins the table's EpochGC once so nothing it snapshots
+/// is freed underneath it. AddColumn/Vacuum republish a fresh TableState
+/// and retire the old one; a pinned reader keeps its generation.
 class ColumnTable {
  public:
   ColumnTable(std::string name, Schema schema, bool compress_main = true);
+  ~ColumnTable();
+  ColumnTable(const ColumnTable&) = delete;
+  ColumnTable& operator=(const ColumnTable&) = delete;
 
+ private:
+  /// Everything a reader needs, behind ONE atomic root: a reader that loads
+  /// the state under a pin gets a schema, column list, and version store
+  /// that belong together. Columns and the version store are shared_ptr so
+  /// successive generations can share them (AddColumn keeps both; Vacuum
+  /// replaces both — which is exactly why they must travel together: a
+  /// post-vacuum version watermark must never be paired with pre-vacuum,
+  /// differently-numbered values).
+  struct TableState {
+    Schema schema;
+    std::vector<std::shared_ptr<Column>> cols;
+    std::shared_ptr<VersionStore> versions;
+  };
+
+ public:
   const std::string& name() const { return name_; }
-  const Schema& schema() const { return schema_; }
+  /// Writer-consistent schema view (stable reference; the Schema object a
+  /// reader should use together with row data comes from ReadGuard).
+  const Schema& schema() const {
+    return state_.load(std::memory_order_acquire)->schema;
+  }
+
+  /// The unified read guard (DESIGN.md §12.5): ONE epoch pin covering the
+  /// table state, the version-stamp snapshot, and a value snapshot of every
+  /// column. Immutable after construction — a single guard may be shared by
+  /// all threads of a morsel fan-out. Order matters inside: stamps are
+  /// snapshotted BEFORE column readers, so the row bound never exceeds any
+  /// column's published values (the writer appends values first, then the
+  /// version).
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const ColumnTable* t) : gc_(&t->gc_), slot_(gc_->Pin()) {
+      state_ = t->state_.load(std::memory_order_seq_cst);
+      stamps_ = state_->versions->SnapUnderPin();
+      readers_.reserve(state_->cols.size());
+      for (const auto& c : state_->cols) readers_.emplace_back(c.get());
+    }
+    ~ReadGuard() { gc_->Unpin(slot_); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    /// Number of row versions this guard may read.
+    uint64_t size() const { return stamps_.size(); }
+    uint64_t cts(uint64_t row) const { return stamps_.cts(row); }
+    uint64_t dts(uint64_t row) const { return stamps_.dts(row); }
+
+    const Schema& schema() const { return state_->schema; }
+    size_t num_columns() const { return readers_.size(); }
+    const Column::Reader& col(size_t c) const { return readers_[c]; }
+
+    Value GetValue(uint64_t row, size_t c) const { return readers_[c].Get(row); }
+    Row GetRow(uint64_t row) const {
+      Row out;
+      out.reserve(readers_.size());
+      for (const auto& r : readers_) out.push_back(r.Get(row));
+      return out;
+    }
+
+    /// Invokes fn(row_id) for every version in [begin, end) visible in
+    /// `view`, in ascending row order; `end` clamps to the watermark.
+    template <typename F>
+    void ScanVisibleRange(const ReadView& view, uint64_t begin, uint64_t end,
+                          F&& fn) const {
+      if (end > stamps_.size()) end = stamps_.size();
+      for (uint64_t r = begin; r < end; ++r) {
+        if (view.RowVisible(stamps_.cts(r), stamps_.dts(r))) fn(r);
+      }
+    }
+    template <typename F>
+    void ScanVisible(const ReadView& view, F&& fn) const {
+      ScanVisibleRange(view, 0, ~0ull, std::forward<F>(fn));
+    }
+
+   private:
+    const EpochGC* gc_;
+    int slot_;
+    const TableState* state_;
+    VersionStore::Snapshot stamps_;
+    std::vector<Column::Reader> readers_;
+  };
+
+  ReadGuard Read() const { return ReadGuard(this); }
 
   /// Appends a new row version stamped with `cts_stamp` (an in-flight txn
   /// stamp or, for bulk loads, a committed timestamp). Returns the row ID.
@@ -58,24 +142,25 @@ class ColumnTable {
   void ClearDeleteStamp(uint64_t row);
 
   /// Latch-free single-stamp reads (briefly pin an epoch slot). Hot loops
-  /// should take ReadStamps() once instead.
-  uint64_t cts(uint64_t row) const { return versions_.ReadCts(row); }
-  uint64_t dts(uint64_t row) const { return versions_.ReadDts(row); }
+  /// should take Read() once instead.
+  uint64_t cts(uint64_t row) const;
+  uint64_t dts(uint64_t row) const;
 
   /// Total published row versions (visible or not) — the version store's
   /// watermark, so concurrent readers never see a partially-written row.
-  uint64_t num_versions() const { return versions_.size(); }
-  uint64_t num_columns() const { return columns_.size(); }
+  uint64_t num_versions() const;
+  size_t num_columns() const;
 
-  /// Pins the version store for a batch of stamp reads (the compiled
-  /// executor's fused loop holds one across its whole kernel).
-  VersionStore::ReadGuard ReadStamps() const { return versions_.Read(); }
-
-  Value GetValue(uint64_t row, size_t col) const { return columns_[col].Get(row); }
+  /// Latch-free single-value reads (briefly pin an epoch slot). Hot loops
+  /// should take Read() once instead.
+  Value GetValue(uint64_t row, size_t col) const;
   Row GetRow(uint64_t row) const;
 
-  const Column& column(size_t col) const { return columns_[col]; }
-  Column& mutable_column(size_t col) { return columns_[col]; }
+  /// Writer-consistent column access (quiesced callers: tests, benches,
+  /// single-threaded load phases). Concurrent readers use Read().col().
+  const Column& column(size_t col) const {
+    return *state_.load(std::memory_order_acquire)->cols[col];
+  }
 
   /// Invokes fn(row_id) for every version visible in `view`.
   template <typename F>
@@ -88,11 +173,14 @@ class ColumnTable {
   /// `end` is clamped to the published watermark. Latch-free and safe
   /// against concurrent writers (one epoch pin per call, DESIGN.md §12);
   /// morsels over disjoint ranges cover exactly the rows a full ScanVisible
-  /// would.
+  /// would. Stamp-only — callers that also read values take one ReadGuard
+  /// and use its ScanVisibleRange instead.
   template <typename F>
   void ScanVisibleRange(const ReadView& view, uint64_t begin, uint64_t end,
                         F&& fn) const {
-    VersionStore::ReadGuard stamps = versions_.Read();
+    EpochPin pin(&gc_);
+    const TableState* st = state_.load(std::memory_order_seq_cst);
+    VersionStore::Snapshot stamps = st->versions->SnapUnderPin();
     if (end > stamps.size()) end = stamps.size();
     for (uint64_t r = begin; r < end; ++r) {
       if (view.RowVisible(stamps.cts(r), stamps.dts(r))) fn(r);
@@ -109,12 +197,16 @@ class ColumnTable {
   /// Appends a new column; existing row versions read NULL in it. This is
   /// the §II-H flexible-table mechanism: "metadata about unknown columns
   /// are automatically created as soon as records with values for new
-  /// columns are inserted".
+  /// columns are inserted". Publishes a fresh TableState sharing the
+  /// existing columns and version store, so an in-flight scan keeps its
+  /// pinned column list and is never invalidated.
   Status AddColumn(ColumnDef def);
 
   /// Merges every column's delta into its main part. Columns flagged
   /// generated_key_order in the schema attempt the append fast path.
-  /// Caller must guarantee no concurrent writers.
+  /// Caller must serialize against writers; concurrent readers are safe
+  /// (each column republishes its state atomically, and merge preserves
+  /// row numbering).
   TableMergeStats Merge();
 
   /// Garbage-collects row versions that are invisible to every snapshot at
@@ -122,12 +214,13 @@ class ColumnTable {
   /// versions with a committed delete stamp <= watermark. Returns the number
   /// of versions removed. WARNING: surviving rows are renumbered — external
   /// row IDs (indexes, graph views) must be rebuilt. Caller must guarantee
-  /// no concurrent writers or column-value readers; concurrent *stamp*
-  /// readers (CountVisible etc.) are safe — the replaced version chunks are
-  /// epoch-retired, never freed under a live reader (DESIGN.md §12.4).
+  /// no concurrent writers; concurrent readers (stamps AND values) are safe:
+  /// the renumbered rows live in a fresh TableState published atomically,
+  /// and the old generation is epoch-retired, never freed under a live
+  /// guard (DESIGN.md §12.4/§12.5).
   uint64_t Vacuum(uint64_t watermark);
 
-  /// Bytes across all columns plus MVCC vectors.
+  /// Bytes across all columns plus MVCC storage.
   size_t MemoryBytes() const;
 
   /// Serializes schema + all row versions with stamps (for the extended
@@ -135,12 +228,18 @@ class ColumnTable {
   void SaveTo(Serializer* out) const;
   static StatusOr<std::unique_ptr<ColumnTable>> LoadFrom(Deserializer* in);
 
+  // ---- reclamation introspection (tests) ---------------------------------
+  size_t retired_count() const { return gc_.retired_count(); }
+  size_t ReclaimRetired() { return gc_.ReclaimExpired(); }
+
  private:
   std::string name_;
-  Schema schema_;
   bool compress_main_;
-  std::vector<Column> columns_;
-  VersionStore versions_;
+  // gc_ declared before state_: retired generations are freed by gc_'s
+  // destructor, after the explicit teardown of the current state in
+  // ~ColumnTable; no free_fn calls back into the gc.
+  EpochGC gc_;
+  std::atomic<TableState*> state_;
 };
 
 }  // namespace poly

@@ -54,8 +54,9 @@ size_t SortedDictionary::MemoryBytes() const {
 uint64_t DeltaDictionary::GetOrAdd(const Value& v) {
   auto it = index_.find(v);
   if (it != index_.end()) return it->second;
-  uint64_t id = values_.size();
-  values_.push_back(v);
+  // The value store (with its release watermark publish) happens-before the
+  // caller's row-id append, so any reader that sees the id sees the value.
+  uint64_t id = values_.Append(v);
   index_.emplace(v, id);
   return id;
 }
@@ -66,15 +67,11 @@ std::optional<uint64_t> DeltaDictionary::Lookup(const Value& v) const {
   return it->second;
 }
 
-void DeltaDictionary::Clear() {
-  values_.clear();
-  index_.clear();
-}
-
 size_t DeltaDictionary::MemoryBytes() const {
-  size_t bytes = values_.capacity() * sizeof(Value) +
+  size_t bytes = values_.MemoryBytes() +
                  index_.size() * (sizeof(Value) + sizeof(uint64_t) + 16);
-  for (const auto& v : values_) {
+  for (uint64_t i = 0; i < values_.WriterSize(); ++i) {
+    const Value& v = values_.WriterAt(i);
     if (v.type() == DataType::kString || v.type() == DataType::kDocument) {
       bytes += v.AsString().capacity();
     }

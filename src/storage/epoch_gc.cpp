@@ -1,0 +1,87 @@
+#include "storage/epoch_gc.h"
+
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace poly {
+
+EpochGC::~EpochGC() {
+  // Contract: no live pins, so every retired entry is reclaimable. Free
+  // functions may destroy structures that point into OTHER retired entries'
+  // memory (e.g. a retired TableState owning a VersionStore whose old
+  // directories were retired separately) — none of them call back into this
+  // EpochGC, so a plain sweep is safe.
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  for (auto& e : retired_) e.free_fn();
+  retired_.clear();
+}
+
+int EpochGC::Pin() const {
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kReaderSlots;
+  for (;;) {
+    for (int i = 0; i < kReaderSlots; ++i) {
+      size_t s = (start + i) % kReaderSlots;
+      uint64_t idle = kIdleEpoch;
+      // seq_cst: the pin must be totally ordered against the reclaimer's
+      // slot scan — if the scan missed this pin, our subsequent directory
+      // load is ordered after the directory republish and cannot return
+      // the retired pointer.
+      if (slots_[s].epoch.compare_exchange_strong(idle, e,
+                                                  std::memory_order_seq_cst)) {
+        return static_cast<int>(s);
+      }
+    }
+    // All slots busy (> kReaderSlots concurrent guards): wait for one.
+    std::this_thread::yield();
+    e = epoch_.load(std::memory_order_acquire);
+  }
+}
+
+void EpochGC::Unpin(int slot) const {
+  // release: everything this reader did with pinned memory happens-before
+  // a reclaimer that acquires the idle value and frees it.
+  slots_[slot].epoch.store(kIdleEpoch, std::memory_order_release);
+}
+
+void EpochGC::Retire(std::function<void()> free_fn) {
+  uint64_t e = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.push_back({e, std::move(free_fn)});
+  metrics::Default().counter("storage.mvcc.retired")->Add(1);
+}
+
+size_t EpochGC::ReclaimExpired() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  uint64_t min_active = kIdleEpoch;
+  for (const Slot& s : slots_) {
+    // seq_cst scan paired with the reader's seq_cst pin; acquire semantics
+    // make an unpinned reader's accesses happen-before the frees below.
+    uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e < min_active) min_active = e;
+  }
+  size_t freed = 0;
+  for (size_t i = 0; i < retired_.size();) {
+    if (retired_[i].epoch < min_active) {
+      retired_[i].free_fn();
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  if (freed > 0) {
+    metrics::Default().counter("storage.mvcc.reclaimed")->Add(freed);
+  }
+  return freed;
+}
+
+size_t EpochGC::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+}  // namespace poly

@@ -6,8 +6,10 @@ StatusOr<uint64_t> RowTable::AppendVersion(const Row& values, uint64_t cts_stamp
   if (values.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row width mismatch for table " + name_);
   }
-  rows_.push_back(values);
-  // Row data lands before the watermark publish inside Append.
+  rows_.Append(values);
+  // Row data lands (and its chunk watermark is release-published) before
+  // the version watermark publish inside Append, so any reader bounded by
+  // the stamp watermark sees fully-written rows.
   return versions_.Append(cts_stamp, kNoStamp);
 }
 
@@ -22,8 +24,9 @@ Status RowTable::SetDeleteStamp(uint64_t row, uint64_t stamp) {
 }
 
 size_t RowTable::MemoryBytes() const {
-  size_t bytes = versions_.MemoryBytes() + rows_.capacity() * sizeof(Row);
-  for (const auto& row : rows_) {
+  size_t bytes = versions_.MemoryBytes() + rows_.MemoryBytes();
+  for (uint64_t r = 0; r < rows_.WriterSize(); ++r) {
+    const Row& row = rows_.WriterAt(r);
     bytes += row.capacity() * sizeof(Value);
     for (const auto& v : row) {
       if (v.type() == DataType::kString || v.type() == DataType::kDocument) {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/chunked_vector.h"
+#include "storage/epoch_gc.h"
 #include "storage/mvcc.h"
 #include "storage/version_store.h"
 #include "types/schema.h"
@@ -16,18 +18,62 @@ namespace poly {
 /// column store can carry *both* workloads that traditionally needed a row
 /// OLTP store plus a replicated column OLAP store.
 ///
-/// Thread model mirrors ColumnTable: writers caller-serialized; version-
-/// stamp readers (ScanVisible row ids, CountVisible, num_versions, cts/dts)
-/// are latch-free against writers via the shared VersionStore (DESIGN.md
-/// §12). Reading row *values* (GetRow/GetValue) concurrently with writers
-/// is still unsafe — rows_ may reallocate on append (see §12.5).
+/// Thread model mirrors ColumnTable: writers caller-serialized; ALL reads —
+/// stamps and row values — are latch-free against writers (DESIGN.md
+/// §12.5): rows live in a ChunkedVector whose chunks never move once
+/// published, stamps and rows share one EpochGC, and the unified ReadGuard
+/// pins once for both. The writer stores the row before appending the
+/// version, so the stamp watermark bounds fully-written rows.
 class RowTable {
  public:
   RowTable(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+  RowTable(const RowTable&) = delete;
+  RowTable& operator=(const RowTable&) = delete;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
+
+  /// The unified guard: one pin, a stamp snapshot, and — taken after it, so
+  /// every stamped row is covered — a row snapshot. Immutable; shareable
+  /// across threads.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const RowTable* t) : gc_(&t->gc_), slot_(gc_->Pin()) {
+      stamps_ = t->versions_.SnapUnderPin();
+      rows_ = t->rows_.Snap();
+    }
+    ~ReadGuard() { gc_->Unpin(slot_); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    uint64_t size() const { return stamps_.size(); }
+    uint64_t cts(uint64_t row) const { return stamps_.cts(row); }
+    uint64_t dts(uint64_t row) const { return stamps_.dts(row); }
+    const Row& row(uint64_t r) const { return rows_[r]; }
+    Value GetValue(uint64_t r, size_t col) const { return rows_[r][col]; }
+
+    template <typename F>
+    void ScanVisibleRange(const ReadView& view, uint64_t begin, uint64_t end,
+                          F&& fn) const {
+      if (end > stamps_.size()) end = stamps_.size();
+      for (uint64_t r = begin; r < end; ++r) {
+        if (view.RowVisible(stamps_.cts(r), stamps_.dts(r))) fn(r);
+      }
+    }
+    template <typename F>
+    void ScanVisible(const ReadView& view, F&& fn) const {
+      ScanVisibleRange(view, 0, ~0ull, std::forward<F>(fn));
+    }
+
+   private:
+    const EpochGC* gc_;
+    int slot_;
+    VersionStore::Snapshot stamps_;
+    ChunkedVector<Row>::Snapshot rows_;
+  };
+
+  ReadGuard Read() const { return ReadGuard(this); }
 
   StatusOr<uint64_t> AppendVersion(const Row& values, uint64_t cts_stamp);
   Status SetDeleteStamp(uint64_t row, uint64_t stamp);
@@ -43,12 +89,19 @@ class RowTable {
   uint64_t dts(uint64_t row) const { return versions_.ReadDts(row); }
   uint64_t num_versions() const { return versions_.size(); }
 
-  const Row& GetRow(uint64_t row) const { return rows_[row]; }
-  Value GetValue(uint64_t row, size_t col) const { return rows_[row][col]; }
+  /// Latch-free single-row reads (briefly pin). The reference stays valid
+  /// for the table's lifetime — row chunks are never freed before the
+  /// destructor — but hot loops should take Read() once instead.
+  const Row& GetRow(uint64_t row) const {
+    EpochPin pin(&gc_);
+    return rows_.At(row);
+  }
+  Value GetValue(uint64_t row, size_t col) const { return GetRow(row)[col]; }
 
   template <typename F>
   void ScanVisible(const ReadView& view, F&& fn) const {
-    VersionStore::ReadGuard stamps = versions_.Read();
+    EpochPin pin(&gc_);
+    VersionStore::Snapshot stamps = versions_.SnapUnderPin();
     for (uint64_t r = 0; r < stamps.size(); ++r) {
       if (view.RowVisible(stamps.cts(r), stamps.dts(r))) fn(r);
     }
@@ -65,8 +118,11 @@ class RowTable {
  private:
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
-  VersionStore versions_;
+  // gc_ first: the version store and row storage both retire into it; their
+  // destructors never call back into it.
+  EpochGC gc_;
+  VersionStore versions_{VersionStore::kDefaultChunkRows, &gc_};
+  ChunkedVector<Row> rows_{&gc_, 256};
 };
 
 }  // namespace poly

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/metrics.h"
-
 namespace poly {
 
 namespace {
@@ -14,55 +12,24 @@ uint64_t ShiftFor(uint64_t pow2) {
 }
 }  // namespace
 
-VersionStore::VersionStore(uint64_t chunk_rows)
+VersionStore::VersionStore(uint64_t chunk_rows, EpochGC* gc)
     : chunk_rows_(chunk_rows),
       chunk_shift_(ShiftFor(chunk_rows)),
       chunk_mask_(chunk_rows - 1),
+      owned_gc_(gc == nullptr ? std::make_unique<EpochGC>() : nullptr),
+      gc_(gc == nullptr ? owned_gc_.get() : gc),
       dir_(new Directory(kInitialDirectoryChunks)) {}
 
 VersionStore::~VersionStore() {
-  // Contract: no live ReadGuards at destruction, so every retired entry is
-  // reclaimable and the current directory can be freed directly.
-  ReclaimExpired();
-  {
-    std::lock_guard<std::mutex> lock(retire_mu_);
-    for (auto& e : retired_) e.free_fn();
-    retired_.clear();
-  }
+  // Contract: no live ReadGuards at destruction. Entries this store retired
+  // are freed by the gc (the owned one's destructor runs right after this,
+  // a shared one when its table tears down); the current directory and its
+  // chunks are freed here.
   Directory* dir = dir_.load(std::memory_order_relaxed);
   for (uint64_t i = 0; i < dir->capacity; ++i) {
     delete[] dir->chunks[i].load(std::memory_order_relaxed);
   }
   delete dir;
-}
-
-int VersionStore::PinSlot() const {
-  uint64_t e = epoch_.load(std::memory_order_acquire);
-  size_t start =
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kReaderSlots;
-  for (;;) {
-    for (int i = 0; i < kReaderSlots; ++i) {
-      size_t s = (start + i) % kReaderSlots;
-      uint64_t idle = kIdleEpoch;
-      // seq_cst: the pin must be totally ordered against the reclaimer's
-      // slot scan — if the scan missed this pin, our subsequent directory
-      // load is ordered after the directory republish and cannot return
-      // the retired pointer.
-      if (slots_[s].epoch.compare_exchange_strong(idle, e,
-                                                  std::memory_order_seq_cst)) {
-        return static_cast<int>(s);
-      }
-    }
-    // All slots busy (> kReaderSlots concurrent guards): wait for one.
-    std::this_thread::yield();
-    e = epoch_.load(std::memory_order_acquire);
-  }
-}
-
-void VersionStore::UnpinSlot(int s) const {
-  // release: everything this reader did with the pinned directory
-  // happens-before a reclaimer that acquires the idle value and frees it.
-  slots_[s].epoch.store(kIdleEpoch, std::memory_order_release);
 }
 
 uint64_t VersionStore::Append(uint64_t cts, uint64_t dts) {
@@ -81,7 +48,9 @@ uint64_t VersionStore::Append(uint64_t cts, uint64_t dts) {
   chunk[off].dts.store(dts, std::memory_order_relaxed);
   ++size_;
   // The publish: a reader that acquires the new watermark observes the
-  // chunk pointer and both stamp stores above.
+  // chunk pointer, both stamp stores above, AND every value-chunk store the
+  // writer sequenced before this call (the table appends values first, then
+  // the version — see DESIGN.md §12.5).
   dir->watermark.store(size_, std::memory_order_release);
   return row;
 }
@@ -97,8 +66,8 @@ VersionStore::Directory* VersionStore::Grow(Directory* old) {
   dir_.store(bigger, std::memory_order_seq_cst);
   // Only the pointer array is retired — the chunks are shared with the new
   // directory and live on.
-  Retire([old] { delete old; });
-  ReclaimExpired();
+  gc_->Retire([old] { delete old; });
+  gc_->ReclaimExpired();
   return bigger;
 }
 
@@ -158,50 +127,16 @@ void VersionStore::Rebuild(const std::vector<std::pair<uint64_t, uint64_t>>& sta
     Stamp* c = old->chunks[i].load(std::memory_order_relaxed);
     if (c != nullptr) old_chunks.push_back(c);
   }
-  Retire([old, old_chunks = std::move(old_chunks)] {
+  gc_->Retire([old, old_chunks = std::move(old_chunks)] {
     for (Stamp* c : old_chunks) delete[] c;
     delete old;
   });
-  ReclaimExpired();
+  gc_->ReclaimExpired();
 }
 
-void VersionStore::Retire(std::function<void()> free_fn) {
-  uint64_t e = epoch_.fetch_add(1, std::memory_order_seq_cst);
-  std::lock_guard<std::mutex> lock(retire_mu_);
-  retired_.push_back({e, std::move(free_fn)});
-  metrics::Default().counter("storage.mvcc.retired")->Add(1);
-}
+size_t VersionStore::ReclaimExpired() { return gc_->ReclaimExpired(); }
 
-size_t VersionStore::ReclaimExpired() {
-  std::lock_guard<std::mutex> lock(retire_mu_);
-  uint64_t min_active = kIdleEpoch;
-  for (const Slot& s : slots_) {
-    // seq_cst scan paired with the reader's seq_cst pin; acquire semantics
-    // make an unpinned reader's accesses happen-before the frees below.
-    uint64_t e = s.epoch.load(std::memory_order_seq_cst);
-    if (e < min_active) min_active = e;
-  }
-  size_t freed = 0;
-  for (size_t i = 0; i < retired_.size();) {
-    if (retired_[i].epoch < min_active) {
-      retired_[i].free_fn();
-      retired_[i] = std::move(retired_.back());
-      retired_.pop_back();
-      ++freed;
-    } else {
-      ++i;
-    }
-  }
-  if (freed > 0) {
-    metrics::Default().counter("storage.mvcc.reclaimed")->Add(freed);
-  }
-  return freed;
-}
-
-size_t VersionStore::retired_count() const {
-  std::lock_guard<std::mutex> lock(retire_mu_);
-  return retired_.size();
-}
+size_t VersionStore::retired_count() const { return gc_->retired_count(); }
 
 uint64_t VersionStore::directory_capacity() const {
   ReadGuard g(this);

@@ -1,15 +1,13 @@
 #ifndef POLY_STORAGE_VERSION_STORE_H_
 #define POLY_STORAGE_VERSION_STORE_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <utility>
 #include <vector>
+
+#include "storage/epoch_gc.h"
 
 namespace poly {
 
@@ -21,10 +19,14 @@ namespace poly {
 /// atomic chunk pointers) is republished RCU-style when it fills, and the
 /// number of fully-written rows is an atomically published *watermark* that
 /// readers bound their scans by. Directories and chunks retired by growth,
-/// Vacuum, or Rebuild are reclaimed with an epoch scheme: a reader pins an
-/// epoch slot for the duration of a ReadGuard, and retired memory is freed
-/// only once every pinned epoch has moved past the retirement epoch — so
-/// reclamation never frees a chunk a reader still holds.
+/// Vacuum, or Rebuild are reclaimed with an epoch scheme (EpochGC): a reader
+/// pins an epoch slot for the duration of a ReadGuard, and retired memory is
+/// freed only once every pinned epoch has moved past the retirement epoch —
+/// so reclamation never frees a chunk a reader still holds.
+///
+/// The epoch machinery lives in EpochGC and may be *shared*: a table passes
+/// its own gc so one pin covers stamps AND value chunks (DESIGN.md §12.5);
+/// standalone VersionStores (unit tests) default to an internally owned gc.
 ///
 /// Thread model:
 ///  - any number of concurrent readers, latch-free (ReadGuard / size() /
@@ -36,13 +38,15 @@ namespace poly {
 class VersionStore {
  public:
   static constexpr uint64_t kDefaultChunkRows = 1024;  // power of two
-  static constexpr uint64_t kIdleEpoch = ~0ull;
-  static constexpr int kReaderSlots = 64;
+  static constexpr uint64_t kIdleEpoch = EpochGC::kIdleEpoch;
+  static constexpr int kReaderSlots = EpochGC::kReaderSlots;
   static constexpr uint64_t kInitialDirectoryChunks = 4;
 
   /// `chunk_rows` must be a power of two; small values are for tests that
-  /// want to cross chunk and directory boundaries cheaply.
-  explicit VersionStore(uint64_t chunk_rows = kDefaultChunkRows);
+  /// want to cross chunk and directory boundaries cheaply. A null `gc`
+  /// means "own one" (standalone use); a table passes its shared gc.
+  explicit VersionStore(uint64_t chunk_rows = kDefaultChunkRows,
+                        EpochGC* gc = nullptr);
   ~VersionStore();
   VersionStore(const VersionStore&) = delete;
   VersionStore& operator=(const VersionStore&) = delete;
@@ -72,11 +76,49 @@ class VersionStore {
     std::unique_ptr<std::atomic<Stamp*>[]> chunks;
   };
 
-  struct alignas(64) Slot {
-    std::atomic<uint64_t> epoch{kIdleEpoch};
+ public:
+  /// A pin-free stamp view: directory + watermark snapshot. The caller must
+  /// hold a pin on the associated EpochGC for as long as the Snapshot is
+  /// used (a table's unified ReadGuard pins once and snapshots stamps and
+  /// every value structure under it). Copyable, no mutable cache — safe to
+  /// share across the morsel fan-out.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+    uint64_t size() const { return size_; }
+    uint64_t cts(uint64_t row) const {
+      return StampAt(row)->cts.load(std::memory_order_relaxed);
+    }
+    uint64_t dts(uint64_t row) const {
+      return StampAt(row)->dts.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class VersionStore;
+    Snapshot(const Directory* dir, uint64_t shift, uint64_t mask)
+        : dir_(dir),
+          size_(dir->watermark.load(std::memory_order_acquire)),
+          shift_(shift),
+          mask_(mask) {}
+
+    const Stamp* StampAt(uint64_t row) const {
+      return dir_->chunks[row >> shift_].load(std::memory_order_acquire) +
+             (row & mask_);
+    }
+
+    const Directory* dir_ = nullptr;
+    uint64_t size_ = 0;
+    uint64_t shift_ = 0;
+    uint64_t mask_ = 0;
   };
 
- public:
+  /// Caller must already hold a pin on the shared gc.
+  Snapshot SnapUnderPin() const {
+    return Snapshot(dir_.load(std::memory_order_seq_cst), chunk_shift_,
+                    chunk_mask_);
+  }
+
   /// Pins an epoch slot and snapshots the directory + watermark. All reads
   /// through one guard see a consistent prefix of the version history; the
   /// guard must not outlive the VersionStore. Cheap: one CAS to pin, one
@@ -84,14 +126,14 @@ class VersionStore {
   class ReadGuard {
    public:
     explicit ReadGuard(const VersionStore* vs) : vs_(vs) {
-      slot_ = vs_->PinSlot();
+      slot_ = vs_->gc_->Pin();
       // seq_cst pairs with the seq_cst directory publish + slot scan in the
       // writer (see DESIGN.md §12.3): a reader whose pin the reclaimer did
       // not observe is guaranteed to load the *new* directory here.
       dir_ = vs_->dir_.load(std::memory_order_seq_cst);
       size_ = dir_->watermark.load(std::memory_order_acquire);
     }
-    ~ReadGuard() { vs_->UnpinSlot(slot_); }
+    ~ReadGuard() { vs_->gc_->Unpin(slot_); }
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
 
@@ -155,11 +197,12 @@ class VersionStore {
   void Rebuild(const std::vector<std::pair<uint64_t, uint64_t>>& stamps);
 
   /// Frees retired directories/chunks whose retirement epoch every pinned
-  /// reader has moved past. Called internally on retire; public for tests.
-  /// Returns the number of retired entries freed.
+  /// reader has moved past (forwards to the shared EpochGC — with a shared
+  /// gc this reclaims table-wide). Returns the number of entries freed.
   size_t ReclaimExpired();
 
   // ---- introspection -----------------------------------------------------
+  /// Pending entries on the shared gc (table-wide when the gc is shared).
   size_t retired_count() const;
   uint64_t num_chunks() const { return num_chunks_.load(std::memory_order_relaxed); }
   uint64_t directory_capacity() const;
@@ -167,28 +210,21 @@ class VersionStore {
   size_t MemoryBytes() const;
 
  private:
-  int PinSlot() const;
-  void UnpinSlot(int s) const;
   Directory* Grow(Directory* old);
-  void Retire(std::function<void()> free_fn);
 
   uint64_t chunk_rows_;
   uint64_t chunk_shift_;
   uint64_t chunk_mask_;
 
+  // Declared before dir_ so an owned gc outlives the directory teardown; no
+  // free_fn ever calls back into the gc, so destruction order is otherwise
+  // free.
+  std::unique_ptr<EpochGC> owned_gc_;
+  EpochGC* gc_;  // never null
+
   std::atomic<Directory*> dir_;
   uint64_t size_ = 0;  // writer-private logical size (== published watermark)
   std::atomic<uint64_t> num_chunks_{0};
-
-  // Epoch-based reclamation state.
-  mutable std::array<Slot, kReaderSlots> slots_;
-  std::atomic<uint64_t> epoch_{1};
-  struct RetiredEntry {
-    uint64_t epoch;
-    std::function<void()> free_fn;
-  };
-  mutable std::mutex retire_mu_;
-  std::vector<RetiredEntry> retired_;  // guarded by retire_mu_
 };
 
 }  // namespace poly

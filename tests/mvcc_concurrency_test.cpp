@@ -1,25 +1,35 @@
-// Reader-safe MVCC version storage (DESIGN.md §12): deterministic unit
-// tests for the epoch/chunk VersionStore, and the seeded concurrent-
-// visibility oracle harness — N writer threads vs M snapshot readers, where
-// every reader-observed (snapshot_ts, visible_count) pair must match a
-// serial replay oracle. Everything is seeded: a failure prints its seed and
-// replays with
-//   POLY_MVCC_SEED=17 ./tests/poly_tests --gtest_filter='MvccOracle.*'
+// Reader-safe MVCC storage (DESIGN.md §12): deterministic unit tests for
+// the epoch/chunk VersionStore and the chunked VALUE storage built on the
+// same scheme, plus two seeded concurrent oracle harnesses — N writer
+// threads vs M snapshot readers, where every reader observation must match
+// a serial replay:
+//   MvccOracle       — (snapshot_ts, visible_count) count equality
+//   MvccValueOracle  — full visible-VALUE equality (sorted id sets) against
+//                      ColumnTable, RowTable, and FlexibleTable
+// Everything is seeded: a failure prints its seed and replays with
+//   POLY_MVCC_SEED=17 ./tests/poly_tests --gtest_filter='MvccValueOracle.*'
 // (same pattern as chaos_test.cpp). Runs under `ctest -L concurrency` and
 // must stay TSan-clean — this file IS the regression gate for the old
-// "version-vector growth is not reader-safe" finding.
+// "version-vector growth is not reader-safe" finding AND for its §12.5
+// sequel, "value reads during delta growth are not reader-safe", which the
+// MvccValues suite (formerly disabled known-gap tests) now proves closed.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <map>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "docstore/flexible_table.h"
+#include "storage/chunked_vector.h"
 #include "storage/database.h"
+#include "storage/epoch_gc.h"
 #include "storage/row_table.h"
 #include "storage/version_store.h"
 #include "txn/transaction_manager.h"
@@ -418,14 +428,115 @@ TEST(MvccOracle, FlexibleTableNumRecordsDuringInserts) {
 }
 
 // ---------------------------------------------------------------------------
-// Known remaining unguarded-growth shapes (DESIGN.md §12.5). These document
-// the exact races a future chunked-column change must fix: reading column /
-// row VALUES (not stamps) concurrently with appends. Disabled because they
-// are true TSan findings by design; run them with
-//   --gtest_also_run_disabled_tests under scripts/run_tsan.sh to reproduce.
+// Deterministic unit tests for chunked VALUE storage (DESIGN.md §12.5): the
+// ChunkedVector directory/watermark mechanics, and the never-frees-pinned
+// property at the ColumnTable level across Merge and Vacuum.
 // ---------------------------------------------------------------------------
 
-TEST(MvccKnownGaps, DISABLED_ColumnValueReadsDuringInserts) {
+TEST(ChunkedValues, ChunkBoundaryAppend) {
+  ChunkedVector<Value> cv(/*gc=*/nullptr, /*chunk_rows=*/4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(cv.Append(Value::Int(static_cast<int64_t>(100 + i))), i);
+  }
+  EXPECT_EQ(cv.Size(), 10u);
+  EXPECT_EQ(cv.num_chunks(), 3u);  // 4 + 4 + 2 elements
+  // Values survive the chunk boundaries, through both read paths.
+  ChunkedVector<Value>::Snapshot snap = cv.Snap();
+  ASSERT_EQ(snap.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(snap[i].AsInt(), static_cast<int64_t>(100 + i));
+    EXPECT_EQ(cv.At(i).AsInt(), static_cast<int64_t>(100 + i));
+  }
+}
+
+TEST(ChunkedValues, DirectoryGrowthPreservesValuesUnderPin) {
+  EpochGC gc;
+  ChunkedVector<Value> cv(&gc, /*chunk_rows=*/4);
+  for (uint64_t i = 0; i < 10; ++i) cv.Append(Value::Int(static_cast<int64_t>(i)));
+
+  int slot = gc.Pin();  // reader in flight
+  ChunkedVector<Value>::Snapshot snap = cv.Snap();
+
+  // Push well past two directory doublings while the snapshot stays pinned.
+  const uint64_t kRows = 4 * 4 * 8;
+  for (uint64_t i = 10; i < kRows; ++i) cv.Append(Value::Int(static_cast<int64_t>(i)));
+  EXPECT_GE(cv.directory_capacity(), kRows / 4);
+
+  // The pinned snapshot still reads through its (retired) directory; the
+  // chunks it points at were never retired at all — growth copies pointers.
+  ASSERT_EQ(snap.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(snap[i].AsInt(), static_cast<int64_t>(i));
+
+  // Retired directories cannot be freed under the pin.
+  EXPECT_GE(gc.retired_count(), 1u);
+  EXPECT_EQ(gc.ReclaimExpired(), 0u);
+
+  gc.Unpin(slot);
+  EXPECT_GE(gc.ReclaimExpired(), 1u);
+  EXPECT_EQ(gc.retired_count(), 0u);
+
+  // Fresh reads see every published element.
+  for (uint64_t i = 0; i < kRows; ++i) {
+    EXPECT_EQ(cv.At(i).AsInt(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(ChunkedValues, MergeAndVacuumNeverFreeValuesUnderPinnedGuard) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("t", OrderSchema());
+  for (int i = 0; i < 10; ++i) {
+    auto txn = tm.Begin();
+    ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(i), Value::Dbl(1.0)}).ok());
+    ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  }
+  ReadView before = tm.AutoCommitView();
+  auto* guard = new ColumnTable::ReadGuard(t);  // pin the pre-restructure state
+
+  // Delete the first half, merge the delta into main, and vacuum the dead
+  // versions away — each step retires reader-visible structures.
+  {
+    auto txn = tm.Begin();
+    for (uint64_t r = 0; r < 5; ++r) ASSERT_TRUE(tm.Delete(txn.get(), t, r).ok());
+    ASSERT_TRUE(tm.Commit(txn.get()).ok());
+  }
+  t->Merge();
+  EXPECT_EQ(t->Vacuum(tm.OldestActiveSnapshot()), 5u);
+
+  // Retired generations pile up but are NOT freed under the live pin.
+  EXPECT_GE(t->retired_count(), 1u);
+  EXPECT_EQ(t->ReclaimRetired(), 0u);
+
+  // The pinned guard still reads the full pre-vacuum history: all ten rows
+  // visible under the old snapshot, values intact and correctly numbered.
+  ASSERT_EQ(guard->size(), 10u);
+  uint64_t seen = 0;
+  guard->ScanVisible(before, [&](uint64_t r) {
+    EXPECT_EQ(guard->GetValue(r, 0).AsInt(), static_cast<int64_t>(r));
+    ++seen;
+  });
+  EXPECT_EQ(seen, 10u);
+
+  // A fresh guard sees the renumbered post-vacuum world.
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 5u);
+  EXPECT_EQ(t->GetValue(0, 0).AsInt(), 5);
+
+  // Unpin; now everything retired reclaims.
+  delete guard;
+  EXPECT_GE(t->ReclaimRetired(), 1u);
+  EXPECT_EQ(t->retired_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Value reads racing writers (DESIGN.md §12.5). These are the formerly
+// disabled MvccKnownGaps tests: reading column / row VALUES (not stamps)
+// concurrently with appends used to be a true TSan finding. Chunked value
+// storage closed the gap — the suite now runs enabled under
+// scripts/run_tsan.sh, which also greps this file to ensure no test here is
+// ever disabled again.
+// ---------------------------------------------------------------------------
+
+TEST(MvccValues, ColumnValueReadsDuringInserts) {
   Database db;
   TransactionManager tm;
   ColumnTable* t = *db.CreateTable("t", OrderSchema());
@@ -437,9 +548,17 @@ TEST(MvccKnownGaps, DISABLED_ColumnValueReadsDuringInserts) {
   std::atomic<bool> stop{false};
   std::thread reader([&]() {
     while (!stop.load(std::memory_order_acquire)) {
+      // View first, guard second: every commit at or before the snapshot is
+      // inside the guard's watermark, so the visible prefix is exact.
       ReadView v = tm.AutoCommitView();
-      t->ScanVisible(v, [&](uint64_t r) {
-        (void)t->GetValue(r, 0);  // races Column delta growth
+      ColumnTable::ReadGuard g(t);
+      int64_t expect = 0;
+      g.ScanVisible(v, [&](uint64_t r) {
+        // Single-row commits in id order: visible ids are exactly 0..k.
+        ASSERT_EQ(g.GetValue(r, 0).AsInt(), expect);
+        // The per-call pin path must agree with the guard.
+        ASSERT_EQ(t->GetValue(r, 0).AsInt(), expect);
+        ++expect;
       });
     }
   });
@@ -450,9 +569,10 @@ TEST(MvccKnownGaps, DISABLED_ColumnValueReadsDuringInserts) {
   }
   stop.store(true, std::memory_order_release);
   reader.join();
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 2000u);
 }
 
-TEST(MvccKnownGaps, DISABLED_RowTableValueReadsDuringInserts) {
+TEST(MvccValues, RowTableValueReadsDuringInserts) {
   Database db;
   TransactionManager tm;
   RowTable* t = *db.CreateRowTable("r", OrderSchema());
@@ -465,8 +585,12 @@ TEST(MvccKnownGaps, DISABLED_RowTableValueReadsDuringInserts) {
   std::thread reader([&]() {
     while (!stop.load(std::memory_order_acquire)) {
       ReadView v = tm.AutoCommitView();
-      t->ScanVisible(v, [&](uint64_t r) {
-        (void)t->GetValue(r, 0);  // races rows_ reallocation
+      RowTable::ReadGuard g(t);
+      int64_t expect = 0;
+      g.ScanVisible(v, [&](uint64_t r) {
+        ASSERT_EQ(g.GetValue(r, 0).AsInt(), expect);
+        ASSERT_EQ(t->GetValue(r, 0).AsInt(), expect);  // row-chunk pin path
+        ++expect;
       });
     }
   });
@@ -477,6 +601,322 @@ TEST(MvccKnownGaps, DISABLED_RowTableValueReadsDuringInserts) {
   }
   stop.store(true, std::memory_order_release);
   reader.join();
+  EXPECT_EQ(t->CountVisible(tm.AutoCommitView()), 2000u);
+}
+
+// AddColumn publishes a fresh TableState sharing columns and versions; a
+// scan holding the previous generation's guard must never be invalidated,
+// and a fresh guard must read every column — including ones added mid-scan
+// (backfilled NULL for pre-existing rows).
+TEST(MvccValues, FlexibleTableColumnGrowthDuringScan) {
+  Database db;
+  TransactionManager tm;
+  ColumnTable* ct =
+      *db.CreateTable("flex", Schema({ColumnDef("id", DataType::kInt64)}));
+  FlexibleTable flex(&tm, ct);
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      ReadView v = tm.AutoCommitView();
+      ColumnTable::ReadGuard g(ct);
+      int64_t expect = 0;
+      g.ScanVisible(v, [&](uint64_t r) {
+        // Touch EVERY column of the pinned generation, then check the id.
+        for (size_t c = 0; c < g.num_columns(); ++c) (void)g.GetValue(r, c);
+        ASSERT_EQ(g.GetValue(r, 0).AsInt(), expect);
+        ++expect;
+      });
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    // Every 7th record introduces a fresh attribute: AddColumn's TableState
+    // republication runs concurrently with full-width value scans.
+    std::map<std::string, Value> rec{{"id", Value::Int(i)}};
+    if (i % 7 == 0) rec["extra_" + std::to_string(i)] = Value::Int(i);
+    ASSERT_TRUE(flex.Insert(rec).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(flex.NumRecords(), 300u);
+  EXPECT_EQ(ct->schema().num_columns(), 1u + 300u / 7 + 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Value-level oracle (DESIGN.md §12.5): readers collect the actual VISIBLE
+// VALUES — the sorted id column — concurrently with writers, and every
+// sample must equal the serial replay of the commit log up to its snapshot.
+// This is strictly stronger than the count oracle above: torn values, stale
+// chunk directories, or watermark/value misordering all change the id set.
+// ---------------------------------------------------------------------------
+
+struct ValueCommit {
+  uint64_t commit_ts = 0;
+  std::vector<int64_t> added;    // ids inserted by this txn
+  std::vector<int64_t> removed;  // ids deleted by this txn
+};
+
+struct ValueSample {
+  uint64_t snapshot_ts = 0;
+  std::vector<int64_t> ids;  // sorted ids visible under the snapshot
+};
+
+constexpr int kValueWriters = 3;
+constexpr int kValueReaders = 2;
+
+std::vector<ValueCommit> SortCommits(std::vector<std::vector<ValueCommit>> per_writer) {
+  std::vector<ValueCommit> all;
+  for (auto& wc : per_writer) {
+    for (auto& c : wc) all.push_back(std::move(c));
+  }
+  std::sort(all.begin(), all.end(), [](const ValueCommit& a, const ValueCommit& b) {
+    return a.commit_ts < b.commit_ts;
+  });
+  return all;
+}
+
+/// Serial replay for one reader: sweep the globally sorted commit log while
+/// maintaining the live id set; every sample must match it exactly.
+void CheckValueSamples(const std::vector<ValueCommit>& commits,
+                       const std::vector<ValueSample>& samples, int rd) {
+  ASSERT_FALSE(samples.empty());
+  std::set<int64_t> live;
+  size_t idx = 0;
+  uint64_t last_ts = 0;
+  for (const ValueSample& smp : samples) {
+    ASSERT_GE(smp.snapshot_ts, last_ts) << "reader " << rd;
+    last_ts = smp.snapshot_ts;
+    while (idx < commits.size() && commits[idx].commit_ts <= smp.snapshot_ts) {
+      for (int64_t id : commits[idx].removed) live.erase(id);
+      for (int64_t id : commits[idx].added) live.insert(id);
+      ++idx;
+    }
+    std::vector<int64_t> expect(live.begin(), live.end());
+    ASSERT_EQ(smp.ids, expect)
+        << "reader " << rd << " at snapshot " << smp.snapshot_ts
+        << ": saw " << smp.ids.size() << " ids, replay expects " << expect.size();
+  }
+  // The final sample ran after every commit: it must equal the full replay.
+  ASSERT_EQ(idx, commits.size()) << "reader " << rd;
+}
+
+/// One seeded value-oracle run against a ColumnTable or RowTable: the same
+/// insert/delete/update mix as RunMvccOracle, but commits log the exact id
+/// sets they add/remove and readers sample sorted visible ids through the
+/// unified ReadGuard.
+template <typename Table>
+void RunValueOracle(uint64_t seed, TransactionManager* tm, Table* t) {
+  constexpr int kTxnsPerWriter = 40;
+  std::atomic<int> writers_done{0};
+  std::vector<std::vector<ValueCommit>> commits(kValueWriters);
+  std::vector<std::vector<ValueSample>> samples(kValueReaders);
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kValueWriters; ++w) {
+    threads.emplace_back([&, w]() {
+      Random rng(Random::Mix(seed, 0x31 + w));
+      struct Owned {
+        uint64_t row;
+        int64_t id;
+      };
+      std::vector<Owned> owned;  // committed live rows this writer owns
+      int64_t next_id = static_cast<int64_t>(w) * 1000000;
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        auto txn = tm->Begin();
+        ValueCommit rec;
+        std::vector<Owned> inserted;
+        std::vector<size_t> deleted_idx;
+        int op = owned.empty() ? 0 : static_cast<int>(rng.Uniform(3));
+        if (op == 0) {  // insert 1..3 rows with globally unique ids
+          int k = 1 + static_cast<int>(rng.Uniform(3));
+          for (int j = 0; j < k; ++j) {
+            int64_t id = next_id++;
+            ASSERT_TRUE(
+                tm->Insert(txn.get(), t, {Value::Int(id), Value::Dbl(1.0)}).ok());
+            inserted.push_back({txn->last_write_row(), id});
+            rec.added.push_back(id);
+          }
+        } else if (op == 1) {  // delete one owned row
+          size_t pick = rng.Uniform(owned.size());
+          ASSERT_TRUE(tm->Delete(txn.get(), t, owned[pick].row).ok());
+          deleted_idx.push_back(pick);
+          rec.removed.push_back(owned[pick].id);
+        } else {  // update = delete old + insert new (fresh id)
+          size_t pick = rng.Uniform(owned.size());
+          ASSERT_TRUE(tm->Delete(txn.get(), t, owned[pick].row).ok());
+          deleted_idx.push_back(pick);
+          rec.removed.push_back(owned[pick].id);
+          int64_t id = next_id++;
+          ASSERT_TRUE(
+              tm->Insert(txn.get(), t, {Value::Int(id), Value::Dbl(2.0)}).ok());
+          inserted.push_back({txn->last_write_row(), id});
+          rec.added.push_back(id);
+        }
+        if (rng.Bernoulli(0.12)) {  // exercise abort
+          ASSERT_TRUE(tm->Abort(txn.get()).ok());
+          continue;
+        }
+        ASSERT_TRUE(tm->Commit(txn.get()).ok());
+        rec.commit_ts = txn->commit_ts();
+        commits[w].push_back(std::move(rec));
+        for (size_t di : deleted_idx) {
+          owned[di] = owned.back();
+          owned.pop_back();
+        }
+        owned.insert(owned.end(), inserted.begin(), inserted.end());
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  for (int rd = 0; rd < kValueReaders; ++rd) {
+    threads.emplace_back([&, rd]() {
+      auto& out = samples[rd];
+      bool final_pass = false;
+      while (!final_pass) {
+        final_pass = writers_done.load(std::memory_order_acquire) == kValueWriters;
+        // View FIRST, guard second: the guard's watermark then covers every
+        // commit at or before the snapshot.
+        ReadView v = tm->AutoCommitView();
+        auto g = t->Read();
+        ValueSample smp;
+        smp.snapshot_ts = v.snapshot_ts;
+        g.ScanVisible(v, [&](uint64_t r) {
+          smp.ids.push_back(g.GetValue(r, 0).AsInt());
+        });
+        std::sort(smp.ids.begin(), smp.ids.end());
+        out.push_back(std::move(smp));
+      }
+    });
+  }
+
+  for (auto& th : threads) th.join();
+  std::vector<ValueCommit> sorted = SortCommits(std::move(commits));
+  for (int rd = 0; rd < kValueReaders; ++rd) {
+    CheckValueSamples(sorted, samples[rd], rd);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+void RunColumnValueOracle(uint64_t seed) {
+  SCOPED_TRACE("column value oracle seed " + std::to_string(seed) +
+               " (replay: POLY_MVCC_SEED=" + std::to_string(seed) + ")");
+  Database db;
+  TransactionManager tm;
+  ColumnTable* t = *db.CreateTable("t", OrderSchema());
+  RunValueOracle(seed, &tm, t);
+}
+
+void RunRowValueOracle(uint64_t seed) {
+  SCOPED_TRACE("row value oracle seed " + std::to_string(seed) +
+               " (replay: POLY_MVCC_SEED=" + std::to_string(seed) + ")");
+  Database db;
+  TransactionManager tm;
+  RowTable* t = *db.CreateRowTable("r", OrderSchema());
+  RunValueOracle(seed, &tm, t);
+}
+
+/// FlexibleTable variant: writers are caller-serialized (the FlexibleTable
+/// contract) behind one mutex, and some records carry fresh attributes so
+/// AddColumn republication runs inside the oracle. With the mutex held,
+/// CurrentTimestamp() right after Insert returns IS that txn's commit
+/// timestamp — only commits advance the clock.
+void RunFlexValueOracle(uint64_t seed) {
+  SCOPED_TRACE("flexible value oracle seed " + std::to_string(seed) +
+               " (replay: POLY_MVCC_SEED=" + std::to_string(seed) + ")");
+  constexpr int kTxnsPerWriter = 30;
+  Database db;
+  TransactionManager tm;
+  ColumnTable* ct =
+      *db.CreateTable("flex", Schema({ColumnDef("id", DataType::kInt64)}));
+  FlexibleTable flex(&tm, ct);
+
+  std::mutex write_mu;
+  std::atomic<int> writers_done{0};
+  std::vector<std::vector<ValueCommit>> commits(kValueWriters);
+  std::vector<std::vector<ValueSample>> samples(kValueReaders);
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kValueWriters; ++w) {
+    threads.emplace_back([&, w]() {
+      Random rng(Random::Mix(seed, 0x51 + w));
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        int64_t id = static_cast<int64_t>(w) * 1000000 + i;
+        std::map<std::string, Value> rec{{"id", Value::Int(id)}};
+        if (rng.Bernoulli(0.2)) {  // implicit DDL mid-oracle
+          rec["w" + std::to_string(w) + "_c" + std::to_string(i)] = Value::Int(i);
+        }
+        uint64_t commit_ts;
+        {
+          std::lock_guard<std::mutex> lk(write_mu);
+          ASSERT_TRUE(flex.Insert(rec).ok());
+          commit_ts = tm.CurrentTimestamp();
+        }
+        commits[w].push_back({commit_ts, {id}, {}});
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  for (int rd = 0; rd < kValueReaders; ++rd) {
+    threads.emplace_back([&, rd]() {
+      auto& out = samples[rd];
+      bool final_pass = false;
+      while (!final_pass) {
+        final_pass = writers_done.load(std::memory_order_acquire) == kValueWriters;
+        ReadView v = tm.AutoCommitView();
+        ColumnTable::ReadGuard g(ct);
+        ValueSample smp;
+        smp.snapshot_ts = v.snapshot_ts;
+        g.ScanVisible(v, [&](uint64_t r) {
+          // Full-width read across whatever columns this generation has.
+          for (size_t c = 1; c < g.num_columns(); ++c) (void)g.GetValue(r, c);
+          smp.ids.push_back(g.GetValue(r, 0).AsInt());
+        });
+        std::sort(smp.ids.begin(), smp.ids.end());
+        out.push_back(std::move(smp));
+      }
+    });
+  }
+
+  for (auto& th : threads) th.join();
+  std::vector<ValueCommit> sorted = SortCommits(std::move(commits));
+  for (int rd = 0; rd < kValueReaders; ++rd) {
+    CheckValueSamples(sorted, samples[rd], rd);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MvccValueOracle, ColumnTableMatchesSerialReplay) {
+  if (const char* env = std::getenv("POLY_MVCC_SEED")) {
+    RunColumnValueOracle(std::strtoull(env, nullptr, 10));
+    return;
+  }
+  for (uint64_t seed = 1; seed <= kOracleSeeds(); ++seed) {
+    RunColumnValueOracle(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MvccValueOracle, RowTableMatchesSerialReplay) {
+  if (const char* env = std::getenv("POLY_MVCC_SEED")) {
+    RunRowValueOracle(std::strtoull(env, nullptr, 10));
+    return;
+  }
+  for (uint64_t seed = 1; seed <= kOracleSeeds(); ++seed) {
+    RunRowValueOracle(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MvccValueOracle, FlexibleTableMatchesSerialReplay) {
+  if (const char* env = std::getenv("POLY_MVCC_SEED")) {
+    RunFlexValueOracle(std::strtoull(env, nullptr, 10));
+    return;
+  }
+  for (uint64_t seed = 1; seed <= kOracleSeeds(); ++seed) {
+    RunFlexValueOracle(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 }  // namespace
