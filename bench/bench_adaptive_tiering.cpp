@@ -21,6 +21,17 @@
 // hot_hit_rate (it places by observed heat, the static rule by age) at the
 // cost of bounded early migration traffic; the two Tiering_Scan* rows are
 // within noise of each other.
+//
+// E24 adds the third band (DFS cold tier, DESIGN.md §11.4):
+//   Adaptive_ThreeBand_TwoBandBaseline - the same Zipf workload on a daemon
+//     WITHOUT a cold store: the idle tail piles up in warm storage forever.
+//   Adaptive_ThreeBand_Daemon          - cold store attached: the tail sinks
+//     on to DFS (cold_demotes), rare tail queries demand-page back
+//     (cold_reads), and the budget prices those moves by the DFS cost model.
+// Expected shape: hot_hit_rate within noise of the two-band baseline (the
+// Zipf head never leaves memory, so the cold band must not cost hits) and
+// hot_mb identical, while warm_mb collapses toward zero as the tail drains
+// to cold_mb.
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +40,8 @@
 
 #include "aging/extended_storage.h"
 #include "common/random.h"
+#include "hadoop/dfs.h"
+#include "hadoop/dfs_tier_store.h"
 #include "query/executor.h"
 #include "tiering/daemon.h"
 #include "workloads.h"
@@ -161,6 +174,108 @@ void Adaptive_Daemon(benchmark::State& state) {
       static_cast<double>(moved_bytes) / 1e6 / state.iterations();
 }
 BENCHMARK(Adaptive_Daemon)->Unit(benchmark::kMillisecond);
+
+/// E24 core: the Adaptive_Daemon workload plus kHistory aged "history"
+/// partitions the Zipf never touches — only a rare audit query (1 in
+/// kAuditEvery) reads one. With a cold store the idle history drains to DFS
+/// and audits demand-page it back; without one (the two-band baseline,
+/// identical loop and thresholds otherwise) it squats in warm storage
+/// forever.
+constexpr int kHistory = 8;
+constexpr int kAuditEvery = 400;
+
+void ThreeBandRun(benchmark::State& state, bool with_cold) {
+  Database db;
+  TransactionManager tm;
+  ExtendedStorage warm;
+  SimulatedDfs dfs;
+  DfsTierStore cold(&dfs);
+  LoadPartitions(&db, &tm);
+  for (int p = kPartitions; p < kPartitions + kHistory; ++p) {
+    bench::LoadOrders(&db, &tm, PartName(p), kRowsPerPartition, /*seed=*/100 + p);
+  }
+  // Age-based initial placement: the older active half AND all history
+  // partitions start warm.
+  for (int p = kPartitions / 2; p < kPartitions + kHistory; ++p) {
+    (void)warm.Demote(&db, PartName(p));
+  }
+  tiering::TieringDaemon::Options opts;
+  opts.heat.decay = 0.5;
+  opts.policy.promote_threshold = 30.0;
+  opts.policy.demote_threshold = 15.0;
+  // Active-tail partitions hold steady-state heat ~8 (a few Zipf-tail scans
+  // per epoch) and stay warm; history decays toward 0, falls through the
+  // (2, 4) band, and sinks to DFS.
+  opts.policy.cold_promote_threshold = 4.0;
+  opts.policy.cold_demote_threshold = 2.0;
+  opts.policy.cooldown_epochs = 1;
+  opts.policy.cold_cooldown_epochs = 2;
+  tiering::TieringDaemon daemon(&db, &warm, with_cold ? &cold : nullptr, opts);
+  for (int p = 0; p < kPartitions + kHistory; ++p) daemon.Manage(PartName(p));
+  std::vector<int> perm = RankToPartition();
+  std::vector<PlanPtr> plans;
+  for (int p = 0; p < kPartitions + kHistory; ++p) {
+    plans.push_back(SumPlan(PartName(p)));
+  }
+
+  uint64_t hits = 0, queries = 0, moved_bytes = 0, priced_bytes = 0;
+  uint64_t cold_demotes = 0, cold_promotes = 0, cold_reads = 0;
+  ZipfGenerator zipf(kPartitions, 0.99, /*seed=*/7);
+  Random audit_rng(99);
+  for (auto _ : state) {
+    for (int q = 0; q < kQueriesPerBatch; ++q) {
+      ++queries;
+      int p = queries % kAuditEvery == 0
+                  ? kPartitions + static_cast<int>(audit_rng.Uniform(kHistory))
+                  : perm[zipf.Next()];
+      if (db.GetTable(PartName(p)).ok()) {
+        ++hits;
+      } else if (cold.Contains(PartName(p))) {
+        ++cold_reads;  // this miss will demand-page from DFS
+      }
+      Executor exec(&db, tm.AutoCommitView());
+      benchmark::DoNotOptimize(exec.Execute(plans[p])->rows[0][0].NumericValue());
+      if (queries % kEpochEvery == 0) {
+        auto report = daemon.RunEpoch();
+        if (report.ok()) {
+          moved_bytes += report->moved_bytes;
+          priced_bytes += report->priced_bytes;
+          cold_demotes += report->cold_demotes;
+          cold_promotes += report->cold_promotes;
+        }
+      }
+    }
+  }
+
+  uint64_t hot_bytes = 0;
+  int cold_parts = 0;
+  for (int p = 0; p < kPartitions + kHistory; ++p) {
+    if (auto t = db.GetTable(PartName(p)); t.ok()) hot_bytes += (*t)->MemoryBytes();
+    if (cold.Contains(PartName(p))) ++cold_parts;
+  }
+  state.counters["hot_hit_rate"] = static_cast<double>(hits) / queries;
+  state.counters["hot_mb"] = static_cast<double>(hot_bytes) / 1e6;
+  state.counters["warm_mb"] = static_cast<double>(warm.bytes_stored()) / 1e6;
+  state.counters["cold_mb"] = static_cast<double>(cold.bytes_stored()) / 1e6;
+  state.counters["cold_parts"] = cold_parts;
+  state.counters["cold_reads"] = static_cast<double>(cold_reads);
+  state.counters["cold_demotes"] = static_cast<double>(cold_demotes);
+  state.counters["cold_promotes"] = static_cast<double>(cold_promotes);
+  state.counters["moved_mb"] =
+      static_cast<double>(moved_bytes) / 1e6 / state.iterations();
+  state.counters["priced_mb"] =
+      static_cast<double>(priced_bytes) / 1e6 / state.iterations();
+}
+
+void Adaptive_ThreeBand_TwoBandBaseline(benchmark::State& state) {
+  ThreeBandRun(state, /*with_cold=*/false);
+}
+BENCHMARK(Adaptive_ThreeBand_TwoBandBaseline)->Unit(benchmark::kMillisecond);
+
+void Adaptive_ThreeBand_Daemon(benchmark::State& state) {
+  ThreeBandRun(state, /*with_cold=*/true);
+}
+BENCHMARK(Adaptive_ThreeBand_Daemon)->Unit(benchmark::kMillisecond);
 
 /// Foreground scan, no observer attached: the AccessEvent branch in the
 /// executor short-circuits on a null observer pointer.

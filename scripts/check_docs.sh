@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Documentation freshness gate (ctest label: docs).
 #
-# The docs make six kinds of checkable claims, and each has rotted at
+# The docs make seven kinds of checkable claims, and each has rotted at
 # least once before this gate existed:
 #   1. repo paths in backticks (`src/...`, `tests/...`, `scripts/...`)
 #   2. section references of the form `DESIGN.md §N` — in the docs AND in
@@ -12,6 +12,14 @@
 #   5. `ctest -L <label>` commands (the label must exist in tests/CMakeLists.txt)
 #   6. benchmark figures quoted in prose, via `<!-- bench-quote: ... -->`
 #      annotations diffed against bench_output.txt with a tolerance
+#   7. the annotations themselves must not be skipped: a prose line that
+#      names a benchmark row AND quotes a unit figure (ns/us/ms/rows/s/%)
+#      in a file with no bench-quote annotation for that row is drift
+#      check 6 can never catch — flagged here
+#
+# `--selftest-figures` runs check 7 against a deliberately planted
+# violation (and a properly annotated control) instead of the real docs;
+# tests/CMakeLists.txt registers it as the gate's negative test.
 #
 # Fails loudly with every stale reference, not just the first.
 
@@ -27,6 +35,56 @@ fail() {
   echo "check_docs: $*" >&2
   failures=$((failures + 1))
 }
+
+# ---- 7 (function; called below, and by --selftest-figures) ---------------
+# A benchmark figure quoted WITHOUT an annotation is invisible to check 6 —
+# it would silently rot on the next re-run. Heuristic with no false
+# negatives on the current docs: any line that names a row from
+# bench_output.txt (first column, base name before any '/') and also quotes
+# a number with a unit must have a `<!-- bench-quote: <row> ... -->`
+# somewhere in the same file.
+check_unannotated_figures() {
+  [ -f bench_output.txt ] || return 0
+  bench_names=$(awk '$2 ~ /^[0-9.]+$/ && $3 ~ /^(ns|us|ms|s)$/ {
+                      split($1, a, "/"); print a[1]
+                    }' bench_output.txt | sort -u)
+  [ -n "$bench_names" ] || return 0
+  for doc in "$@"; do
+    [ -f "$doc" ] || continue
+    for name in $bench_names; do
+      hit=$(grep -nE "\b${name}\b" "$doc" |
+            grep -E '[0-9]+(\.[0-9]+)?[[:space:]]*(ns|µs|us|ms|rows/s|%)' |
+            head -1)
+      [ -n "$hit" ] || continue
+      grep -q "<!-- bench-quote: ${name}" "$doc" && continue
+      fail "$doc:${hit%%:*} quotes a figure next to bench row '${name}' with no annotation — add '<!-- bench-quote: ${name} <field> <value> [tol=<pct>] -->' on an adjacent line (or drop the number)"
+    done
+  done
+}
+
+if [ "${1:-}" = "--selftest-figures" ]; then
+  name=$(awk '$2 ~ /^[0-9.]+$/ && $3 ~ /^(ns|us|ms|s)$/ {
+                split($1, a, "/"); print a[1]; exit
+              }' bench_output.txt)
+  [ -n "$name" ] || { echo "check_docs: selftest needs bench_output.txt" >&2; exit 1; }
+  tmp=$(mktemp -d)
+  # Planted drift: a figure beside a real row name, no annotation.
+  printf 'The %s run takes 123 ms on this machine.\n' "$name" > "$tmp/planted.md"
+  # Control: same claim, properly annotated — must NOT be flagged.
+  printf 'The %s run takes 123 ms on this machine.\n<!-- bench-quote: %s time 123 -->\n' \
+      "$name" "$name" > "$tmp/annotated.md"
+  check_unannotated_figures "$tmp/planted.md"
+  planted=$failures
+  check_unannotated_figures "$tmp/annotated.md"
+  control=$((failures - planted))
+  rm -rf "$tmp"
+  if [ "$planted" -ge 1 ] && [ "$control" -eq 0 ]; then
+    echo "check_docs: selftest OK (planted drift flagged, annotated control clean)"
+    exit 0
+  fi
+  echo "check_docs: SELFTEST FAILED (planted=$planted flagged, control=$control flagged)" >&2
+  exit 1
+fi
 
 # ---- 1. backticked repo paths must exist --------------------------------
 for doc in $DOCS; do
@@ -158,6 +216,9 @@ if [ -f bench_output.txt ]; then
   while read -r line; do fail "$line"; done < /tmp/check_docs_bench.$$
   rm -f /tmp/check_docs_bench.$$
 fi
+
+# ---- 7. figures quoted beside bench rows must carry an annotation --------
+check_unannotated_figures README.md EXPERIMENTS.md
 
 # ---- summary ------------------------------------------------------------
 if [ "$failures" -gt 0 ]; then

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# One command for every tier-2 gate — the checks that are stronger than the
+# default `ctest` tier-1 run but too slow or too specialized to sit in it.
+#
+# Gates, in cheap-to-expensive order (a later gate only runs if the earlier
+# ones pass, so a docs typo fails in seconds, not after a TSan rebuild):
+#   1. docs        scripts/check_docs.sh + its --selftest-figures negative
+#                  test (ctest -L docs)
+#   2. tiering     three-band policy/daemon/heat regression suite
+#                  (ctest -L tiering)
+#   3. chaos       seeded chaos-oracle sweep, default 50 seeds
+#                  (scripts/chaos_sweep.sh; ctest -L chaos runs the in-suite
+#                  subset)
+#   4. tsan        whole-suite ThreadSanitizer build + run
+#                  (scripts/run_tsan.sh; ctest -L tsan-full in build-tsan)
+#
+# Usage:
+#   scripts/run_gates.sh            # all gates, needs an existing ./build
+#   scripts/run_gates.sh docs tsan  # just the named gates
+#
+# Environment:
+#   BUILD_DIR=build        tier-1 build tree (gates 1–3)
+#   CHAOS_SEEDS=50         seed count for the chaos sweep
+#   SKIP_TSAN_BUILD=       set non-empty to reuse an existing build-tsan
+set -u
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+CHAOS_SEEDS="${CHAOS_SEEDS:-50}"
+GATES="${*:-docs tiering chaos tsan}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "run_gates.sh: no build tree at $BUILD_DIR" >&2
+  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 2
+fi
+
+run_gate() {
+  local name="$1"; shift
+  echo
+  echo "==== gate: $name ===="
+  if "$@"; then
+    echo "==== gate: $name OK ===="
+  else
+    echo "run_gates.sh: gate '$name' FAILED" >&2
+    exit 1
+  fi
+}
+
+for gate in $GATES; do
+  case "$gate" in
+    docs)
+      run_gate docs ctest --test-dir "$BUILD_DIR" -L docs --output-on-failure
+      ;;
+    tiering)
+      run_gate tiering ctest --test-dir "$BUILD_DIR" -L tiering --output-on-failure
+      ;;
+    chaos)
+      run_gate chaos "$REPO_ROOT/scripts/chaos_sweep.sh" "$CHAOS_SEEDS" "$BUILD_DIR"
+      ;;
+    tsan)
+      run_gate tsan "$REPO_ROOT/scripts/run_tsan.sh"
+      ;;
+    *)
+      echo "run_gates.sh: unknown gate '$gate' (know: docs tiering chaos tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "run_gates.sh: all gates passed ($GATES)"

@@ -32,22 +32,25 @@ Status ExtendedStorage::Demote(Database* db, const std::string& table) {
 }
 
 StatusOr<ColumnTable*> ExtendedStorage::Promote(Database* db, const std::string& table) {
-  std::string payload;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = store_.find(table);
-    if (it == store_.end()) {
-      return Status::NotFound("no warm table '" + table + "'");
-    }
-    simulated_nanos_ +=
-        static_cast<double>(it->second.size()) * options_.read_nanos_per_byte;
-    payload = it->second;
-  }
+  // A promote MOVES the partition: leaving the payload behind as a "cache"
+  // makes residency ambiguous, and with a cold tier attached a stale warm
+  // copy can be sunk to DFS while the real partition is hot — two live
+  // copies that then diverge. On any failure past the take, the payload is
+  // put back so a half-promote never loses the only copy.
+  POLY_ASSIGN_OR_RETURN(std::string payload, TakePayload(table));
   CountTierMove("tier.warm.promotes", "tier.warm.promote_bytes", payload.size());
   Deserializer d(payload);
-  POLY_ASSIGN_OR_RETURN(auto loaded, ColumnTable::LoadFrom(&d));
-  ColumnTable* ptr = loaded.get();
-  POLY_RETURN_IF_ERROR(db->AdoptTable(std::move(loaded)));
+  auto loaded = ColumnTable::LoadFrom(&d);
+  if (!loaded.ok()) {
+    (void)AdoptPayload(table, std::move(payload));
+    return loaded.status();
+  }
+  ColumnTable* ptr = loaded->get();
+  Status adopted = db->AdoptTable(std::move(*loaded));
+  if (!adopted.ok()) {
+    (void)AdoptPayload(table, std::move(payload));
+    return adopted;
+  }
   return ptr;
 }
 
@@ -76,6 +79,27 @@ StatusOr<ColumnTable*> ExtendedStorage::PromoteFromCold(Database* db,
   ColumnTable* ptr = loaded.get();
   POLY_RETURN_IF_ERROR(db->AdoptTable(std::move(loaded)));
   return ptr;
+}
+
+StatusOr<std::string> ExtendedStorage::TakePayload(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store_.find(table);
+  if (it == store_.end()) {
+    return Status::NotFound("no warm table '" + table + "'");
+  }
+  simulated_nanos_ +=
+      static_cast<double>(it->second.size()) * options_.read_nanos_per_byte;
+  std::string payload = std::move(it->second);
+  store_.erase(it);
+  return payload;
+}
+
+Status ExtendedStorage::AdoptPayload(const std::string& table, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  simulated_nanos_ +=
+      static_cast<double>(payload.size()) * options_.write_nanos_per_byte;
+  store_[table] = std::move(payload);
+  return Status::OK();
 }
 
 bool ExtendedStorage::Contains(const std::string& table) const {

@@ -28,7 +28,9 @@ class ExtendedStorage {
   /// Serializes and stores a table; removes it from `db`.
   Status Demote(Database* db, const std::string& table);
 
-  /// Loads a table back into `db` (leaves the warm copy in place).
+  /// Moves a table back into `db`, removing the warm copy — residency is
+  /// unambiguous (a stale warm "cache" could be independently demoted to
+  /// cold while the partition is hot). On failure the payload is restored.
   StatusOr<ColumnTable*> Promote(Database* db, const std::string& table);
 
   /// Moves a warm table onward to the cold tier (DFS, Figure 1/4: "HDFS is
@@ -42,6 +44,16 @@ class ExtendedStorage {
   bool Contains(const std::string& table) const;
   Status Drop(const std::string& table);
 
+  /// Removes a warm table and returns its serialized payload (charging the
+  /// warm read cost). Payload-level hop used by DfsTierStore::Sink so a
+  /// warm->cold move never deserializes: the bytes go straight to DFS with
+  /// MVCC stamps intact.
+  StatusOr<std::string> TakePayload(const std::string& table);
+
+  /// Inserts a serialized payload as a warm table (charging the warm write
+  /// cost). The reverse hop, used by DfsTierStore::Raise for cold->warm.
+  Status AdoptPayload(const std::string& table, std::string payload);
+
   /// Serialized size of a warm table; 0 if absent. The tiering policy
   /// meters its migration budget in these bytes.
   uint64_t BytesOf(const std::string& table) const;
@@ -53,6 +65,8 @@ class ExtendedStorage {
   static std::string ColdPath(const std::string& table) {
     return "/cold/" + table + ".tbl";
   }
+
+  const Options& options() const { return options_; }
 
  private:
   Options options_;

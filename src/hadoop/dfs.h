@@ -58,6 +58,9 @@ class SimulatedDfs {
 
   int num_data_nodes() const { return static_cast<int>(nodes_alive_.size()); }
   size_t block_size() const { return options_.block_size; }
+  /// Cost-model knobs, exposed so the tiering daemon can price cold moves
+  /// relative to the warm tier (DfsTierStore::CostFactorVersus).
+  const Options& options() const { return options_; }
   /// Total simulated read cost accrued (nanoseconds).
   double simulated_read_nanos() const { return simulated_read_nanos_; }
   uint64_t bytes_read() const { return bytes_read_; }

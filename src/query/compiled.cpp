@@ -359,6 +359,14 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
         event.point_read =
             scan.scan_predicate != nullptr &&
             TryIdRangePredicate(guard, *scan.scan_predicate, &range_col, &lo, &hi);
+        // Exactly the columns the fused kernel touched: its materialized
+        // slots plus the group-by column it decodes directly.
+        for (const auto& [col, _] : spec.slots) {
+          event.columns.push_back(guard.schema().column(col).name);
+        }
+        if (spec.has_group && spec.slots.find(spec.group_col) == spec.slots.end()) {
+          event.columns.push_back(guard.schema().column(spec.group_col).name);
+        }
         observer->OnAccess(event);
       }
     }

@@ -427,6 +427,11 @@ StatusOr<ResultSet> Executor::ExecScan(const PlanNode& node) {
         event.rows_scanned = stats_.rows_scanned - scanned_before;
         event.bytes = bytes;
         event.point_read = stats_.id_range_scans > ranges_before;
+        // This path materializes whole rows, so every schema column really
+        // was read — report them all for per-column heat.
+        for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+          event.columns.push_back(table->schema().column(c).name);
+        }
         observer->OnAccess(event);
       }
     }

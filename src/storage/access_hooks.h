@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -28,6 +29,12 @@ struct AccessEvent {
   /// (TryIdRangePredicate) — the OLTP-shaped "point read" signal, weighted
   /// separately from analytic sweeps by the heat tracker.
   bool point_read = false;
+  /// Names of the columns the scan actually read, for per-column heat on
+  /// wide tables. The interpreted executor materializes whole rows and so
+  /// reports every schema column (the truth of that path); the compiled
+  /// executor reports exactly the slots its fused kernel touched. Empty is
+  /// valid: observers then attribute the access to the partition only.
+  std::vector<std::string> columns;
 };
 
 /// Sink for AccessEvents. Implementations must be thread-safe: both

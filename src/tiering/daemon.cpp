@@ -22,21 +22,43 @@ bool IsAgedPartition(const std::string& name) {
          name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
 }
 
+/// Policy options as the daemon actually runs them. Without a cold store
+/// the warm->cold band is disabled outright (effective heat is clamped at
+/// zero, so a negative threshold can never fire) — the daemon degrades to
+/// exactly the old two-band behavior. With one, a cost factor of 0
+/// ("derive") becomes the measured cold/warm byte-cost ratio.
+TieringPolicy::Options EffectivePolicy(TieringPolicy::Options p,
+                                       ExtendedStorage* warm,
+                                       DfsTierStore* cold) {
+  if (cold == nullptr) {
+    p.cold_demote_threshold = -1.0;
+    if (p.cold_move_cost_factor <= 0.0) p.cold_move_cost_factor = 1.0;
+  } else if (p.cold_move_cost_factor <= 0.0) {
+    p.cold_move_cost_factor = cold->CostFactorVersus(warm->options());
+  }
+  return p;
+}
+
 }  // namespace
 
-TieringDaemon::TieringDaemon(Database* db, ExtendedStorage* storage, Options opts,
-                             AgingManager* aging)
+TieringDaemon::TieringDaemon(Database* db, ExtendedStorage* storage,
+                             DfsTierStore* cold, Options opts, AgingManager* aging)
     : db_(db),
       storage_(storage),
+      cold_(cold),
       aging_(aging),
       opts_(opts),
       heat_(opts.heat),
-      policy_(opts.policy) {
+      policy_(EffectivePolicy(opts.policy, storage, cold)) {
+  opts_.policy = policy_.options();  // keep opts_ consistent with what runs
   metrics::Registry& reg = metrics::Default();
   m_epochs_ = reg.counter("tier.daemon.epochs");
   m_promotes_ = reg.counter("tier.daemon.promotes");
   m_demotes_ = reg.counter("tier.daemon.demotes");
+  m_cold_promotes_ = reg.counter("tier.daemon.cold_promotes");
+  m_cold_demotes_ = reg.counter("tier.daemon.cold_demotes");
   m_moved_bytes_ = reg.counter("tier.daemon.moved_bytes");
+  m_priced_bytes_ = reg.counter("tier.daemon.priced_bytes");
   m_deferred_budget_ = reg.counter("tier.daemon.deferred_budget");
   m_deferred_cooldown_ = reg.counter("tier.daemon.deferred_cooldown");
   m_miss_promotes_ = reg.counter("tier.daemon.miss_promotes");
@@ -77,7 +99,8 @@ std::vector<std::string> TieringDaemon::CandidatePartitions() const {
   if (aging_ != nullptr) {
     for (const AgingRule& rule : aging_->rules()) {
       std::string aged = AgingManager::AgedName(rule.table);
-      if (db_->GetTable(aged).ok() || storage_->Contains(aged)) {
+      if (db_->GetTable(aged).ok() || storage_->Contains(aged) ||
+          (cold_ != nullptr && cold_->Contains(aged))) {
         names.insert(aged);
       }
     }
@@ -105,13 +128,16 @@ StatusOr<EpochReport> TieringDaemon::RunEpoch() {
     s.heat = heat_.HeatOf(name);
     auto resident = db_->GetTable(name);
     if (resident.ok()) {
-      s.resident = true;
+      s.residency = Residency::kHot;
       s.bytes = (*resident)->MemoryBytes();
     } else if (storage_->Contains(name)) {
-      s.resident = false;
+      s.residency = Residency::kWarm;
       s.bytes = storage_->BytesOf(name);
+    } else if (cold_ != nullptr && cold_->Contains(name)) {
+      s.residency = Residency::kCold;
+      s.bytes = cold_->BytesOf(name);
     } else {
-      continue;  // cold/unknown this epoch; nothing the daemon can move
+      continue;  // unknown this epoch; nothing the daemon can move
     }
     {
       std::lock_guard<std::mutex> lock(state_mu_);
@@ -123,23 +149,56 @@ StatusOr<EpochReport> TieringDaemon::RunEpoch() {
 
   report.decisions = policy_.Decide(report.epoch, states);
 
+  auto record_move = [&](TieringDecision& d) {
+    report.moved_bytes += d.bytes;
+    report.priced_bytes += d.priced_bytes;
+    m_moved_bytes_->Add(d.bytes);
+    m_priced_bytes_->Add(d.priced_bytes);
+    std::lock_guard<std::mutex> lock(state_mu_);
+    last_move_epoch_[d.partition] = report.epoch;
+  };
+
   for (TieringDecision& d : report.decisions) {
     switch (d.action) {
       case TierAction::kPromote: {
         std::lock_guard<std::mutex> move_lock(move_mu_);
         if (db_->GetTable(d.partition).ok()) break;  // miss-promoted already
-        auto promoted = storage_->Promote(db_, d.partition);
-        if (!promoted.ok()) {
+        Status moved = Status::OK();
+        bool from_cold = false;
+        if (storage_->Contains(d.partition)) {
+          moved = storage_->Promote(db_, d.partition).status();
+        } else if (cold_ != nullptr && cold_->Contains(d.partition)) {
+          from_cold = true;
+          moved = cold_->PageIn(db_, d.partition).status();
+        } else {
+          moved = Status::NotFound("'" + d.partition + "' in no tier");
+        }
+        if (!moved.ok()) {
           m_epoch_errors_->Add(1);
-          d.reason += " [move failed: " + promoted.status().ToString() + "]";
+          d.reason += " [move failed: " + moved.ToString() + "]";
           break;
         }
         report.promotes++;
-        report.moved_bytes += d.bytes;
         m_promotes_->Add(1);
-        m_moved_bytes_->Add(d.bytes);
-        std::lock_guard<std::mutex> lock(state_mu_);
-        last_move_epoch_[d.partition] = report.epoch;
+        if (from_cold) {
+          report.cold_promotes++;
+          m_cold_promotes_->Add(1);
+        }
+        record_move(d);
+        break;
+      }
+      case TierAction::kPromoteFromCold: {
+        std::lock_guard<std::mutex> move_lock(move_mu_);
+        if (cold_ == nullptr || !cold_->Contains(d.partition)) break;
+        Status moved = cold_->Raise(storage_, d.partition);
+        if (!moved.ok()) {
+          m_epoch_errors_->Add(1);
+          d.reason += " [move failed: " + moved.ToString() + "]";
+          break;
+        }
+        report.cold_promotes++;
+        m_cold_promotes_->Add(1);
+        record_move(d);
         break;
       }
       case TierAction::kDemote: {
@@ -152,11 +211,28 @@ StatusOr<EpochReport> TieringDaemon::RunEpoch() {
           break;
         }
         report.demotes++;
-        report.moved_bytes += d.bytes;
         m_demotes_->Add(1);
-        m_moved_bytes_->Add(d.bytes);
-        std::lock_guard<std::mutex> lock(state_mu_);
-        last_move_epoch_[d.partition] = report.epoch;
+        record_move(d);
+        break;
+      }
+      case TierAction::kDemoteToCold: {
+        std::lock_guard<std::mutex> move_lock(move_mu_);
+        // A hot-tier miss may have pulled it back up while we decided; the
+        // hot check is belt-and-braces — sinking anything while a live hot
+        // copy exists would fork the partition into two diverging copies.
+        if (cold_ == nullptr || db_->GetTable(d.partition).ok() ||
+            !storage_->Contains(d.partition)) {
+          break;
+        }
+        Status sunk = cold_->Sink(storage_, d.partition);
+        if (!sunk.ok()) {
+          m_epoch_errors_->Add(1);
+          d.reason += " [move failed: " + sunk.ToString() + "]";
+          break;
+        }
+        report.cold_demotes++;
+        m_cold_demotes_->Add(1);
+        record_move(d);
         break;
       }
       case TierAction::kDeferredBudget:
@@ -180,17 +256,30 @@ StatusOr<EpochReport> TieringDaemon::RunEpoch() {
 
 StatusOr<std::shared_ptr<ColumnTable>> TieringDaemon::ResolveMissing(
     const std::string& table) {
-  if (!storage_->Contains(table)) {
-    return Status::NotFound("tiering: '" + table + "' not in warm storage");
-  }
+  // No pre-lock tier check: a partition mid-sink (warm -> cold) is briefly
+  // in neither store, and deciding NotFound on that snapshot would fail a
+  // query that only needed to wait for the move to finish. Resolve entirely
+  // under the movement lock instead.
   std::lock_guard<std::mutex> move_lock(move_mu_);
   // A concurrent query (or an epoch) may have promoted it while we waited.
   // Pin under the lock: no demotion can run until we return the reference.
   if (auto resident = db_->PinTable(table); resident.ok()) return resident;
-  POLY_RETURN_IF_ERROR(storage_->Promote(db_, table).status());
+  Residency from = Residency::kWarm;
+  uint64_t bytes = 0;
+  if (storage_->Contains(table)) {
+    bytes = storage_->BytesOf(table);
+    POLY_RETURN_IF_ERROR(storage_->Promote(db_, table).status());
+  } else if (cold_ != nullptr && cold_->Contains(table)) {
+    from = Residency::kCold;
+    bytes = cold_->BytesOf(table);
+    POLY_RETURN_IF_ERROR(cold_->PageIn(db_, table).status());
+  } else {
+    return Status::NotFound("tiering: '" + table + "' not in warm or cold storage");
+  }
   POLY_ASSIGN_OR_RETURN(std::shared_ptr<ColumnTable> promoted,
                         db_->PinTable(table));
   m_miss_promotes_->Add(1);
+  if (from == Residency::kCold) m_cold_promotes_->Add(1);
   {
     // On-demand promotion is a tier move: start the cooldown clock so the
     // next epoch does not immediately demote it back.
@@ -202,10 +291,14 @@ StatusOr<std::shared_ptr<ColumnTable>> TieringDaemon::ResolveMissing(
   TieringDecision d;
   d.partition = table;
   d.action = TierAction::kPromote;
+  d.from = from;
   d.effective_heat = heat_.HeatOf(table);
-  d.bytes = storage_->BytesOf(table);
+  d.bytes = bytes;
+  d.priced_bytes = policy_.PricedBytes(bytes, from, Residency::kHot);
   d.epoch = heat_.epoch();
-  d.reason = "hot-tier miss: promoted on demand by a query";
+  d.reason = from == Residency::kCold
+                 ? "hot-tier miss: demand-paged in from cold (DFS) by a query"
+                 : "hot-tier miss: promoted on demand by a query";
   RecordDecision(d);
   return promoted;
 }
@@ -223,8 +316,14 @@ std::vector<TieringDecision> TieringDaemon::DecisionLog() const {
 }
 
 std::string TieringDaemon::Explain(const std::string& partition) const {
-  bool resident = db_->GetTable(partition).ok();
-  bool warm = storage_->Contains(partition);
+  const char* tier = "absent";
+  if (db_->GetTable(partition).ok()) {
+    tier = "hot";
+  } else if (storage_->Contains(partition)) {
+    tier = "warm";
+  } else if (cold_ != nullptr && cold_->Contains(partition)) {
+    tier = "cold";
+  }
   double heat = heat_.HeatOf(partition);
 
   uint64_t total_scans = 0, total_points = 0;
@@ -239,12 +338,21 @@ std::string TieringDaemon::Explain(const std::string& partition) const {
   char head[256];
   std::snprintf(head, sizeof(head),
                 "%s: tier=%s heat=%.2f epoch=%llu scans=%llu point_reads=%llu",
-                partition.c_str(),
-                resident ? "hot" : (warm ? "warm" : "absent"), heat,
+                partition.c_str(), tier, heat,
                 static_cast<unsigned long long>(heat_.epoch()),
                 static_cast<unsigned long long>(total_scans),
                 static_cast<unsigned long long>(total_points));
   std::string out = head;
+
+  std::vector<ColumnHeatSample> cols = heat_.ColumnSnapshot(partition);
+  if (!cols.empty()) {
+    out += "\n  column heat:";
+    for (const ColumnHeatSample& c : cols) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), " %s=%.2f", c.column.c_str(), c.heat);
+      out += buf;
+    }
+  }
 
   std::lock_guard<std::mutex> lock(log_mu_);
   auto it = last_decision_.find(partition);
@@ -254,10 +362,11 @@ std::string TieringDaemon::Explain(const std::string& partition) const {
     const TieringDecision& d = it->second;
     char line[384];
     std::snprintf(line, sizeof(line),
-                  "\n  last decision: %s at epoch %llu (heat=%.2f, %lluB) — %s",
+                  "\n  last decision: %s at epoch %llu (from=%s heat=%.2f, %lluB) — %s",
                   TierActionName(d.action),
-                  static_cast<unsigned long long>(d.epoch), d.effective_heat,
-                  static_cast<unsigned long long>(d.bytes), d.reason.c_str());
+                  static_cast<unsigned long long>(d.epoch), ResidencyName(d.from),
+                  d.effective_heat, static_cast<unsigned long long>(d.bytes),
+                  d.reason.c_str());
     out += line;
   }
   return out;

@@ -15,6 +15,7 @@
 #include "aging/extended_storage.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "hadoop/dfs_tier_store.h"
 #include "storage/access_hooks.h"
 #include "storage/database.h"
 #include "tiering/heat.h"
@@ -26,11 +27,20 @@ namespace poly::tiering {
 /// on exact behavior without scraping metrics.
 struct EpochReport {
   uint64_t epoch = 0;
+  /// Arrivals into the hot tier (from warm, or straight from cold).
   uint64_t promotes = 0;
+  /// Departures hot -> warm.
   uint64_t demotes = 0;
+  /// Moves out of the cold tier (cold -> warm and cold -> hot).
+  uint64_t cold_promotes = 0;
+  /// Moves warm -> cold.
+  uint64_t cold_demotes = 0;
   uint64_t deferred_budget = 0;
   uint64_t deferred_cooldown = 0;
+  /// Raw bytes moved, and the same bytes as the budget priced them
+  /// (cold-boundary moves scaled by cold_move_cost_factor).
   uint64_t moved_bytes = 0;
+  uint64_t priced_bytes = 0;
   uint64_t rows_aged = 0;  ///< from the aging pass, when run_aging is on
   std::vector<TieringDecision> decisions;
 };
@@ -39,9 +49,11 @@ struct EpochReport {
 /// paper's Fig. 1 loop. Owns an AccessHeatTracker (attached to the Database
 /// as its AccessObserver) and a TieringPolicy; each epoch it optionally
 /// runs the application aging rules, folds observed heat, asks the policy
-/// for decisions, and executes them through ExtendedStorage. It also
-/// implements TierResolver: a query hitting a demoted partition promotes it
-/// back on demand (a "hot-tier miss") instead of failing.
+/// for decisions, and executes them across up to three bands: hot (catalog)
+/// <-> warm (ExtendedStorage) <-> cold (DfsTierStore, when attached). It
+/// also implements TierResolver: a query hitting a demoted partition
+/// promotes it back on demand (a "hot-tier miss") — warm partitions reload
+/// from ExtendedStorage, cold ones demand-page in from DFS.
 ///
 /// Clocking: `RunEpoch()` is synchronous and deterministic — tests drive it
 /// directly (the virtual clock is simply the epoch counter). `Start(period)`
@@ -50,10 +62,12 @@ struct EpochReport {
 ///
 /// Safety with concurrent MVCC readers: executors pin partition tables
 /// (`Database::PinTable`), so a demotion mid-scan removes the catalog entry
-/// but the pinned table object survives until the scan drops it. Managed
-/// partitions are expected to be read-mostly (aged history); demoting a
-/// partition with in-flight *writes* would lose them, same as a manual
-/// `ExtendedStorage::Demote` today.
+/// but the pinned table object survives until the scan drops it. That same
+/// argument covers cold demotion: warm -> cold only touches serialized
+/// payloads, and a cold page-in hands back a pinned reference taken under
+/// the movement lock (DESIGN.md §11.4). Managed partitions are expected to
+/// be read-mostly (aged history); demoting a partition with in-flight
+/// *writes* would lose them, same as a manual `ExtendedStorage::Demote`.
 class TieringDaemon : public TierResolver {
  public:
   struct Options {
@@ -72,9 +86,17 @@ class TieringDaemon : public TierResolver {
   /// Attaches itself to `db` as access observer + tier resolver. `storage`
   /// must outlive the daemon; `aging` may be null (heat-only operation).
   TieringDaemon(Database* db, ExtendedStorage* storage)
-      : TieringDaemon(db, storage, Options(), nullptr) {}
+      : TieringDaemon(db, storage, nullptr, Options(), nullptr) {}
   TieringDaemon(Database* db, ExtendedStorage* storage, Options opts,
-                AgingManager* aging = nullptr);
+                AgingManager* aging = nullptr)
+      : TieringDaemon(db, storage, nullptr, opts, aging) {}
+  /// Three-band operation: also attaches the cold (DFS) tier. `cold` may be
+  /// null — the daemon then disables the warm->cold band entirely and runs
+  /// two-band, exactly as before. With a cold store attached, a policy
+  /// cold_move_cost_factor of 0 ("derive") is replaced by
+  /// DfsTierStore::CostFactorVersus(storage->options()).
+  TieringDaemon(Database* db, ExtendedStorage* storage, DfsTierStore* cold,
+                Options opts, AgingManager* aging = nullptr);
   ~TieringDaemon() override;
 
   TieringDaemon(const TieringDaemon&) = delete;
@@ -96,14 +118,15 @@ class TieringDaemon : public TierResolver {
   void Stop();
   bool running() const;
 
-  /// TierResolver: promote-on-demand for demoted partitions. Returns a
-  /// pinned reference taken under the movement lock, so the caller's scan
-  /// survives an immediate re-demotion.
+  /// TierResolver: promote-on-demand for demoted partitions, from warm OR
+  /// cold. Returns a pinned reference taken under the movement lock, so the
+  /// caller's scan survives an immediate re-demotion.
   StatusOr<std::shared_ptr<ColumnTable>> ResolveMissing(
       const std::string& table) override;
 
-  /// "Why is this partition hot/cold": residency, current heat, lifetime
-  /// access counts, and the last policy decision with its reason.
+  /// "Why is this partition hot/warm/cold": residency, current heat,
+  /// lifetime access counts, per-column heat when tracked, and the last
+  /// policy decision with its reason.
   std::string Explain(const std::string& partition) const;
 
   /// Most recent decisions, newest last (bounded ring).
@@ -111,15 +134,18 @@ class TieringDaemon : public TierResolver {
 
   AccessHeatTracker& heat() { return heat_; }
   const TieringPolicy& policy() const { return policy_; }
+  DfsTierStore* cold_store() const { return cold_; }
 
  private:
   /// Partitions to consider this epoch: explicitly managed plus the aged
-  /// partitions of every aging rule that exist somewhere (hot or warm).
+  /// partitions of every aging rule that exist somewhere (hot, warm, or
+  /// cold).
   std::vector<std::string> CandidatePartitions() const;
   void RecordDecision(const TieringDecision& decision);
 
   Database* db_;
   ExtendedStorage* storage_;
+  DfsTierStore* cold_;  // may be null: two-band operation
   AgingManager* aging_;
   Options opts_;
   AccessHeatTracker heat_;
@@ -145,7 +171,10 @@ class TieringDaemon : public TierResolver {
   metrics::Counter* m_epochs_;
   metrics::Counter* m_promotes_;
   metrics::Counter* m_demotes_;
+  metrics::Counter* m_cold_promotes_;
+  metrics::Counter* m_cold_demotes_;
   metrics::Counter* m_moved_bytes_;
+  metrics::Counter* m_priced_bytes_;
   metrics::Counter* m_deferred_budget_;
   metrics::Counter* m_deferred_cooldown_;
   metrics::Counter* m_miss_promotes_;

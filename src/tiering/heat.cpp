@@ -5,6 +5,16 @@
 
 namespace poly::tiering {
 
+std::string AccessHeatTracker::ColumnKey(const std::string& partition,
+                                         const std::string& column) {
+  std::string key;
+  key.reserve(partition.size() + 1 + column.size());
+  key.append(partition);
+  key.push_back('\x1f');
+  key.append(column);
+  return key;
+}
+
 std::shared_ptr<AccessHeatTracker::Cell> AccessHeatTracker::CellFor(
     const std::string& partition) {
   {
@@ -14,6 +24,20 @@ std::shared_ptr<AccessHeatTracker::Cell> AccessHeatTracker::CellFor(
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto& slot = cells_[partition];
+  if (!slot) slot = std::make_shared<Cell>();
+  return slot;
+}
+
+std::shared_ptr<AccessHeatTracker::Cell> AccessHeatTracker::ColumnCellFor(
+    const std::string& partition, const std::string& column) {
+  std::string key = ColumnKey(partition, column);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = column_cells_.find(key);
+    if (it != column_cells_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = column_cells_[std::move(key)];
   if (!slot) slot = std::make_shared<Cell>();
   return slot;
 }
@@ -29,20 +53,34 @@ void AccessHeatTracker::OnAccess(const AccessEvent& event) {
   }
   cell->rows.fetch_add(event.rows_scanned, std::memory_order_relaxed);
   cell->bytes.fetch_add(event.bytes, std::memory_order_relaxed);
+
+  if (!opts_.track_columns || event.columns.empty()) return;
+  for (const std::string& column : event.columns) {
+    std::shared_ptr<Cell> col = ColumnCellFor(event.partition, column);
+    if (event.point_read) {
+      col->point_reads.fetch_add(1, std::memory_order_relaxed);
+      col->total_point_reads.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      col->scans.fetch_add(1, std::memory_order_relaxed);
+      col->total_scans.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 uint64_t AccessHeatTracker::AdvanceEpoch() {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  for (auto& [_, cell] : cells_) {
-    uint64_t scans = cell->scans.exchange(0, std::memory_order_relaxed);
-    uint64_t points = cell->point_reads.exchange(0, std::memory_order_relaxed);
-    cell->rows.store(0, std::memory_order_relaxed);
-    cell->bytes.store(0, std::memory_order_relaxed);
+  auto fold = [this](Cell& cell) {
+    uint64_t scans = cell.scans.exchange(0, std::memory_order_relaxed);
+    uint64_t points = cell.point_reads.exchange(0, std::memory_order_relaxed);
+    cell.rows.store(0, std::memory_order_relaxed);
+    cell.bytes.store(0, std::memory_order_relaxed);
     double fresh = static_cast<double>(scans) +
                    opts_.point_read_weight * static_cast<double>(points);
-    double old = cell->heat.load(std::memory_order_relaxed);
-    cell->heat.store(opts_.decay * old + fresh, std::memory_order_relaxed);
-  }
+    double old = cell.heat.load(std::memory_order_relaxed);
+    cell.heat.store(opts_.decay * old + fresh, std::memory_order_relaxed);
+  };
+  for (auto& [_, cell] : cells_) fold(*cell);
+  for (auto& [_, cell] : column_cells_) fold(*cell);
   return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
@@ -50,6 +88,14 @@ double AccessHeatTracker::HeatOf(const std::string& partition) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = cells_.find(partition);
   if (it == cells_.end()) return 0.0;
+  return it->second->heat.load(std::memory_order_relaxed);
+}
+
+double AccessHeatTracker::ColumnHeatOf(const std::string& partition,
+                                       const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = column_cells_.find(ColumnKey(partition, column));
+  if (it == column_cells_.end()) return 0.0;
   return it->second->heat.load(std::memory_order_relaxed);
 }
 
@@ -76,9 +122,47 @@ std::vector<HeatSample> AccessHeatTracker::Snapshot() const {
   return out;
 }
 
+std::vector<ColumnHeatSample> AccessHeatTracker::ColumnSnapshot(
+    const std::string& partition) const {
+  std::vector<ColumnHeatSample> out;
+  std::string prefix = partition;
+  prefix.push_back('\x1f');
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [key, cell] : column_cells_) {
+      if (key.size() <= prefix.size() || key.compare(0, prefix.size(), prefix) != 0)
+        continue;
+      ColumnHeatSample s;
+      s.partition = partition;
+      s.column = key.substr(prefix.size());
+      s.heat = cell->heat.load(std::memory_order_relaxed);
+      s.epoch_scans = cell->scans.load(std::memory_order_relaxed);
+      s.epoch_point_reads = cell->point_reads.load(std::memory_order_relaxed);
+      s.total_scans = cell->total_scans.load(std::memory_order_relaxed);
+      s.total_point_reads = cell->total_point_reads.load(std::memory_order_relaxed);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ColumnHeatSample& a, const ColumnHeatSample& b) {
+              return a.column < b.column;
+            });
+  return out;
+}
+
 void AccessHeatTracker::Forget(const std::string& partition) {
+  std::string prefix = partition;
+  prefix.push_back('\x1f');
   std::unique_lock<std::shared_mutex> lock(mu_);
   cells_.erase(partition);
+  for (auto it = column_cells_.begin(); it != column_cells_.end();) {
+    if (it->first.size() > prefix.size() &&
+        it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = column_cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace poly::tiering

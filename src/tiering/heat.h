@@ -28,6 +28,17 @@ struct HeatSample {
   uint64_t total_point_reads = 0;
 };
 
+/// Point-in-time heat reading for one column of one partition.
+struct ColumnHeatSample {
+  std::string partition;
+  std::string column;
+  double heat = 0.0;
+  uint64_t epoch_scans = 0;
+  uint64_t epoch_point_reads = 0;
+  uint64_t total_scans = 0;
+  uint64_t total_point_reads = 0;
+};
+
 /// Lock-cheap per-partition access-heat tracker. Query threads call
 /// OnAccess (via the Database's AccessObserver hook); the hot path is one
 /// shared-lock map probe plus a handful of relaxed atomic adds — no
@@ -40,6 +51,12 @@ struct HeatSample {
 /// so recent access dominates and idle partitions cool off geometrically —
 /// the "observed access behavior" half of the paper's Fig. 1 loop, in the
 /// spirit of Polynesia's workload-driven placement (PAPERS.md).
+///
+/// Alongside the per-partition score, the tracker keeps the SAME counters
+/// per (partition, column) when the executor names the columns it read
+/// (AccessEvent::columns): wide tables show which columns carry the heat,
+/// surfaced through ColumnHeatOf / ColumnSnapshot and the daemon's
+/// Explain(). Column cells fold and decay on the same epoch cadence.
 class AccessHeatTracker : public AccessObserver {
  public:
   struct Options {
@@ -50,6 +67,10 @@ class AccessHeatTracker : public AccessObserver {
     /// reads are OLTP-shaped: latency-sensitive, so they argue harder for
     /// hot residency than a batch sweep touching the same partition.
     double point_read_weight = 4.0;
+    /// Track per-column heat when events carry column names. On by
+    /// default; the per-event cost is one map probe + two relaxed adds per
+    /// named column, bounded by schema width.
+    bool track_columns = true;
   };
 
   AccessHeatTracker() : AccessHeatTracker(Options{}) {}
@@ -62,10 +83,10 @@ class AccessHeatTracker : public AccessObserver {
   void OnAccess(const AccessEvent& event) override;
 
   /// Folds the current epoch's raw counts into decayed heat for every
-  /// tracked partition and resets the epoch counters. Returns the new epoch
-  /// number (first call returns 1). Called by the daemon; safe to run
-  /// concurrently with OnAccess — counts racing the fold land in the next
-  /// epoch, never lost.
+  /// tracked partition and column and resets the epoch counters. Returns
+  /// the new epoch number (first call returns 1). Called by the daemon;
+  /// safe to run concurrently with OnAccess — counts racing the fold land
+  /// in the next epoch, never lost.
   uint64_t AdvanceEpoch();
 
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
@@ -73,10 +94,19 @@ class AccessHeatTracker : public AccessObserver {
   /// Decayed heat for one partition; 0 if never seen.
   double HeatOf(const std::string& partition) const;
 
+  /// Decayed heat for one column of one partition; 0 if never seen.
+  double ColumnHeatOf(const std::string& partition, const std::string& column) const;
+
   /// Snapshot of every tracked partition, sorted by name (deterministic).
   std::vector<HeatSample> Snapshot() const;
 
-  /// Forgets one partition (e.g. after its table is dropped for good).
+  /// Snapshot of every tracked column of one partition, sorted by column
+  /// name (deterministic). Empty if the partition's events never named
+  /// columns (or track_columns is off).
+  std::vector<ColumnHeatSample> ColumnSnapshot(const std::string& partition) const;
+
+  /// Forgets one partition (e.g. after its table is dropped for good),
+  /// including its column cells.
   void Forget(const std::string& partition);
 
   const Options& options() const { return opts_; }
@@ -96,11 +126,20 @@ class AccessHeatTracker : public AccessObserver {
   /// erase the map entry while OnAccess is still bumping the cell, and the
   /// handle keeps the cell alive until the last reader drops it.
   std::shared_ptr<Cell> CellFor(const std::string& partition);
+  /// Same, for a (partition, column) cell in the column map.
+  std::shared_ptr<Cell> ColumnCellFor(const std::string& partition,
+                                      const std::string& column);
+
+  /// Column cells are keyed "partition\x1fcolumn" in one flat map ('\x1f'
+  /// = ASCII unit separator, which cannot appear in catalog names).
+  static std::string ColumnKey(const std::string& partition,
+                               const std::string& column);
 
   Options opts_;
   std::atomic<uint64_t> epoch_{0};
-  mutable std::shared_mutex mu_;  // guards the map shape, not the cells
+  mutable std::shared_mutex mu_;  // guards both map shapes, not the cells
   std::unordered_map<std::string, std::shared_ptr<Cell>> cells_;
+  std::unordered_map<std::string, std::shared_ptr<Cell>> column_cells_;
 };
 
 }  // namespace poly::tiering

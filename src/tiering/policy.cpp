@@ -1,15 +1,27 @@
 #include "tiering/policy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace poly::tiering {
+
+const char* ResidencyName(Residency residency) {
+  switch (residency) {
+    case Residency::kHot: return "hot";
+    case Residency::kWarm: return "warm";
+    case Residency::kCold: return "cold";
+  }
+  return "?";
+}
 
 const char* TierActionName(TierAction action) {
   switch (action) {
     case TierAction::kKeep: return "keep";
     case TierAction::kPromote: return "promote";
     case TierAction::kDemote: return "demote";
+    case TierAction::kPromoteFromCold: return "promote-from-cold";
+    case TierAction::kDemoteToCold: return "demote-to-cold";
     case TierAction::kDeferredBudget: return "deferred-budget";
     case TierAction::kDeferredCooldown: return "deferred-cooldown";
   }
@@ -24,16 +36,39 @@ std::string FormatHeat(double h) {
   return buf;
 }
 
+/// Target residency of the decided action (what the move is toward).
+Residency TargetOf(TierAction action, Residency from) {
+  switch (action) {
+    case TierAction::kPromote: return Residency::kHot;
+    case TierAction::kDemote: return Residency::kWarm;
+    case TierAction::kPromoteFromCold: return Residency::kWarm;
+    case TierAction::kDemoteToCold: return Residency::kCold;
+    default: return from;
+  }
+}
+
 }  // namespace
 
 TieringPolicy::TieringPolicy(Options opts) : opts_(opts) {
-  // The hysteresis band requires promote_threshold > demote_threshold; an
-  // inverted band would demote and re-promote the same partition every
-  // epoch (partially masked by cooldown). Normalized in every build, not
-  // assert()ed — NDEBUG would compile the check out and ship the thrash.
+  // Each hysteresis band requires promote > demote; an inverted band would
+  // move the same partition back and forth every epoch (partially masked by
+  // cooldown). Normalized in every build, not assert()ed — NDEBUG would
+  // compile the check out and ship the thrash.
   if (!(opts_.promote_threshold > opts_.demote_threshold)) {
     opts_.demote_threshold = opts_.promote_threshold;
   }
+  if (!(opts_.cold_promote_threshold > opts_.cold_demote_threshold)) {
+    opts_.cold_demote_threshold = opts_.cold_promote_threshold;
+  }
+  // An unpriced (or nonsensical negative) cold factor meters raw bytes.
+  if (!(opts_.cold_move_cost_factor > 0.0)) opts_.cold_move_cost_factor = 1.0;
+}
+
+uint64_t TieringPolicy::PricedBytes(uint64_t bytes, Residency from,
+                                    Residency to) const {
+  if (from != Residency::kCold && to != Residency::kCold) return bytes;
+  double priced = static_cast<double>(bytes) * opts_.cold_move_cost_factor;
+  return static_cast<uint64_t>(std::llround(priced));
 }
 
 std::vector<TieringDecision> TieringPolicy::Decide(
@@ -43,6 +78,7 @@ std::vector<TieringDecision> TieringPolicy::Decide(
   for (const PartitionState& s : states) {
     TieringDecision d;
     d.partition = s.partition;
+    d.from = s.residency;
     d.bytes = s.bytes;
     d.epoch = epoch;
     double eff = s.heat - (s.rule_aged ? opts_.aged_bias : 0.0);
@@ -50,54 +86,107 @@ std::vector<TieringDecision> TieringPolicy::Decide(
     d.effective_heat = eff;
 
     bool wants_move = false;
-    if (!s.resident && eff >= opts_.promote_threshold) {
-      d.action = TierAction::kPromote;
-      d.reason = "heat " + FormatHeat(eff) + " >= promote threshold " +
-                 FormatHeat(opts_.promote_threshold);
-      wants_move = true;
-    } else if (s.resident && eff < opts_.demote_threshold) {
-      d.action = TierAction::kDemote;
-      d.reason = "heat " + FormatHeat(eff) + " < demote threshold " +
-                 FormatHeat(opts_.demote_threshold) +
-                 (s.rule_aged ? " (rule-aged, bias applied)" : "");
-      wants_move = true;
-    } else {
+    switch (s.residency) {
+      case Residency::kHot:
+        if (eff < opts_.demote_threshold) {
+          d.action = TierAction::kDemote;
+          d.reason = "heat " + FormatHeat(eff) + " < demote threshold " +
+                     FormatHeat(opts_.demote_threshold) +
+                     (s.rule_aged ? " (rule-aged, bias applied)" : "");
+          wants_move = true;
+        }
+        break;
+      case Residency::kWarm:
+        if (eff >= opts_.promote_threshold) {
+          d.action = TierAction::kPromote;
+          d.reason = "heat " + FormatHeat(eff) + " >= promote threshold " +
+                     FormatHeat(opts_.promote_threshold);
+          wants_move = true;
+        } else if (eff < opts_.cold_demote_threshold) {
+          d.action = TierAction::kDemoteToCold;
+          d.reason = "heat " + FormatHeat(eff) + " < cold-demote threshold " +
+                     FormatHeat(opts_.cold_demote_threshold) +
+                     (s.rule_aged ? " (rule-aged, bias applied)" : "");
+          wants_move = true;
+        }
+        break;
+      case Residency::kCold:
+        if (eff >= opts_.promote_threshold) {
+          // Hot enough to skip the warm stopover entirely: a cold partition
+          // whose heat clears the HOT band pages straight into memory.
+          d.action = TierAction::kPromote;
+          d.reason = "heat " + FormatHeat(eff) + " >= promote threshold " +
+                     FormatHeat(opts_.promote_threshold) + " (from cold)";
+          wants_move = true;
+        } else if (eff >= opts_.cold_promote_threshold) {
+          d.action = TierAction::kPromoteFromCold;
+          d.reason = "heat " + FormatHeat(eff) + " >= cold-promote threshold " +
+                     FormatHeat(opts_.cold_promote_threshold);
+          wants_move = true;
+        }
+        break;
+    }
+    if (!wants_move) {
       d.action = TierAction::kKeep;
-      d.reason = s.resident
-                     ? "resident, heat " + FormatHeat(eff) + " inside band"
-                     : "demoted, heat " + FormatHeat(eff) + " inside band";
+      d.reason = std::string(ResidencyName(s.residency)) + ", heat " +
+                 FormatHeat(eff) + " inside band";
     }
 
-    if (wants_move && s.last_move_epoch != 0 && opts_.cooldown_epochs > 0 &&
-        epoch < s.last_move_epoch + opts_.cooldown_epochs) {
-      d.reason = std::string("wanted ") + TierActionName(d.action) +
-                 " but moved at epoch " + std::to_string(s.last_move_epoch) +
-                 " (cooldown " + std::to_string(opts_.cooldown_epochs) + ")";
-      d.action = TierAction::kDeferredCooldown;
-      wants_move = false;
+    if (wants_move) {
+      // Each band has its own cooldown; any recent move (either boundary)
+      // starts the clock, so a partition can never chain hot->warm->cold
+      // faster than the cold band's cooldown allows.
+      Residency target = TargetOf(d.action, s.residency);
+      bool cold_boundary =
+          s.residency == Residency::kCold || target == Residency::kCold;
+      uint64_t cooldown =
+          cold_boundary ? opts_.cold_cooldown_epochs : opts_.cooldown_epochs;
+      if (s.last_move_epoch != 0 && cooldown > 0 &&
+          epoch < s.last_move_epoch + cooldown) {
+        d.reason = std::string("wanted ") + TierActionName(d.action) +
+                   " but moved at epoch " + std::to_string(s.last_move_epoch) +
+                   " (" + (cold_boundary ? "cold-band cooldown " : "cooldown ") +
+                   std::to_string(cooldown) + ")";
+        d.action = TierAction::kDeferredCooldown;
+        wants_move = false;
+      }
     }
 
-    if (d.action == TierAction::kPromote) {
+    if (d.action == TierAction::kPromote ||
+        d.action == TierAction::kPromoteFromCold) {
       wants_promote.push_back(std::move(d));
-    } else if (d.action == TierAction::kDemote) {
+    } else if (d.action == TierAction::kDemote ||
+               d.action == TierAction::kDemoteToCold) {
       wants_demote.push_back(std::move(d));
     } else {
       rest.push_back(std::move(d));
     }
   }
 
-  // Hottest promotions first, coldest demotions first: the budget admits
-  // the moves with the most placement value.
+  // Budget admission order: hottest promotions first (warm->hot before
+  // cold->warm at equal heat), then coldest demotions first (hot->warm
+  // before warm->cold at equal heat) — hot data earns memory before cold
+  // data is evicted, and the cheapest boundary moves first on ties.
+  auto promote_rank = [](const TieringDecision& d) {
+    return d.action == TierAction::kPromote ? 0 : 1;
+  };
+  auto demote_rank = [](const TieringDecision& d) {
+    return d.action == TierAction::kDemote ? 0 : 1;
+  };
   std::sort(wants_promote.begin(), wants_promote.end(),
-            [](const TieringDecision& a, const TieringDecision& b) {
+            [&](const TieringDecision& a, const TieringDecision& b) {
               if (a.effective_heat != b.effective_heat)
                 return a.effective_heat > b.effective_heat;
+              if (promote_rank(a) != promote_rank(b))
+                return promote_rank(a) < promote_rank(b);
               return a.partition < b.partition;
             });
   std::sort(wants_demote.begin(), wants_demote.end(),
-            [](const TieringDecision& a, const TieringDecision& b) {
+            [&](const TieringDecision& a, const TieringDecision& b) {
               if (a.effective_heat != b.effective_heat)
                 return a.effective_heat < b.effective_heat;
+              if (demote_rank(a) != demote_rank(b))
+                return demote_rank(a) < demote_rank(b);
               return a.partition < b.partition;
             });
   std::sort(rest.begin(), rest.end(),
@@ -107,13 +196,18 @@ std::vector<TieringDecision> TieringPolicy::Decide(
 
   uint64_t budget_left = opts_.epoch_budget_bytes;
   auto meter = [&](TieringDecision& d) {
-    if (opts_.epoch_budget_bytes == 0) return;  // unlimited
-    if (d.bytes <= budget_left) {
-      budget_left -= d.bytes;
+    uint64_t priced = PricedBytes(d.bytes, d.from, TargetOf(d.action, d.from));
+    if (opts_.epoch_budget_bytes == 0) {  // unlimited
+      d.priced_bytes = priced;
+      return;
+    }
+    if (priced <= budget_left) {
+      budget_left -= priced;
+      d.priced_bytes = priced;
     } else {
       d.reason = std::string("wanted ") + TierActionName(d.action) +
-                 " but epoch budget exhausted (" + std::to_string(d.bytes) +
-                 "B move, " + std::to_string(budget_left) + "B left)";
+                 " but epoch budget exhausted (" + std::to_string(priced) +
+                 "B priced move, " + std::to_string(budget_left) + "B left)";
       d.action = TierAction::kDeferredBudget;
     }
   };

@@ -7,11 +7,17 @@
 
 namespace poly::tiering {
 
+/// Where a partition currently lives in Figure 1's temperature pyramid:
+/// hot = in-memory (catalog-resident), warm = ExtendedStorage (local disk
+/// model), cold = the DFS tier (DfsTierStore over SimulatedDfs, §IV-C).
+enum class Residency : uint8_t { kHot = 0, kWarm, kCold };
+
+const char* ResidencyName(Residency residency);
+
 /// What the policy knows about one partition when deciding placement.
 struct PartitionState {
   std::string partition;
-  /// True = lives in hot memory (catalog-resident); false = warm/cold tier.
-  bool resident = true;
+  Residency residency = Residency::kHot;
   /// True when the application aging rules classify this partition as aged
   /// (the "$aged" partition tables AgingManager maintains). Aging rules are
   /// the *application-knowledge* half of the Fig. 1 loop; heat is the
@@ -27,9 +33,11 @@ struct PartitionState {
 };
 
 enum class TierAction : uint8_t {
-  kKeep = 0,            // inside the hysteresis band or already placed right
-  kPromote,             // warm/cold -> hot
+  kKeep = 0,            // inside a hysteresis band or already placed right
+  kPromote,             // warm -> hot (or cold -> hot when heat clears the hot band)
   kDemote,              // hot -> warm
+  kPromoteFromCold,     // cold -> warm (heat re-crossed the cold band upward)
+  kDemoteToCold,        // warm -> cold (heat fell through the cold band)
   kDeferredBudget,      // wanted to move, out of epoch byte budget
   kDeferredCooldown,    // wanted to move, moved too recently (anti-thrash)
 };
@@ -40,48 +48,91 @@ const char* TierActionName(TierAction action);
 struct TieringDecision {
   std::string partition;
   TierAction action = TierAction::kKeep;
+  /// Where the partition lived when the decision was made.
+  Residency from = Residency::kHot;
   double effective_heat = 0.0;
   uint64_t bytes = 0;
+  /// What the move charged against the epoch budget: raw bytes for
+  /// hot<->warm moves, bytes scaled by cold_move_cost_factor for any move
+  /// that crosses the DFS boundary. Zero for keeps/deferrals.
+  uint64_t priced_bytes = 0;
   uint64_t epoch = 0;
   std::string reason;
 };
 
-/// Deterministic placement policy: pure function of (epoch, states), no
-/// clock, no RNG, no I/O — the same inputs always yield the same decisions,
-/// which is what makes the convergence tests exact. Hysteresis comes from
-/// two thresholds (promote above, demote below; the gap is the dead band),
-/// thrash-resistance from a per-partition cooldown, and foreground
-/// protection from a per-epoch migration byte budget.
+/// Deterministic placement policy over THREE bands: pure function of
+/// (epoch, states), no clock, no RNG, no I/O — the same inputs always yield
+/// the same decisions, which is what makes the convergence tests exact.
+///
+/// Two hysteresis bands partition the heat axis:
+///
+///   heat >= promote_threshold          -> belongs hot
+///   demote_threshold .. promote        -> hot/warm dead band (no move)
+///   cold_promote .. demote_threshold   -> belongs warm
+///   cold_demote .. cold_promote        -> warm/cold dead band (no move)
+///   heat < cold_demote_threshold       -> belongs cold (DFS)
+///
+/// Thrash-resistance comes from per-band cooldowns, and foreground
+/// protection from one SHARED per-epoch migration byte budget in which cold
+/// moves are priced higher (cold_move_cost_factor, derived from the
+/// SimulatedDfs vs ExtendedStorage byte-cost models by the daemon).
 class TieringPolicy {
  public:
   struct Options {
-    /// Promote a non-resident partition when effective heat rises above
-    /// this. Must be > demote_threshold; the gap is the hysteresis band.
-    /// An inverted pair is normalized by the constructor (demote_threshold
-    /// lowered to promote_threshold — a zero-width band cannot oscillate).
+    /// Promote a non-resident partition to hot when effective heat rises
+    /// above this. Must be > demote_threshold; the gap is the hot/warm
+    /// hysteresis band. An inverted pair is normalized by the constructor
+    /// (demote_threshold lowered to promote_threshold — a zero-width band
+    /// cannot oscillate).
     double promote_threshold = 8.0;
-    /// Demote a resident partition when effective heat falls below this.
+    /// Demote a hot partition to warm when effective heat falls below this.
     double demote_threshold = 2.0;
+    /// Promote a cold partition back to warm when effective heat rises
+    /// above this. Must be > cold_demote_threshold (normalized the same
+    /// way); should sit at or below demote_threshold so the bands stack.
+    double cold_promote_threshold = 1.0;
+    /// Demote a warm partition onward to cold (DFS) when effective heat
+    /// falls below this. The warm/cold band is (cold_demote, cold_promote).
+    double cold_demote_threshold = 0.25;
     /// Additive bias subtracted from the effective heat of rule-aged
     /// partitions: the application said "old", so they must be this much
     /// hotter than an unaged partition to earn the same placement.
     double aged_bias = 1.0;
-    /// Max bytes of promotions+demotions per epoch. 0 = unlimited.
+    /// Max PRICED bytes of promotions+demotions per epoch, shared across
+    /// both bands. 0 = unlimited. Promotions are admitted before demotions
+    /// (hot data earns memory before cold data is evicted), and within each
+    /// group warm-boundary moves are admitted before cold-boundary moves.
     uint64_t epoch_budget_bytes = 64ull << 20;
-    /// A partition that moved within the last N epochs is not moved again
-    /// (kDeferredCooldown), even if its heat crossed a threshold.
+    /// Price multiplier for any move crossing the DFS boundary (warm->cold,
+    /// cold->warm, cold->hot): one cold byte costs this many budget bytes.
+    /// <= 0 means "derive": the daemon replaces it with
+    /// DfsTierStore::CostFactorVersus (the SimulatedDfs vs ExtendedStorage
+    /// byte-cost ratio, ~3.33 at defaults) when a cold store is attached; a
+    /// bare policy normalizes it to 1 (unpriced).
+    double cold_move_cost_factor = 0.0;
+    /// A partition that moved within the last N epochs is not moved across
+    /// the hot/warm boundary again (kDeferredCooldown).
     uint64_t cooldown_epochs = 2;
+    /// Same, for moves across the warm/cold boundary. Cold moves are
+    /// expensive, so the default cooldown is longer.
+    uint64_t cold_cooldown_epochs = 4;
   };
 
   TieringPolicy() : TieringPolicy(Options{}) {}
   explicit TieringPolicy(Options opts);
 
-  /// Decides every partition. Output order: promotes hottest-first, then
-  /// demotes coldest-first, then keeps/deferrals; ties broken by partition
+  /// Decides every partition. Output order: promotes hottest-first
+  /// (warm->hot before cold->warm), then demotes coldest-first (hot->warm
+  /// before warm->cold), then keeps/deferrals; ties broken by partition
   /// name, so the budget always admits the most valuable moves and the
   /// result is reproducible.
   std::vector<TieringDecision> Decide(uint64_t epoch,
                                       const std::vector<PartitionState>& states) const;
+
+  /// Budget price of moving `bytes` across (`from` -> `to`): raw bytes
+  /// inside the hot/warm pair, bytes * cold_move_cost_factor when either
+  /// side is cold.
+  uint64_t PricedBytes(uint64_t bytes, Residency from, Residency to) const;
 
   const Options& options() const { return opts_; }
 

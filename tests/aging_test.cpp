@@ -239,7 +239,19 @@ TEST(ExtendedStorageTest, DemotePromoteRoundTrip) {
   auto back = storage.Promote(&db, "warmme");
   ASSERT_TRUE(back.ok());
   EXPECT_EQ((*back)->CountVisible(LatestCommittedView()), 1u);
+  // Promote MOVES: no warm residue, or a later cold demotion could sink a
+  // stale copy while the real partition is hot (three-band invariant).
+  EXPECT_FALSE(storage.Contains("warmme"));
+  EXPECT_EQ(storage.bytes_stored(), 0u);
   EXPECT_FALSE(storage.Promote(&db, "never").ok());
+
+  // A failed promote must not lose the only copy: demote again, shadow the
+  // name in the hot catalog so AdoptTable refuses, and check the payload
+  // is rolled back into the warm store.
+  ASSERT_TRUE(storage.Demote(&db, "warmme").ok());
+  ASSERT_TRUE(db.CreateTable("warmme", Schema({ColumnDef("id", DataType::kInt64)})).ok());
+  EXPECT_FALSE(storage.Promote(&db, "warmme").ok());
+  EXPECT_TRUE(storage.Contains("warmme"));
 }
 
 TEST(ExtendedStorageTest, ColdTierViaDfs) {

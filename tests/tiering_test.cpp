@@ -7,6 +7,9 @@
 #include "aging/aging.h"
 #include "aging/extended_storage.h"
 #include "common/random.h"
+#include "hadoop/dfs.h"
+#include "hadoop/dfs_tier_store.h"
+#include "query/compiled.h"
 #include "query/executor.h"
 #include "tiering/daemon.h"
 #include "tiering/heat.h"
@@ -17,9 +20,11 @@ namespace poly {
 namespace {
 
 using tiering::AccessHeatTracker;
+using tiering::ColumnHeatSample;
 using tiering::EpochReport;
 using tiering::HeatSample;
 using tiering::PartitionState;
+using tiering::Residency;
 using tiering::TierAction;
 using tiering::TieringDaemon;
 using tiering::TieringDecision;
@@ -127,14 +132,57 @@ TEST(HeatTrackerTest, ForgetWhileObserversRunIsSafe) {
   EXPECT_TRUE(tracker.Snapshot().empty());
 }
 
+TEST(HeatTrackerTest, PerColumnCountersFoldIndependently) {
+  AccessHeatTracker::Options opts;
+  opts.decay = 0.5;
+  opts.point_read_weight = 4.0;
+  AccessHeatTracker tracker(opts);
+
+  AccessEvent wide = Scan("p");
+  wide.columns = {"a", "b"};
+  tracker.OnAccess(wide);
+  AccessEvent point = PointRead("p");
+  point.columns = {"a"};
+  tracker.OnAccess(point);
+
+  tracker.AdvanceEpoch();
+  EXPECT_DOUBLE_EQ(tracker.ColumnHeatOf("p", "a"), 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(tracker.ColumnHeatOf("p", "b"), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.ColumnHeatOf("p", "never"), 0.0);
+  // Column heat decays on the same cadence as partition heat.
+  tracker.AdvanceEpoch();
+  EXPECT_DOUBLE_EQ(tracker.ColumnHeatOf("p", "a"), 2.5);
+
+  std::vector<ColumnHeatSample> cols = tracker.ColumnSnapshot("p");
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0].column, "a");  // name-sorted
+  EXPECT_EQ(cols[1].column, "b");
+  EXPECT_EQ(cols[0].total_scans, 1u);
+  EXPECT_EQ(cols[0].total_point_reads, 1u);
+  EXPECT_EQ(cols[1].total_point_reads, 0u);
+
+  // Forget drops the partition's column cells with it.
+  tracker.Forget("p");
+  EXPECT_TRUE(tracker.ColumnSnapshot("p").empty());
+  EXPECT_DOUBLE_EQ(tracker.ColumnHeatOf("p", "a"), 0.0);
+}
+
+TEST(HeatTrackerTest, ColumnlessEventsStillHeatThePartition) {
+  AccessHeatTracker tracker;
+  tracker.OnAccess(Scan("p"));  // no columns named (e.g. older call sites)
+  tracker.AdvanceEpoch();
+  EXPECT_GT(tracker.HeatOf("p"), 0.0);
+  EXPECT_TRUE(tracker.ColumnSnapshot("p").empty());
+}
+
 // ----------------------------------------------------------------- policy --
 
-PartitionState State(const std::string& name, bool resident, double heat,
+PartitionState State(const std::string& name, Residency residency, double heat,
                      uint64_t bytes = 1000, bool rule_aged = false,
                      uint64_t last_move = 0) {
   PartitionState s;
   s.partition = name;
-  s.resident = resident;
+  s.residency = residency;
   s.heat = heat;
   s.bytes = bytes;
   s.rule_aged = rule_aged;
@@ -164,10 +212,10 @@ TEST(TieringPolicyTest, HysteresisBandKeepsBothSides) {
   TieringPolicy policy(PolicyOpts());
   // Heat 5 sits inside the (2, 8) band: resident stays resident, demoted
   // stays demoted — no oscillation for mid-band partitions.
-  auto ds = policy.Decide(1, {State("resident", true, 5.0),
-                             State("demoted", false, 5.0),
-                             State("hot", false, 9.0),
-                             State("cold", true, 1.0)});
+  auto ds = policy.Decide(1, {State("resident", Residency::kHot, 5.0),
+                             State("demoted", Residency::kWarm, 5.0),
+                             State("hot", Residency::kWarm, 9.0),
+                             State("cold", Residency::kHot, 1.0)});
   EXPECT_EQ(FindDecision(ds, "resident")->action, TierAction::kKeep);
   EXPECT_EQ(FindDecision(ds, "demoted")->action, TierAction::kKeep);
   EXPECT_EQ(FindDecision(ds, "hot")->action, TierAction::kPromote);
@@ -178,8 +226,9 @@ TEST(TieringPolicyTest, AgedBiasRaisesTheBar) {
   TieringPolicy policy(PolicyOpts());
   // Effective heat = 8.5 - 1.0 = 7.5 < 8: the rule-aged partition misses
   // promotion where an unaged one at the same heat earns it.
-  auto ds = policy.Decide(1, {State("aged", false, 8.5, 1000, /*rule_aged=*/true),
-                             State("plain", false, 8.5)});
+  auto ds =
+      policy.Decide(1, {State("aged", Residency::kWarm, 8.5, 1000, /*rule_aged=*/true),
+                        State("plain", Residency::kWarm, 8.5)});
   EXPECT_EQ(FindDecision(ds, "aged")->action, TierAction::kKeep);
   EXPECT_EQ(FindDecision(ds, "plain")->action, TierAction::kPromote);
 }
@@ -190,9 +239,9 @@ TEST(TieringPolicyTest, BudgetAdmitsMostValuableMovesFirst) {
   TieringPolicy policy(opts);
   // Three hot promotions of 1000B each: only the hottest fits (1000), the
   // second needs 1000 > 500 left. Demotes come after promotes in the order.
-  auto ds = policy.Decide(1, {State("warm1", false, 10.0, 1000),
-                             State("warm2", false, 20.0, 1000),
-                             State("warm3", false, 15.0, 1000)});
+  auto ds = policy.Decide(1, {State("warm1", Residency::kWarm, 10.0, 1000),
+                             State("warm2", Residency::kWarm, 20.0, 1000),
+                             State("warm3", Residency::kWarm, 15.0, 1000)});
   ASSERT_EQ(ds.size(), 3u);
   EXPECT_EQ(ds[0].partition, "warm2");  // hottest first
   EXPECT_EQ(ds[0].action, TierAction::kPromote);
@@ -209,7 +258,9 @@ TEST(TieringPolicyTest, CooldownDefersRecentMovers) {
   // Moved at epoch 4; epochs 5 and 6 are inside the cooldown window,
   // epoch 7 is out.
   auto at = [&](uint64_t epoch) {
-    return policy.Decide(epoch, {State("p", true, 0.0, 1000, false, 4)})[0].action;
+    return policy.Decide(epoch,
+                         {State("p", Residency::kHot, 0.0, 1000, false, 4)})[0]
+        .action;
   };
   EXPECT_EQ(at(5), TierAction::kDeferredCooldown);
   EXPECT_EQ(at(6), TierAction::kDeferredCooldown);
@@ -228,20 +279,112 @@ TEST(TieringPolicyTest, InvertedBandIsNormalizedInAllBuilds) {
   // Heat 5 sat between the inverted thresholds: the raw options would
   // demote it while resident and promote it while demoted, every epoch.
   // After normalization it moves at most once and then stays put.
-  auto resident = policy.Decide(1, {State("p", true, 5.0)});
+  auto resident = policy.Decide(1, {State("p", Residency::kHot, 5.0)});
   EXPECT_EQ(resident[0].action, TierAction::kKeep);
-  auto demoted = policy.Decide(2, {State("p", false, 5.0)});
+  auto demoted = policy.Decide(2, {State("p", Residency::kWarm, 5.0)});
   EXPECT_EQ(demoted[0].action, TierAction::kPromote);
 }
 
 TEST(TieringPolicyTest, DeterministicTieBreakByName) {
   TieringPolicy policy(PolicyOpts());
-  auto ds = policy.Decide(1, {State("b", true, 0.0), State("a", true, 0.0),
-                             State("c", false, 9.0)});
+  auto ds = policy.Decide(1, {State("b", Residency::kHot, 0.0),
+                             State("a", Residency::kHot, 0.0),
+                             State("c", Residency::kWarm, 9.0)});
   // Promotes first, then demotes coldest-first with name tie-break.
   EXPECT_EQ(ds[0].partition, "c");
   EXPECT_EQ(ds[1].partition, "a");
   EXPECT_EQ(ds[2].partition, "b");
+}
+
+TEST(TieringPolicyTest, ThreeBandPlacementTable) {
+  auto opts = PolicyOpts();  // bands: promote 8 / demote 2, cold 1 / 0.25
+  TieringPolicy policy(opts);
+  auto ds = policy.Decide(
+      1, {State("warm_mid", Residency::kWarm, 5.0),    // inside hot/warm band
+          State("warm_low", Residency::kWarm, 0.1),    // below cold-demote
+          State("cold_mid", Residency::kCold, 0.5),    // inside warm/cold band
+          State("cold_warming", Residency::kCold, 2.0),// re-crossed cold-promote
+          State("cold_blazing", Residency::kCold, 9.0)});  // clears the HOT band
+  EXPECT_EQ(FindDecision(ds, "warm_mid")->action, TierAction::kKeep);
+  EXPECT_EQ(FindDecision(ds, "warm_low")->action, TierAction::kDemoteToCold);
+  EXPECT_EQ(FindDecision(ds, "cold_mid")->action, TierAction::kKeep);
+  EXPECT_EQ(FindDecision(ds, "cold_warming")->action, TierAction::kPromoteFromCold);
+  // Hot enough to skip the warm stopover: cold -> hot directly.
+  EXPECT_EQ(FindDecision(ds, "cold_blazing")->action, TierAction::kPromote);
+  EXPECT_EQ(FindDecision(ds, "cold_blazing")->from, Residency::kCold);
+}
+
+TEST(TieringPolicyTest, SharedBudgetAdmitsPromotesBeforeColdEvictions) {
+  auto opts = PolicyOpts();
+  opts.epoch_budget_bytes = 1000;
+  TieringPolicy policy(opts);
+  // One warm->hot promotion and one warm->cold eviction, 1000B each, on a
+  // budget that fits only one: the promote is admitted, the cold eviction
+  // defers — hot data earns memory before cold data is evicted.
+  auto ds = policy.Decide(1, {State("rising", Residency::kWarm, 10.0, 1000),
+                             State("fading", Residency::kWarm, 0.1, 1000)});
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].partition, "rising");  // promotes ordered first
+  EXPECT_EQ(ds[0].action, TierAction::kPromote);
+  EXPECT_EQ(ds[1].partition, "fading");
+  EXPECT_EQ(ds[1].action, TierAction::kDeferredBudget);
+}
+
+TEST(TieringPolicyTest, ColdMovesPricedByCostFactor) {
+  auto opts = PolicyOpts();
+  opts.cold_move_cost_factor = 3.0;
+  opts.epoch_budget_bytes = 2500;
+  TieringPolicy policy(opts);
+
+  EXPECT_EQ(policy.PricedBytes(1000, Residency::kHot, Residency::kWarm), 1000u);
+  EXPECT_EQ(policy.PricedBytes(1000, Residency::kWarm, Residency::kCold), 3000u);
+  EXPECT_EQ(policy.PricedBytes(1000, Residency::kCold, Residency::kHot), 3000u);
+
+  // Both partitions want to move 1000 raw bytes down. The hot->warm demote
+  // is priced 1000 and fits; the warm->cold demote is priced 3000 > 1500
+  // left and defers, even though its raw bytes would have fit.
+  auto ds = policy.Decide(1, {State("tepid", Residency::kHot, 0.0, 1000),
+                             State("frozen", Residency::kWarm, 0.0, 1000)});
+  const TieringDecision* tepid = FindDecision(ds, "tepid");
+  const TieringDecision* frozen = FindDecision(ds, "frozen");
+  EXPECT_EQ(tepid->action, TierAction::kDemote);
+  EXPECT_EQ(tepid->priced_bytes, 1000u);
+  EXPECT_EQ(frozen->action, TierAction::kDeferredBudget);
+  EXPECT_NE(frozen->reason.find("priced move"), std::string::npos);
+}
+
+TEST(TieringPolicyTest, ColdBandCooldownOutlastsWarmCooldown) {
+  auto opts = PolicyOpts();
+  opts.cooldown_epochs = 2;
+  opts.cold_cooldown_epochs = 4;
+  TieringPolicy policy(opts);
+  // Both moved at epoch 4 with heat 0. The hot partition (hot->warm, warm
+  // band) frees up at epoch 6; the warm partition (warm->cold, cold band)
+  // must wait until epoch 8 — a chain hot->warm->cold can never outrun the
+  // cold band's cooldown.
+  auto at = [&](uint64_t epoch, Residency res) {
+    return policy.Decide(epoch, {State("p", res, 0.0, 1000, false, 4)})[0].action;
+  };
+  EXPECT_EQ(at(5, Residency::kHot), TierAction::kDeferredCooldown);
+  EXPECT_EQ(at(6, Residency::kHot), TierAction::kDemote);
+  EXPECT_EQ(at(6, Residency::kWarm), TierAction::kDeferredCooldown);
+  EXPECT_EQ(at(7, Residency::kWarm), TierAction::kDeferredCooldown);
+  EXPECT_EQ(at(8, Residency::kWarm), TierAction::kDemoteToCold);
+}
+
+TEST(TieringPolicyTest, InvertedColdBandIsNormalizedInAllBuilds) {
+  auto opts = PolicyOpts();
+  opts.cold_promote_threshold = 0.2;  // inverted: below cold_demote
+  opts.cold_demote_threshold = 1.0;
+  TieringPolicy policy(opts);
+  // Same normalization as the hot/warm band: zero-width at cold_promote.
+  EXPECT_DOUBLE_EQ(policy.options().cold_demote_threshold, 0.2);
+  // Heat 0.5 sat between the inverted thresholds; normalized, a cold
+  // partition promotes once and then keeps — no warm<->cold oscillation.
+  auto cold = policy.Decide(1, {State("p", Residency::kCold, 0.5)});
+  EXPECT_EQ(cold[0].action, TierAction::kPromoteFromCold);
+  auto warm = policy.Decide(2, {State("p", Residency::kWarm, 0.5)});
+  EXPECT_EQ(warm[0].action, TierAction::kKeep);
 }
 
 // ----------------------------------------------------------------- daemon --
@@ -291,6 +434,8 @@ class TieringDaemonFixture : public ::testing::Test {
   Database db_;
   TransactionManager tm_;
   ExtendedStorage storage_;
+  SimulatedDfs dfs_;
+  DfsTierStore cold_{&dfs_};
 };
 
 TEST_F(TieringDaemonFixture, ConvergesOnSkewedWorkloadWithinKEpochs) {
@@ -491,6 +636,184 @@ TEST_F(TieringDaemonFixture, ConcurrentQueriesWhileDaemonMovesPartitions) {
     EXPECT_TRUE(db_.GetTable(PartName(p)).ok() || storage_.Contains(PartName(p)))
         << PartName(p);
   }
+}
+
+TEST_F(TieringDaemonFixture, ColdDemotionAndDemandPageIn) {
+  auto opts = DaemonOpts();
+  opts.policy.cold_promote_threshold = 0.5;
+  opts.policy.cold_demote_threshold = 0.25;
+  opts.policy.cold_cooldown_epochs = 0;
+  TieringDaemon daemon(&db_, &storage_, &cold_, opts);
+  daemon.Manage(PartName(0));
+
+  // The cold cost factor was derived from the two cost models:
+  // 2 * 10 ns/B (DFS read) / (2 + 4) ns/B (warm round trip) = 10/3.
+  EXPECT_NEAR(daemon.policy().options().cold_move_cost_factor, 10.0 / 3.0, 1e-9);
+
+  uint64_t page_ins_before =
+      metrics::Default().counter("tier.cold.page_ins")->Value();
+
+  // Never queried: epoch 1 demotes hot->warm, epoch 2 sinks warm->cold.
+  auto r1 = daemon.RunEpoch();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->demotes, 1u);
+  ASSERT_TRUE(storage_.Contains(PartName(0)));
+  auto r2 = daemon.RunEpoch();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->cold_demotes, 1u);
+  EXPECT_GT(r2->priced_bytes, r2->moved_bytes);  // cold move priced > raw
+  EXPECT_FALSE(storage_.Contains(PartName(0)));
+  EXPECT_TRUE(cold_.Contains(PartName(0)));
+  EXPECT_TRUE(dfs_.Exists(ExtendedStorage::ColdPath(PartName(0))));
+
+  std::string explain = daemon.Explain(PartName(0));
+  EXPECT_NE(explain.find("tier=cold"), std::string::npos);
+  EXPECT_NE(explain.find("demote-to-cold"), std::string::npos);
+
+  // A query against the cold partition demand-pages it straight back to hot
+  // with its MVCC stamps intact: every committed row is visible.
+  Executor exec(&db_, tm_.AutoCommitView());
+  auto rs = exec.Execute(PlanBuilder::Scan(PartName(0)).Build());
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), static_cast<size_t>(kRowsPerPartition));
+  EXPECT_TRUE(db_.GetTable(PartName(0)).ok());
+  // Moving out of the cold tier deletes the DFS file: residency stays
+  // unambiguous.
+  EXPECT_FALSE(cold_.Contains(PartName(0)));
+  EXPECT_FALSE(dfs_.Exists(ExtendedStorage::ColdPath(PartName(0))));
+  EXPECT_EQ(metrics::Default().counter("tier.cold.page_ins")->Value(),
+            page_ins_before + 1);
+  std::string after = daemon.Explain(PartName(0));
+  EXPECT_NE(after.find("tier=hot"), std::string::npos);
+  EXPECT_NE(after.find("demand-paged in from cold"), std::string::npos);
+}
+
+TEST_F(TieringDaemonFixture, ModerateHeatRaisesColdToWarmOnly) {
+  auto opts = DaemonOpts();  // promote threshold 4.0
+  opts.policy.cold_promote_threshold = 0.5;
+  opts.policy.cold_demote_threshold = 0.25;
+  opts.policy.cold_cooldown_epochs = 0;
+  TieringDaemon daemon(&db_, &storage_, &cold_, opts);
+  daemon.Manage(PartName(1));
+
+  // Place the partition cold by hand, then warm it gently — one scan folds
+  // to heat 1.0, above cold-promote (0.5) but far below promote (4.0).
+  ASSERT_TRUE(storage_.Demote(&db_, PartName(1)).ok());
+  ASSERT_TRUE(cold_.Sink(&storage_, PartName(1)).ok());
+  daemon.heat().OnAccess(Scan(PartName(1)));
+
+  auto report = daemon.RunEpoch();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cold_promotes, 1u);
+  EXPECT_EQ(report->promotes, 0u);  // warm stopover, not hot
+  EXPECT_TRUE(storage_.Contains(PartName(1)));
+  EXPECT_FALSE(cold_.Contains(PartName(1)));
+  EXPECT_FALSE(db_.GetTable(PartName(1)).ok());
+  const TieringDecision* d = FindDecision(report->decisions, PartName(1));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->action, TierAction::kPromoteFromCold);
+}
+
+TEST_F(TieringDaemonFixture, WithoutColdStoreDaemonStaysTwoBand) {
+  auto opts = DaemonOpts();
+  // Thresholds that would sink everything to cold if the band were active.
+  opts.policy.cold_promote_threshold = 5.0;
+  opts.policy.cold_demote_threshold = 4.0;
+  TieringDaemon daemon(&db_, &storage_, opts);  // no DfsTierStore attached
+  daemon.Manage(PartName(2));
+
+  ASSERT_TRUE(daemon.RunEpoch().ok());  // hot -> warm (heat 0)
+  auto report = daemon.RunEpoch();      // would be warm -> cold, but disabled
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cold_demotes, 0u);
+  EXPECT_TRUE(storage_.Contains(PartName(2)));
+  const TieringDecision* d = FindDecision(report->decisions, PartName(2));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->action, TierAction::kKeep);
+}
+
+TEST_F(TieringDaemonFixture, ExecutorsFeedPerColumnHeat) {
+  TieringDaemon daemon(&db_, &storage_, &cold_, DaemonOpts());
+
+  // Interpreted executor materializes whole rows: both schema columns heat.
+  ASSERT_TRUE(QueryPartition(PartName(1)).ok());
+  // Compiled executor only touches its kernel's slots: SUM(amount) reads
+  // "amount" but never "id".
+  AggSpec total{AggFunc::kSum, Expr::Column(1), "total"};
+  auto plan = PlanBuilder::Scan(PartName(2)).Aggregate({}, {total}).Build();
+  QueryCompiler qc(&db_, tm_.AutoCommitView());
+  ASSERT_TRUE(qc.CanCompile(plan));
+  ASSERT_TRUE(qc.Execute(plan).ok());
+
+  daemon.heat().AdvanceEpoch();
+  EXPECT_GT(daemon.heat().ColumnHeatOf(PartName(1), "id"), 0.0);
+  EXPECT_GT(daemon.heat().ColumnHeatOf(PartName(1), "amount"), 0.0);
+  EXPECT_GT(daemon.heat().ColumnHeatOf(PartName(2), "amount"), 0.0);
+  EXPECT_DOUBLE_EQ(daemon.heat().ColumnHeatOf(PartName(2), "id"), 0.0);
+
+  std::string explain = daemon.Explain(PartName(1));
+  EXPECT_NE(explain.find("column heat:"), std::string::npos);
+  EXPECT_NE(explain.find("amount="), std::string::npos);
+}
+
+TEST_F(TieringDaemonFixture, ConcurrentScansSurviveColdDemotion) {
+  // The §11.4/§12 safety argument, exercised across all THREE bands: query
+  // threads hammer partitions while epochs demote hot->warm->cold and
+  // misses demand-page cold->hot concurrently. Pinning + the movement lock
+  // must keep every query succeeding, TSan-clean.
+  auto opts = DaemonOpts();
+  opts.policy.promote_threshold = 4.0;
+  opts.policy.demote_threshold = 3.0;
+  opts.policy.cold_promote_threshold = 2.0;
+  opts.policy.cold_demote_threshold = 1.0;
+  opts.policy.cold_cooldown_epochs = 0;
+  TieringDaemon daemon(&db_, &storage_, &cold_, opts);
+  for (int p = 0; p < kPartitions; ++p) daemon.Manage(PartName(p));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([this, t, &stop, &failures] {
+      Random rng(2000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        int p = static_cast<int>(rng.Uniform(kPartitions));
+        if (!QueryPartition(PartName(p)).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int e = 0; e < 20; ++e) {
+    auto report = daemon.RunEpoch();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // Quiesced: every partition is in exactly one tier, none lost.
+  for (int p = 0; p < kPartitions; ++p) {
+    int homes = (db_.GetTable(PartName(p)).ok() ? 1 : 0) +
+                (storage_.Contains(PartName(p)) ? 1 : 0) +
+                (cold_.Contains(PartName(p)) ? 1 : 0);
+    EXPECT_EQ(homes, 1) << PartName(p);
+  }
+
+  // With queries gone, heat decays geometrically and everything must drain
+  // hot -> warm -> cold: the full three-band descent for every partition.
+  for (int e = 0; e < 40; ++e) {
+    ASSERT_TRUE(daemon.RunEpoch().ok());
+    bool all_cold = true;
+    for (int p = 0; p < kPartitions; ++p) all_cold &= cold_.Contains(PartName(p));
+    if (all_cold) break;
+  }
+  for (int p = 0; p < kPartitions; ++p) {
+    EXPECT_TRUE(cold_.Contains(PartName(p))) << PartName(p);
+  }
+  // And a final query revives one straight from DFS.
+  ASSERT_TRUE(QueryPartition(PartName(5)).ok());
+  EXPECT_TRUE(db_.GetTable(PartName(5)).ok());
 }
 
 TEST_F(TieringDaemonFixture, BackgroundThreadStartStop) {
