@@ -1,0 +1,292 @@
+// E25: workload management under over-subscription (DESIGN.md §13) — the
+// same mixed OLTP + OLAP workload with and without the resource governor,
+// plus the cost of a pressure-driven spill cycle.
+//
+// Rows reproduced:
+//   Resource_PointReadNoGovernor / Resource_PointReadGoverned - the
+//     per-statement cost of admission: one ticket (slot + per-query budget
+//     node) minted and released around a single-row point read. The delta
+//     between the rows is the whole foreground price of the governor on the
+//     OLTP path.
+//   Resource_MixedUngoverned - two OLAP threads loop a full-scan group-by
+//     against the timed OLTP loop (200 point reads per iteration) on one
+//     Database with no governor. A metering-only budget node records
+//     materialized bytes; peak_mb is the budget's exact high-water mark
+//     of concurrent query materialization — the memory an unprotected
+//     system must absorb (both scans in flight at once), i.e. the OOM
+//     exposure.
+//   Resource_MixedGoverned - identical workload routed through
+//     Database::Execute workload classes: oltp (8 slots) vs olap (1 slot,
+//     1 queue entry, 2 ms queue deadline). The second concurrent scan
+//     queues briefly and then fails fast with ResourceExhausted
+//     (olap_rejected) instead of piling on memory, so peak_mb drops to
+//     one scan's footprint while olap_ok keeps flowing and the OLTP
+//     iteration time stays in the ungoverned row's band. (Tables load
+//     before the governor attaches, so both mixed rows meter query
+//     materialization only, not resident table bytes.)
+//   Resource_PressureSpillCycle - the timed region is one broker pass over
+//     a store sitting at 100% of its budget: 12 bound partitions, high
+//     water 0.6 / low water 0.4, TieringDaemon::SpillForPressure as the
+//     spill target. The pass demotes coldest-first into the DFS cold tier
+//     until usage is below LOW water (cold_demotes, spilled_mb); the two
+//     heated partitions always survive.
+//
+// Expected shape: the governed point read pays a small constant admission
+// fee (a mutex + two budget-node hops); the mixed rows show peak_mb halved
+// under the governor (one scan in flight instead of two) with
+// olap_rejected > 0 and OLTP time unchanged; the spill cycle frees >half
+// its budget in single-digit milliseconds.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aging/extended_storage.h"
+#include "hadoop/dfs.h"
+#include "hadoop/dfs_tier_store.h"
+#include "query/executor.h"
+#include "resource/governor.h"
+#include "tiering/daemon.h"
+#include "workloads.h"
+
+namespace poly {
+namespace {
+
+using resource::AdmissionController;
+using resource::ResourceGovernor;
+
+constexpr int kBigRows = 40000;    // OLAP scan target
+constexpr int kPointRows = 4096;   // OLTP point-read target
+constexpr int kOltpPerIter = 200;  // timed point reads per iteration
+
+// Scan + group-by, never compiled (the SQL Project wrapper): the scan's
+// ~3 MB materialization charge is held for the whole aggregation, which is
+// the window both the peak sampler and a real OOM see.
+constexpr const char* kOlapQuery =
+    "SELECT region, SUM(amount) AS revenue FROM big GROUP BY region";
+
+void LoadTables(Database* db, TransactionManager* tm) {
+  bench::LoadOrders(db, tm, "big", kBigRows, /*seed=*/7);
+  bench::LoadOrders(db, tm, "kv", kPointRows, /*seed=*/11);
+}
+
+std::string PointRead(int i) {
+  return "SELECT amount FROM kv WHERE o_id = " + std::to_string(i % kPointRows);
+}
+
+/// Baseline: Database::Execute with no governor attached — the admission
+/// branch is a single null check.
+void Resource_PointReadNoGovernor(benchmark::State& state) {
+  Database db;
+  TransactionManager tm;
+  LoadTables(&db, &tm);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Execute(PointRead(i++))->num_rows());
+  }
+}
+BENCHMARK(Resource_PointReadNoGovernor)->Unit(benchmark::kMicrosecond);
+
+/// Same statement through a fully configured governor (default classes,
+/// 256 MB budget): every query mints and releases an AdmissionTicket and
+/// charges its materializations against the per-query budget node.
+void Resource_PointReadGoverned(benchmark::State& state) {
+  metrics::Registry reg;
+  ResourceGovernor::Options gopts;
+  gopts.budget.total_limit_bytes = 256ull << 20;
+  ResourceGovernor gov(gopts, &reg);
+  Database db;
+  db.set_metrics_registry(&reg);
+  db.set_resource_governor(&gov);
+  TransactionManager tm;
+  LoadTables(&db, &tm);
+  ExecOptions opts;
+  opts.workload_class = "oltp";
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Execute(PointRead(i++), opts)->num_rows());
+  }
+  db.set_resource_governor(nullptr);
+}
+BENCHMARK(Resource_PointReadGoverned)->Unit(benchmark::kMicrosecond);
+
+/// Shared tallies for the two mixed rows: 2 OLAP threads loop scan+group-by
+/// queries while the timed loop runs kOltpPerIter point reads. Peak memory
+/// comes from the budget's own exact high-water mark (BudgetNode::peak),
+/// not from sampling.
+struct MixedCounters {
+  std::atomic<uint64_t> olap_ok{0};
+  std::atomic<uint64_t> olap_rejected{0};
+  std::atomic<bool> stop{false};
+};
+
+void Resource_MixedUngoverned(benchmark::State& state) {
+  metrics::Registry reg;
+  resource::MemoryBudget meter({/*total_limit_bytes=*/0}, &reg);
+  resource::BudgetNode* node = meter.GetOrCreateClass("meter", 0);
+  Database db;
+  TransactionManager tm;
+  LoadTables(&db, &tm);
+
+  MixedCounters c;
+  ExecOptions metered;
+  metered.budget = node;
+  std::vector<std::thread> background;
+  for (int t = 0; t < 2; ++t) {
+    background.emplace_back([&] {
+      while (!c.stop.load(std::memory_order_relaxed)) {
+        auto rs = db.Execute(kOlapQuery, metered);
+        if (rs.ok()) c.olap_ok.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  int i = 0;
+  for (auto _ : state) {
+    for (int q = 0; q < kOltpPerIter; ++q) {
+      benchmark::DoNotOptimize(db.Execute(PointRead(i++), metered)->num_rows());
+    }
+  }
+  c.stop.store(true);
+  for (auto& t : background) t.join();
+  state.counters["peak_mb"] = static_cast<double>(meter.peak_bytes()) / 1e6;
+  state.counters["olap_ok"] = static_cast<double>(c.olap_ok.load());
+  state.counters["olap_rejected"] = 0;
+}
+BENCHMARK(Resource_MixedUngoverned)->Unit(benchmark::kMillisecond);
+
+void Resource_MixedGoverned(benchmark::State& state) {
+  metrics::Registry reg;
+  ResourceGovernor::Options gopts;
+  gopts.budget.total_limit_bytes = 64ull << 20;
+  gopts.budget.high_water = 0.95;  // admission bounds memory; no broker here
+  AdmissionController::ClassOptions oltp;
+  oltp.max_concurrent = 8;
+  oltp.queue_timeout = std::chrono::milliseconds(100);
+  AdmissionController::ClassOptions olap;
+  olap.max_concurrent = 1;  // one scan materializes at a time
+  olap.max_queued = 1;
+  olap.queue_timeout = std::chrono::milliseconds(2);
+  gopts.classes = {{"oltp", oltp}, {"olap", olap}};
+  gopts.default_class = "oltp";
+  ResourceGovernor gov(gopts, &reg);
+  Database db;
+  db.set_metrics_registry(&reg);
+  TransactionManager tm;
+  LoadTables(&db, &tm);
+  // Attach the governor only after loading: tables created under a governor
+  // bind to its storage node, and this row meters *query* materialization —
+  // the same thing the ungoverned meter node sees — not resident data
+  // (that's E24's and the spill row's subject).
+  db.set_resource_governor(&gov);
+
+  MixedCounters c;
+  ExecOptions oltp_opts;
+  oltp_opts.workload_class = "oltp";
+  ExecOptions olap_opts;
+  olap_opts.workload_class = "olap";
+  std::vector<std::thread> background;
+  for (int t = 0; t < 2; ++t) {
+    background.emplace_back([&] {
+      while (!c.stop.load(std::memory_order_relaxed)) {
+        auto rs = db.Execute(kOlapQuery, olap_opts);
+        if (rs.ok()) {
+          c.olap_ok.fetch_add(1);
+        } else if (rs.status().IsResourceExhausted()) {
+          c.olap_rejected.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  int i = 0;
+  for (auto _ : state) {
+    for (int q = 0; q < kOltpPerIter; ++q) {
+      benchmark::DoNotOptimize(db.Execute(PointRead(i++), oltp_opts)->num_rows());
+    }
+  }
+  c.stop.store(true);
+  for (auto& t : background) t.join();
+  state.counters["peak_mb"] =
+      static_cast<double>(gov.budget().peak_bytes()) / 1e6;
+  state.counters["olap_ok"] = static_cast<double>(c.olap_ok.load());
+  state.counters["olap_rejected"] = static_cast<double>(c.olap_rejected.load());
+  db.set_resource_governor(nullptr);
+}
+BENCHMARK(Resource_MixedGoverned)->Unit(benchmark::kMillisecond);
+
+/// One full pressure pass, timed in isolation: a store at 100% of its
+/// budget must drain below LOW water (0.4) by demoting coldest-first into
+/// the DFS cold tier. Setup and teardown run with the timer paused.
+void Resource_PressureSpillCycle(benchmark::State& state) {
+  constexpr int kPartitions = 12;
+  constexpr int kRowsPerPartition = 2000;
+  uint64_t cold_demotes = 0, spilled_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      metrics::Registry reg;
+      Database db;
+      db.set_metrics_registry(&reg);
+      TransactionManager tm;
+      for (int p = 0; p < kPartitions; ++p) {
+        bench::LoadOrders(&db, &tm, "part" + std::to_string(p),
+                          kRowsPerPartition, /*seed=*/100 + p);
+      }
+      uint64_t per_partition = (*db.GetTable("part0"))->MemoryBytes();
+
+      ResourceGovernor::Options gopts;
+      gopts.budget.total_limit_bytes = per_partition * kPartitions;
+      gopts.budget.high_water = 0.6;
+      gopts.budget.low_water = 0.4;
+      gopts.pressure.min_spill_bytes = 64 * 1024;
+      ResourceGovernor gov(gopts, &reg);
+      for (int p = 0; p < kPartitions; ++p) {
+        (*db.GetTable("part" + std::to_string(p)))
+            ->BindMemoryBudget(gov.storage_node());
+      }
+
+      ExtendedStorage warm;
+      SimulatedDfs dfs;
+      DfsTierStore cold(&dfs);
+      tiering::TieringDaemon daemon(&db, &warm, &cold, {});
+      for (int p = 0; p < kPartitions; ++p) {
+        daemon.Manage("part" + std::to_string(p));
+      }
+      // Heat two partitions so the pass has a coldest-first order to respect.
+      Executor exec(&db, tm.AutoCommitView());
+      for (int i = 0; i < 8; ++i) {
+        benchmark::DoNotOptimize(exec.Execute(PlanBuilder::Scan("part0").Build()));
+        benchmark::DoNotOptimize(exec.Execute(PlanBuilder::Scan("part1").Build()));
+      }
+      daemon.heat().AdvanceEpoch();
+      daemon.BindPressureBroker(&gov.pressure());
+
+      state.ResumeTiming();
+      uint64_t freed = gov.pressure().RunOnce();
+      state.PauseTiming();
+
+      spilled_bytes += freed;
+      cold_demotes += reg.counter("tier.daemon.cold_demotes")->Value();
+      // Bound tables must be dropped before the governor goes away.
+      for (int p = 0; p < kPartitions; ++p) {
+        (void)db.DropTable("part" + std::to_string(p));
+      }
+    }
+    state.ResumeTiming();
+  }
+  state.counters["cold_demotes"] =
+      static_cast<double>(cold_demotes) / state.iterations();
+  state.counters["spilled_mb"] =
+      static_cast<double>(spilled_bytes) / 1e6 / state.iterations();
+}
+BENCHMARK(Resource_PressureSpillCycle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace poly

@@ -8,10 +8,12 @@
 #                  test (ctest -L docs)
 #   2. tiering     three-band policy/daemon/heat regression suite
 #                  (ctest -L tiering)
-#   3. chaos       seeded chaos-oracle sweep, default 50 seeds
+#   3. resource    workload-management suite: memory budget, admission,
+#                  pressure broker, balance oracle (ctest -L resource)
+#   4. chaos       seeded chaos-oracle sweep, default 50 seeds
 #                  (scripts/chaos_sweep.sh; ctest -L chaos runs the in-suite
 #                  subset)
-#   4. tsan        whole-suite ThreadSanitizer build + run
+#   5. tsan        whole-suite ThreadSanitizer build + run
 #                  (scripts/run_tsan.sh; ctest -L tsan-full in build-tsan)
 #
 # Usage:
@@ -27,7 +29,7 @@ set -u
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-50}"
-GATES="${*:-docs tiering chaos tsan}"
+GATES="${*:-docs tiering resource chaos tsan}"
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "run_gates.sh: no build tree at $BUILD_DIR" >&2
@@ -55,6 +57,9 @@ for gate in $GATES; do
     tiering)
       run_gate tiering ctest --test-dir "$BUILD_DIR" -L tiering --output-on-failure
       ;;
+    resource)
+      run_gate resource ctest --test-dir "$BUILD_DIR" -L resource --output-on-failure
+      ;;
     chaos)
       run_gate chaos "$REPO_ROOT/scripts/chaos_sweep.sh" "$CHAOS_SEEDS" "$BUILD_DIR"
       ;;
@@ -62,7 +67,7 @@ for gate in $GATES; do
       run_gate tsan "$REPO_ROOT/scripts/run_tsan.sh"
       ;;
     *)
-      echo "run_gates.sh: unknown gate '$gate' (know: docs tiering chaos tsan)" >&2
+      echo "run_gates.sh: unknown gate '$gate' (know: docs tiering resource chaos tsan)" >&2
       exit 2
       ;;
   esac

@@ -2,7 +2,28 @@
 
 #include <cstring>
 
+#include "resource/memory_budget.h"
+
 namespace poly {
+
+Arena::~Arena() {
+  if (budget_ != nullptr && budget_charged_ > 0) {
+    budget_->Release(budget_charged_);
+  }
+}
+
+void Arena::BindMemoryBudget(resource::BudgetNode* budget) {
+  if (budget == budget_) return;
+  if (budget_ != nullptr && budget_charged_ > 0) {
+    budget_->Release(budget_charged_);
+    budget_charged_ = 0;
+  }
+  budget_ = budget;
+  if (budget_ != nullptr && bytes_reserved_ > 0) {
+    budget_->ForceCharge(bytes_reserved_);
+    budget_charged_ = bytes_reserved_;
+  }
+}
 
 void* Arena::Allocate(size_t size, size_t align) {
   if (size == 0) size = 1;
@@ -28,6 +49,7 @@ char* Arena::CopyBytes(const char* data, size_t len) {
 }
 
 void Arena::Reset() {
+  size_t released = bytes_reserved_;
   if (blocks_.size() > 1) {
     Block first = std::move(blocks_.front());
     blocks_.clear();
@@ -40,6 +62,12 @@ void Arena::Reset() {
     bytes_reserved_ = 0;
   }
   bytes_allocated_ = 0;
+  if (budget_ != nullptr) {
+    // Keep the charge in lockstep with bytes_reserved_ (the recycled first
+    // block stays charged).
+    if (released > bytes_reserved_) budget_->Release(released - bytes_reserved_);
+    budget_charged_ = bytes_reserved_;
+  }
 }
 
 Arena::Block* Arena::AddBlock(size_t min_size) {
@@ -48,6 +76,10 @@ Arena::Block* Arena::AddBlock(size_t min_size) {
   block.data = std::make_unique<char[]>(size);
   block.size = size;
   bytes_reserved_ += size;
+  if (budget_ != nullptr) {
+    budget_->ForceCharge(size);
+    budget_charged_ += size;
+  }
   blocks_.push_back(std::move(block));
   return &blocks_.back();
 }

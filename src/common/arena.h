@@ -8,15 +8,26 @@
 
 namespace poly {
 
+namespace resource {
+class BudgetNode;
+}  // namespace resource
+
 /// Bump-pointer allocator for short-lived query-processing allocations.
 /// Allocations are freed all at once when the arena is destroyed or Reset().
 /// Not thread-safe; each worker owns its own arena.
 class Arena {
  public:
   explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+  ~Arena();
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+
+  /// Charges every block this arena reserves (now and in the future)
+  /// against `budget`; Reset()/destruction release the charge. Force-
+  /// charged: a bump allocator cannot fail mid-operator, limit enforcement
+  /// belongs to the reservation that sized the operator (DESIGN.md §13.1).
+  void BindMemoryBudget(resource::BudgetNode* budget);
 
   /// Returns `size` bytes aligned to `align` (power of two).
   void* Allocate(size_t size, size_t align = 8);
@@ -55,6 +66,8 @@ class Arena {
   std::vector<Block> blocks_;
   size_t bytes_reserved_ = 0;
   size_t bytes_allocated_ = 0;
+  resource::BudgetNode* budget_ = nullptr;
+  size_t budget_charged_ = 0;
 };
 
 }  // namespace poly

@@ -2,10 +2,15 @@
 #define POLY_COMMON_EXEC_OPTIONS_H_
 
 #include <cstddef>
+#include <string>
 
 namespace poly {
 
 class ThreadPool;
+
+namespace resource {
+class BudgetNode;
+}  // namespace resource
 
 /// Knobs for morsel-driven parallel query execution, threaded from
 /// `Database::set_exec_options` (session default) or per-`Executor`. The
@@ -42,6 +47,19 @@ struct ExecOptions {
   /// Internal scans that should not perturb heat (tier movement itself,
   /// recovery replay) turn it off.
   bool track_access = true;
+
+  /// Workload class this query runs under ("oltp", "olap", "batch", ...).
+  /// Empty means the governor's default class. Only consulted by
+  /// `Database::Execute` when a ResourceGovernor is attached; ad-hoc
+  /// Executor construction bypasses admission entirely.
+  std::string workload_class;
+
+  /// Memory budget to charge operator materializations against (hash join
+  /// build sides, aggregate tables, sort/result buffers). Null = unmetered.
+  /// Normally the per-query node minted by the AdmissionController; the
+  /// executor holds one Reservation against it and releases everything when
+  /// the query finishes, success or error (DESIGN.md §13).
+  resource::BudgetNode* budget = nullptr;
 };
 
 }  // namespace poly

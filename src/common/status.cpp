@@ -15,6 +15,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

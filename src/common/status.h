@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnavailable,    ///< node down, service not reachable
   kIOError,
   kInternal,
+  kResourceExhausted,  ///< admission/budget denial: over quota, queue timeout
 };
 
 /// Returns a short human-readable name for a status code ("NotFound", ...).
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +79,9 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

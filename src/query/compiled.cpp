@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "query/executor.h"  // TryIdRangePredicate, for access classification
+#include "resource/memory_budget.h"
 
 namespace poly {
 
@@ -143,6 +144,9 @@ bool LowerPlan(const PlanPtr& plan, KernelSpec* spec) {
     return false;
   }
   if (plan->group_by.size() > 1) return false;
+  // An Aggregate with no aggregate functions is a DISTINCT dedup wrapper
+  // (sql_parser.cpp); the fused kernels only lower real aggregations.
+  if (plan->aggregates.empty()) return false;
   spec->has_group = !plan->group_by.empty();
   if (spec->has_group) spec->group_col = plan->group_by[0];
   const PlanNode& scan = *plan->children[0];
@@ -371,6 +375,13 @@ StatusOr<ResultSet> QueryCompiler::Execute(const PlanPtr& plan) {
       }
     }
   }
+
+  // Accumulator state is the compiled path's whole footprint; one
+  // query-scoped reservation enforces the budget and hands it back when
+  // this function returns, success or error.
+  resource::Reservation reservation(opts_.budget);
+  POLY_RETURN_IF_ERROR(reservation.Grow(
+      group_values.size() * (16 + spec.aggs.size() * sizeof(GroupAccum))));
 
   // Emit results in the interpreted executor's column order.
   ResultSet out;

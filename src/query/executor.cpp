@@ -236,13 +236,24 @@ StatusOr<ResultSet> Executor::Execute(const PlanPtr& plan) {
   if (!plan) return Status::InvalidArgument("null plan");
   trace_root_.reset();
   current_span_ = nullptr;
+  reservation_ = resource::Reservation(opts_.budget);
   StatusOr<ResultSet> result = Exec(*plan);
+  // Charges cover execution, not the returned rows' afterlife: release
+  // everything here so the budget balances to zero on success and error
+  // alike (the balance oracle in resource_test.cpp checks exactly this).
+  reservation_.ReleaseAll();
   if (result.ok() && trace_root_) result->trace = trace_root_;
   return result;
 }
 
+StatusOr<ResultSet> Executor::ChargeOutput(StatusOr<ResultSet> result) {
+  if (opts_.budget == nullptr || !result.ok()) return result;
+  POLY_RETURN_IF_ERROR(reservation_.Grow(EstimateSpanBytes(*result)));
+  return result;
+}
+
 StatusOr<ResultSet> Executor::Exec(const PlanNode& node) {
-  if (!opts_.trace) return Dispatch(node);
+  if (!opts_.trace) return ChargeOutput(Dispatch(node));
   OperatorSpan span;
   span.label = SpanLabel(node);
   OperatorSpan* parent = current_span_;
@@ -250,7 +261,7 @@ StatusOr<ResultSet> Executor::Exec(const PlanNode& node) {
   uint64_t scanned_before = stats_.rows_scanned;
   uint64_t wall0 = TraceWallNanos();
   uint64_t cpu0 = TraceThreadCpuNanos();
-  StatusOr<ResultSet> result = Dispatch(node);
+  StatusOr<ResultSet> result = ChargeOutput(Dispatch(node));
   span.wall_nanos = TraceWallNanos() - wall0;
   span.cpu_nanos = TraceThreadCpuNanos() - cpu0;
   current_span_ = parent;
@@ -523,6 +534,10 @@ StatusOr<ResultSet> Executor::ExecHashJoin(const PlanNode& node) {
     }
   }
 
+  // Build side is internal state no span sees: charge ~3 words per entry
+  // (hash slot + index vector element) before probing fans out.
+  POLY_RETURN_IF_ERROR(ChargeInternal(rn * 24));
+
   // Probe side: morsels of left rows, fragments merged in left-row order.
   MorselMap(
       left.rows.size(),
@@ -599,6 +614,11 @@ StatusOr<ResultSet> Executor::ExecAggregate(const PlanNode& node) {
   if (node.group_by.empty() && groups.keys.empty()) {
     groups.FindOrAdd(Row{}, num_aggs);
   }
+
+  // The merged group table (keys + AggStates) is the aggregate's build
+  // side; like the join index it never appears in a span's output estimate.
+  POLY_RETURN_IF_ERROR(ChargeInternal(
+      groups.keys.size() * (node.group_by.size() * 16 + num_aggs * 48)));
 
   out.rows.reserve(groups.keys.size());
   for (size_t g = 0; g < groups.keys.size(); ++g) {

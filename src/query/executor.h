@@ -7,6 +7,7 @@
 #include "common/exec_options.h"
 #include "query/plan.h"
 #include "query/result.h"
+#include "resource/memory_budget.h"
 #include "storage/database.h"
 #include "storage/mvcc.h"
 
@@ -75,6 +76,13 @@ class Executor {
   /// node (wall + coordinator-thread CPU), counts rows in/out, and hangs
   /// the span under the parent operator's span.
   StatusOr<ResultSet> Exec(const PlanNode& node);
+  /// Budget hook on every operator boundary: grows the query reservation by
+  /// the materialized output estimate; ResourceExhausted replaces the
+  /// result when the budget says no. No-op without ExecOptions::budget.
+  StatusOr<ResultSet> ChargeOutput(StatusOr<ResultSet> result);
+  /// Extra charge for operator-internal state (join index, group table)
+  /// that is not visible in any operator's output estimate.
+  Status ChargeInternal(uint64_t bytes) { return reservation_.Grow(bytes); }
   StatusOr<ResultSet> Dispatch(const PlanNode& node);
   StatusOr<ResultSet> ExecScan(const PlanNode& node);
   Status ScanOneTable(const ColumnTable& table, const ExprPtr& predicate,
@@ -114,6 +122,12 @@ class Executor {
   ExecStats stats_;
   std::shared_ptr<OperatorSpan> trace_root_;  ///< shared with the ResultSet
   OperatorSpan* current_span_ = nullptr;  ///< parent span during traced recursion
+  /// Query-lifetime memory reservation against ExecOptions::budget.
+  /// Cumulative across operators (intermediates stay charged until the
+  /// query ends) — a deliberate over-approximation that bounds peak usage.
+  /// Grown only on the coordinator thread; released at the end of Execute
+  /// on every path, so budgets balance to zero query by query.
+  resource::Reservation reservation_;
 };
 
 }  // namespace poly

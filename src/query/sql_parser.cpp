@@ -502,6 +502,9 @@ StatusOr<SelectItem> ParserImpl::ParseSelectItem() {
 
 StatusOr<PlanPtr> ParserImpl::ParseSelect() {
   if (!ConsumeKeyword("SELECT")) return Expect("SELECT");
+  // DISTINCT dedups the final projected rows (applied below as a
+  // no-aggregate Aggregate wrapper, before ORDER BY/LIMIT).
+  bool distinct = ConsumeKeyword("DISTINCT");
 
   // The select list references columns that are only known after FROM, so
   // remember its token range and parse it afterwards.
@@ -725,6 +728,18 @@ StatusOr<PlanPtr> ParserImpl::ParseSelect() {
       output_names.push_back(item.name);
     }
     plan = PlanBuilder::From(plan).Project(std::move(projections), output_names).Build();
+  }
+
+  // DISTINCT = group by every output column with no aggregates: the
+  // interpreted executor emits group keys in first-occurrence order with
+  // their input names, so column names and row order match SQL semantics.
+  // (The compiled path refuses the no-aggregate shape and falls back.)
+  if (distinct) {
+    std::vector<size_t> dedup_cols(output_names.size());
+    for (size_t i = 0; i < output_names.size(); ++i) dedup_cols[i] = i;
+    plan = PlanBuilder::From(plan)
+               .Aggregate(std::move(dedup_cols), {})
+               .Build();
   }
 
   // ORDER BY resolves against the output schema.

@@ -13,7 +13,7 @@ namespace poly {
 ///
 /// Supported grammar (case-insensitive keywords):
 ///
-///   SELECT <item> [, <item>]...
+///   SELECT [DISTINCT] <item> [, <item>]...
 ///   FROM <table>
 ///   [JOIN <table> ON <col> = <col>]...
 ///   [WHERE <expr>]
@@ -42,6 +42,11 @@ namespace poly {
 /// final projection — `SELECT region FROM t GROUP BY region HAVING
 /// COUNT(*) > 5` works. The plan shape is Aggregate -> Filter -> Project
 /// (the optimizer never pushes filters through an aggregate).
+///
+/// DISTINCT dedups the projected rows before ORDER BY/LIMIT, lowered as an
+/// Aggregate over every output column with no aggregate functions — rows
+/// keep first-occurrence order. The compiled path declines that shape and
+/// Database::Execute falls back to the interpreted executor.
 class SqlParser {
  public:
   explicit SqlParser(const Database* db) : db_(db) {}

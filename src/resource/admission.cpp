@@ -1,0 +1,156 @@
+#include "resource/admission.h"
+
+namespace poly {
+namespace resource {
+
+void AdmissionTicket::Release() {
+  if (controller_ == nullptr) return;
+  // Order matters: destroy the query node (asserting its balance is zero)
+  // before freeing the slot, so a queued query admitted into our slot can
+  // never observe our query's charges still outstanding against the class.
+  query_node_.reset();
+  controller_->ReleaseSlot(class_name_);
+  controller_ = nullptr;
+}
+
+AdmissionController::AdmissionController(MemoryBudget* budget,
+                                         metrics::Registry* registry)
+    : budget_(budget), registry_(registry) {}
+
+void AdmissionController::DefineClass(const std::string& name,
+                                      ClassOptions options) {
+  {
+    std::lock_guard<std::mutex> lock(classes_mu_);
+    auto it = classes_.find(name);
+    if (it != classes_.end()) {
+      std::lock_guard<std::mutex> state_lock(it->second->mu);
+      it->second->options = options;
+      return;
+    }
+  }
+  // Assemble the class — budget node and registry series — without
+  // holding classes_mu_: both calls take their own subsystem's mutex, and
+  // classes_mu_ must stay a leaf in the lock order.
+  auto state = std::make_unique<ClassState>();
+  state->options = options;
+  state->node = budget_->GetOrCreateClass(name, options.memory_limit_bytes);
+  const std::string prefix = "resource.admission." + name + ".";
+  state->admitted = registry_->counter(prefix + "admitted");
+  state->rejected = registry_->counter(prefix + "rejected");
+  state->timeouts = registry_->counter(prefix + "timeouts");
+  state->queued_total = registry_->counter(prefix + "queued");
+  state->active_gauge = registry_->gauge(prefix + "active");
+  state->queued_gauge = registry_->gauge(prefix + "waiting");
+  state->queue_wait = registry_->histogram(prefix + "queue_wait_nanos");
+  std::lock_guard<std::mutex> lock(classes_mu_);
+  auto it = classes_.find(name);
+  if (it != classes_.end()) {
+    // Raced definition: the first insert won; apply ours as an update.
+    std::lock_guard<std::mutex> state_lock(it->second->mu);
+    it->second->options = options;
+    return;
+  }
+  classes_.emplace(name, std::move(state));
+  if (fallback_class_.empty()) fallback_class_ = name;
+}
+
+bool AdmissionController::HasClass(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(classes_mu_);
+  return classes_.count(name) > 0;
+}
+
+AdmissionController::ClassState* AdmissionController::FindClass(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(classes_mu_);
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<AdmissionTicket> AdmissionController::Admit(
+    const std::string& class_name) {
+  std::string effective = class_name.empty() ? fallback_class_ : class_name;
+  ClassState* cls = FindClass(effective);
+  if (cls == nullptr && effective != fallback_class_) {
+    effective = fallback_class_;
+    cls = FindClass(effective);
+  }
+  if (cls == nullptr) {
+    return Status::InvalidArgument("unknown workload class '" + class_name +
+                                   "' and no fallback class defined");
+  }
+
+  uint64_t query_id = 0;
+  {
+    std::unique_lock<std::mutex> lock(cls->mu);
+    if (cls->active >= cls->options.max_concurrent) {
+      if (cls->options.fail_fast || cls->options.max_concurrent == 0 ||
+          cls->queued >= cls->options.max_queued) {
+        cls->rejected->Add();
+        return Status::ResourceExhausted(
+            "workload class '" + effective + "' saturated (" +
+            std::to_string(cls->active) + " active, " +
+            std::to_string(cls->queued) + " queued)");
+      }
+      ++cls->queued;
+      cls->queued_total->Add();
+      cls->queued_gauge->Set(static_cast<int64_t>(cls->queued));
+      auto wait_begin = std::chrono::steady_clock::now();
+      bool granted = cls->cv.wait_for(lock, cls->options.queue_timeout, [&] {
+        return cls->active < cls->options.max_concurrent;
+      });
+      auto waited = std::chrono::steady_clock::now() - wait_begin;
+      cls->queue_wait->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()));
+      --cls->queued;
+      cls->queued_gauge->Set(static_cast<int64_t>(cls->queued));
+      if (!granted) {
+        cls->timeouts->Add();
+        return Status::ResourceExhausted(
+            "workload class '" + effective + "' queue timeout after " +
+            std::to_string(cls->options.queue_timeout.count()) + "ms");
+      }
+    }
+    ++cls->active;
+    cls->active_gauge->Set(static_cast<int64_t>(cls->active));
+    cls->admitted->Add();
+    query_id = cls->next_query_id++;
+  }
+
+  AdmissionTicket ticket;
+  ticket.controller_ = this;
+  ticket.class_name_ = effective;
+  ticket.query_node_ = budget_->NewQueryNode(
+      cls->node, cls->options.per_query_limit_bytes,
+      effective + "/q" + std::to_string(query_id));
+  return ticket;
+}
+
+void AdmissionController::ReleaseSlot(const std::string& class_name) {
+  ClassState* cls = FindClass(class_name);
+  if (cls == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(cls->mu);
+    assert(cls->active > 0);
+    --cls->active;
+    cls->active_gauge->Set(static_cast<int64_t>(cls->active));
+  }
+  cls->cv.notify_one();
+}
+
+size_t AdmissionController::active(const std::string& class_name) const {
+  ClassState* cls = FindClass(class_name);
+  if (cls == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(cls->mu);
+  return cls->active;
+}
+
+size_t AdmissionController::queued(const std::string& class_name) const {
+  ClassState* cls = FindClass(class_name);
+  if (cls == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(cls->mu);
+  return cls->queued;
+}
+
+}  // namespace resource
+}  // namespace poly

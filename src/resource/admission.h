@@ -1,0 +1,141 @@
+#ifndef POLY_RESOURCE_ADMISSION_H_
+#define POLY_RESOURCE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "resource/memory_budget.h"
+
+namespace poly {
+namespace resource {
+
+class AdmissionController;
+
+/// RAII admission grant: holds one concurrency slot of its workload class
+/// plus a freshly minted per-query BudgetNode for the executor to charge
+/// materializations against. Releasing (destruction) frees the slot, wakes
+/// one queued query, and destroys the query node — which asserts that every
+/// byte charged during the query was released first.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept { MoveFrom(other); }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool valid() const { return controller_ != nullptr; }
+  const std::string& workload_class() const { return class_name_; }
+  /// Budget to thread into ExecOptions::budget. Null for an empty ticket.
+  BudgetNode* budget() const { return query_node_.get(); }
+
+  void Release();
+
+ private:
+  friend class AdmissionController;
+
+  void MoveFrom(AdmissionTicket& other) {
+    controller_ = other.controller_;
+    class_name_ = std::move(other.class_name_);
+    query_node_ = std::move(other.query_node_);
+    other.controller_ = nullptr;
+  }
+
+  AdmissionController* controller_ = nullptr;
+  std::string class_name_;
+  std::unique_ptr<BudgetNode> query_node_;
+};
+
+/// Gatekeeper in front of query execution (DESIGN.md §13.2): each named
+/// workload class owns a fixed number of concurrency slots and a memory
+/// quota (its BudgetNode limit). A query that finds no free slot either
+/// queues — bounded, with a deadline — or fails fast with ResourceExhausted.
+/// The controller never blocks admitted work: all waiting happens on the
+/// per-class condition variable before a slot is granted.
+class AdmissionController {
+ public:
+  struct ClassOptions {
+    size_t max_concurrent = 4;   ///< slots; 0 = class admits nothing
+    size_t max_queued = 16;      ///< queue bound; beyond it: reject
+    bool fail_fast = false;      ///< never queue, reject when saturated
+    std::chrono::milliseconds queue_timeout{500};
+    uint64_t memory_limit_bytes = 0;     ///< class quota (BudgetNode limit)
+    uint64_t per_query_limit_bytes = 0;  ///< cap for each query node
+  };
+
+  AdmissionController(MemoryBudget* budget, metrics::Registry* registry);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Defines (or redefines the options of) a workload class. Not
+  /// thread-safe against concurrent Admit on the same new class — define
+  /// classes at setup time, before traffic.
+  void DefineClass(const std::string& name, ClassOptions options);
+
+  bool HasClass(const std::string& name) const;
+
+  /// Blocks until a slot is granted, the queue deadline expires, or the
+  /// class rejects (unknown class falls back to `fallback_class`, and if
+  /// that is also unknown, InvalidArgument).
+  StatusOr<AdmissionTicket> Admit(const std::string& class_name);
+
+  void set_fallback_class(std::string name) {
+    fallback_class_ = std::move(name);
+  }
+  const std::string& fallback_class() const { return fallback_class_; }
+
+  size_t active(const std::string& class_name) const;
+  size_t queued(const std::string& class_name) const;
+
+ private:
+  friend class AdmissionTicket;
+
+  struct ClassState {
+    ClassOptions options;
+    BudgetNode* node = nullptr;  // class budget (owned by MemoryBudget)
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    size_t active = 0;
+    size_t queued = 0;
+    uint64_t next_query_id = 0;
+    metrics::Counter* admitted = nullptr;
+    metrics::Counter* rejected = nullptr;
+    metrics::Counter* timeouts = nullptr;
+    metrics::Counter* queued_total = nullptr;
+    metrics::Gauge* active_gauge = nullptr;
+    metrics::Gauge* queued_gauge = nullptr;
+    metrics::Histogram* queue_wait = nullptr;  // nanos spent queued
+  };
+
+  void ReleaseSlot(const std::string& class_name);
+  ClassState* FindClass(const std::string& name) const;
+
+  MemoryBudget* budget_;
+  metrics::Registry* registry_;
+  std::string fallback_class_;
+
+  mutable std::mutex classes_mu_;  // guards the map shape, not ClassState
+  std::map<std::string, std::unique_ptr<ClassState>> classes_;
+};
+
+}  // namespace resource
+}  // namespace poly
+
+#endif  // POLY_RESOURCE_ADMISSION_H_

@@ -1,0 +1,63 @@
+#include "resource/governor.h"
+
+namespace poly {
+namespace resource {
+
+namespace {
+
+std::map<std::string, AdmissionController::ClassOptions> DefaultClasses(
+    uint64_t total_limit) {
+  auto frac = [total_limit](double f) -> uint64_t {
+    return total_limit == 0
+               ? 0
+               : static_cast<uint64_t>(static_cast<double>(total_limit) * f);
+  };
+  std::map<std::string, AdmissionController::ClassOptions> classes;
+  {
+    AdmissionController::ClassOptions oltp;
+    oltp.max_concurrent = 64;
+    oltp.max_queued = 256;
+    oltp.queue_timeout = std::chrono::milliseconds(100);
+    oltp.memory_limit_bytes = frac(0.25);
+    classes["oltp"] = oltp;
+  }
+  {
+    AdmissionController::ClassOptions olap;
+    olap.max_concurrent = 4;
+    olap.max_queued = 16;
+    olap.queue_timeout = std::chrono::milliseconds(1000);
+    olap.memory_limit_bytes = frac(0.50);
+    classes["olap"] = olap;
+  }
+  {
+    AdmissionController::ClassOptions batch;
+    batch.max_concurrent = 2;
+    batch.fail_fast = true;
+    batch.memory_limit_bytes = frac(0.25);
+    classes["batch"] = batch;
+  }
+  return classes;
+}
+
+}  // namespace
+
+ResourceGovernor::ResourceGovernor(Options options, metrics::Registry* registry)
+    : budget_(options.budget, registry),
+      admission_(&budget_, registry),
+      pressure_(&budget_, options.pressure) {
+  auto classes = options.classes.empty()
+                     ? DefaultClasses(options.budget.total_limit_bytes)
+                     : std::move(options.classes);
+  for (auto& [name, cls] : classes) {
+    admission_.DefineClass(name, cls);
+  }
+  admission_.set_fallback_class(options.default_class.empty()
+                                    ? classes.begin()->first
+                                    : options.default_class);
+  // Storage accounting rides directly under the root: tables are shared
+  // across workload classes, so their bytes belong to no one class.
+  storage_ = budget_.GetOrCreateClass("storage", /*limit_bytes=*/0);
+}
+
+}  // namespace resource
+}  // namespace poly

@@ -1,0 +1,161 @@
+#include "resource/memory_budget.h"
+
+namespace poly {
+namespace resource {
+
+BudgetNode::BudgetNode(std::string name, uint64_t limit_bytes,
+                       BudgetNode* parent, metrics::Gauge* gauge)
+    : name_(std::move(name)),
+      limit_bytes_(limit_bytes),
+      parent_(parent),
+      owner_(parent ? parent->owner_ : nullptr),
+      gauge_(gauge) {}
+
+BudgetNode::~BudgetNode() {
+  // A node dying with bytes outstanding means some charge was never
+  // released — the Reservation discipline makes this unreachable, and the
+  // balance oracle tests for it. Don't try to "fix up" ancestors here: that
+  // would mask the leak the oracle exists to catch.
+  assert(used_.load(std::memory_order_relaxed) == 0 &&
+         "BudgetNode destroyed with outstanding charges");
+}
+
+void BudgetNode::NotePeak(uint64_t now) {
+  uint64_t p = peak_.load(std::memory_order_relaxed);
+  while (now > p &&
+         !peak_.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
+  }
+}
+
+Status BudgetNode::TryCharge(uint64_t bytes) {
+  if (bytes == 0) return Status::OK();
+  BudgetNode* n = this;
+  while (n != nullptr) {
+    uint64_t before = n->used_.fetch_add(bytes, std::memory_order_relaxed);
+    if (n->limit_bytes_ != 0 && before + bytes > n->limit_bytes_) {
+      // Roll back this level and every level already charged below it. The
+      // failing level never had its gauge bumped, so skip it there.
+      for (BudgetNode* r = this;; r = r->parent_) {
+        r->used_.fetch_sub(bytes, std::memory_order_relaxed);
+        if (r == n) break;
+        if (r->gauge_ != nullptr) r->gauge_->Add(-static_cast<int64_t>(bytes));
+      }
+      if (owner_ != nullptr) owner_->denied_->Add();
+      return Status::ResourceExhausted(
+          "memory budget '" + n->name_ + "' exhausted: " +
+          std::to_string(before) + " + " + std::to_string(bytes) + " > " +
+          std::to_string(n->limit_bytes_) + " bytes");
+    }
+    n->NotePeak(before + bytes);
+    if (n->gauge_ != nullptr) n->gauge_->Add(static_cast<int64_t>(bytes));
+    if (n->parent_ == nullptr && owner_ != nullptr) {
+      owner_->MaybeSignalPressure(before + bytes);
+    }
+    n = n->parent_;
+  }
+  return Status::OK();
+}
+
+void BudgetNode::ForceCharge(uint64_t bytes) {
+  if (bytes == 0) return;
+  for (BudgetNode* n = this; n != nullptr; n = n->parent_) {
+    uint64_t now =
+        n->used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    n->NotePeak(now);
+    if (n->gauge_ != nullptr) n->gauge_->Add(static_cast<int64_t>(bytes));
+    if (n->parent_ == nullptr && owner_ != nullptr) {
+      owner_->MaybeSignalPressure(now);
+    }
+  }
+}
+
+void BudgetNode::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  for (BudgetNode* n = this; n != nullptr; n = n->parent_) {
+    n->used_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (n->gauge_ != nullptr) n->gauge_->Add(-static_cast<int64_t>(bytes));
+  }
+}
+
+Status Reservation::Grow(uint64_t bytes) {
+  if (node_ == nullptr || bytes == 0) return Status::OK();
+  POLY_RETURN_IF_ERROR(node_->TryCharge(bytes));
+  held_ += bytes;
+  return Status::OK();
+}
+
+void Reservation::Shrink(uint64_t bytes) {
+  if (node_ == nullptr) return;
+  if (bytes > held_) bytes = held_;
+  node_->Release(bytes);
+  held_ -= bytes;
+}
+
+void Reservation::ReleaseAll() {
+  if (node_ != nullptr && held_ > 0) node_->Release(held_);
+  held_ = 0;
+}
+
+MemoryBudget::MemoryBudget(Options options, metrics::Registry* registry)
+    : options_(options),
+      registry_(registry),
+      root_("global", options.total_limit_bytes, nullptr,
+            registry->gauge("resource.used_bytes")),
+      denied_(registry->counter("resource.denied")),
+      pressure_signals_(registry->counter("resource.pressure.signals")) {
+  root_.owner_ = this;
+  if (options_.total_limit_bytes > 0) {
+    high_water_bytes_ = static_cast<uint64_t>(
+        static_cast<double>(options_.total_limit_bytes) * options_.high_water);
+    low_water_bytes_ = static_cast<uint64_t>(
+        static_cast<double>(options_.total_limit_bytes) * options_.low_water);
+  }
+  registry->gauge("resource.limit_bytes")
+      ->Set(static_cast<int64_t>(options_.total_limit_bytes));
+}
+
+BudgetNode* MemoryBudget::GetOrCreateClass(const std::string& name,
+                                           uint64_t limit_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(classes_mu_);
+    auto it = classes_.find(name);
+    if (it != classes_.end()) return it->second.get();
+  }
+  // Build the node — registry lookup included — without holding
+  // classes_mu_: the registry has its own mutex, and nesting another
+  // subsystem's lock under ours is how lock-order inversions start.
+  auto node = std::make_unique<BudgetNode>(
+      name, limit_bytes, &root_,
+      registry_->gauge("resource.class." + name + ".used_bytes"));
+  std::lock_guard<std::mutex> lock(classes_mu_);
+  auto [it, inserted] = classes_.emplace(name, std::move(node));
+  return it->second.get();  // a racing creator's node wins; ours is dropped
+}
+
+std::unique_ptr<BudgetNode> MemoryBudget::NewQueryNode(
+    BudgetNode* parent, uint64_t limit_bytes, const std::string& label) {
+  if (parent == nullptr) parent = &root_;
+  return std::make_unique<BudgetNode>(label, limit_bytes, parent,
+                                      /*gauge=*/nullptr);
+}
+
+void MemoryBudget::MaybeSignalPressure(uint64_t root_used) {
+  if (high_water_bytes_ == 0 || root_used < high_water_bytes_) return;
+  PressureListener* l = listener_.load(std::memory_order_acquire);
+  if (l == nullptr) return;
+  pressure_signals_->Add();
+  l->OnPressure(root_used, options_.total_limit_bytes);
+}
+
+std::vector<std::pair<std::string, uint64_t>> MemoryBudget::Snapshot() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.emplace_back(root_.name(), root_.used());
+  std::lock_guard<std::mutex> lock(classes_mu_);
+  for (const auto& [name, node] : classes_) {
+    out.emplace_back(name, node->used());
+  }
+  return out;
+}
+
+}  // namespace resource
+}  // namespace poly

@@ -1,0 +1,215 @@
+#ifndef POLY_RESOURCE_MEMORY_BUDGET_H_
+#define POLY_RESOURCE_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace poly {
+namespace resource {
+
+class MemoryBudget;
+
+/// One node in the budget hierarchy: global root -> workload class ->
+/// query. Accounting is a single relaxed fetch_add per level, so charging
+/// is cheap enough to sit on executor materialization paths. A node with
+/// limit 0 is unlimited (accounting-only); a node with a limit rejects
+/// charges that would push *it or any ancestor* over (DESIGN.md §13.1).
+class BudgetNode {
+ public:
+  BudgetNode(std::string name, uint64_t limit_bytes, BudgetNode* parent,
+             metrics::Gauge* gauge = nullptr);
+  ~BudgetNode();
+
+  BudgetNode(const BudgetNode&) = delete;
+  BudgetNode& operator=(const BudgetNode&) = delete;
+
+  /// Admission-checked charge: adds `bytes` to this node and every ancestor.
+  /// If any level would exceed its limit the whole charge is rolled back and
+  /// ResourceExhausted names the offending node. Memory ordering is relaxed:
+  /// the counters are quotas, not synchronization edges — over-admission by
+  /// one in-flight charge per thread is acceptable (and bounded), lost
+  /// updates are not possible (fetch_add).
+  Status TryCharge(uint64_t bytes);
+
+  /// Accounting-only charge: never fails, used by allocators and storage
+  /// that cannot unwind mid-flight (delta appends, adopted page-ins). Limit
+  /// enforcement for those paths happens at admission / pressure time.
+  void ForceCharge(uint64_t bytes);
+
+  /// Returns `bytes` to this node and every ancestor. Callers must release
+  /// exactly what they charged; the Reservation RAII handle guarantees it.
+  void Release(uint64_t bytes);
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  /// High-water mark of `used()` over this node's lifetime (relaxed
+  /// CAS-max per charge — charges are per-operator, never per-row). A
+  /// charge that is later rolled back by TryCharge still counts: the bytes
+  /// were transiently on the counter, and peak is a sizing heuristic, not
+  /// an invariant.
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  uint64_t limit_bytes() const { return limit_bytes_; }
+  const std::string& name() const { return name_; }
+  BudgetNode* parent() const { return parent_; }
+
+ private:
+  friend class MemoryBudget;
+
+  void NotePeak(uint64_t now);
+
+  const std::string name_;
+  const uint64_t limit_bytes_;  // 0 = unlimited
+  BudgetNode* const parent_;
+  MemoryBudget* owner_ = nullptr;  // set on root + descendants by MemoryBudget
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  metrics::Gauge* gauge_ = nullptr;  // mirrors used_; null for query nodes
+};
+
+/// Listener for high-water crossings on the root budget. Implementations
+/// must be cheap and non-blocking: the callback runs on whatever thread
+/// performed the charge (often an executor worker). PressureBroker just
+/// flips a flag and wakes its background thread.
+class PressureListener {
+ public:
+  virtual ~PressureListener() = default;
+  virtual void OnPressure(uint64_t used_bytes, uint64_t limit_bytes) = 0;
+};
+
+/// RAII charge against a BudgetNode. Move-only; releases whatever it still
+/// holds on destruction, so every exit path — success, error, timeout —
+/// returns its bytes. The balance oracle in resource_test.cpp leans on this.
+class Reservation {
+ public:
+  Reservation() = default;
+  explicit Reservation(BudgetNode* node) : node_(node) {}
+  ~Reservation() { ReleaseAll(); }
+
+  Reservation(Reservation&& other) noexcept
+      : node_(other.node_), held_(other.held_) {
+    other.node_ = nullptr;
+    other.held_ = 0;
+  }
+  Reservation& operator=(Reservation&& other) noexcept {
+    if (this != &other) {
+      ReleaseAll();
+      node_ = other.node_;
+      held_ = other.held_;
+      other.node_ = nullptr;
+      other.held_ = 0;
+    }
+    return *this;
+  }
+  Reservation(const Reservation&) = delete;
+  Reservation& operator=(const Reservation&) = delete;
+
+  /// Charges `bytes` more. No-op success when unbound (node == nullptr), so
+  /// executors can call unconditionally.
+  Status Grow(uint64_t bytes);
+
+  /// Returns part of the holding early (e.g. an operator input freed once
+  /// its output is materialized). Clamped to what is held.
+  void Shrink(uint64_t bytes);
+
+  void ReleaseAll();
+
+  uint64_t held_bytes() const { return held_; }
+  BudgetNode* node() const { return node_; }
+
+ private:
+  BudgetNode* node_ = nullptr;
+  uint64_t held_ = 0;
+};
+
+/// Owns the budget tree: one root (the process/global limit), named
+/// workload-class children, and factory for per-query leaves. Publishes
+/// `resource.used_bytes` and `resource.class.<name>.used_bytes` gauges on
+/// the registry it was built with (per-Database registries keep standalone
+/// instances from cross-polluting, see Database::set_metrics_registry).
+class MemoryBudget {
+ public:
+  struct Options {
+    uint64_t total_limit_bytes = 0;  ///< 0 = unlimited (accounting only)
+    /// High/low water as fractions of the total limit. Crossing high on a
+    /// charge notifies the PressureListener; the broker then spills until
+    /// usage drops below low (DESIGN.md §13.3).
+    double high_water = 0.85;
+    double low_water = 0.70;
+  };
+
+  explicit MemoryBudget(Options options,
+                        metrics::Registry* registry = &metrics::Default());
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  BudgetNode* root() { return &root_; }
+
+  /// Get-or-create a workload-class node directly under the root. Limit is
+  /// fixed on first creation; later calls ignore `limit_bytes`.
+  BudgetNode* GetOrCreateClass(const std::string& name, uint64_t limit_bytes);
+
+  /// Mints a per-query leaf under `parent` (a class node or the root).
+  /// Caller owns it; destroying it while charges are outstanding is a bug
+  /// the balance oracle would catch (used() must be zero by then).
+  std::unique_ptr<BudgetNode> NewQueryNode(BudgetNode* parent,
+                                           uint64_t limit_bytes,
+                                           const std::string& label);
+
+  /// Atomically installs the pressure listener (null to detach). The
+  /// listener must outlive either detachment or this budget.
+  void set_pressure_listener(PressureListener* listener) {
+    listener_.store(listener, std::memory_order_release);
+  }
+
+  uint64_t used_bytes() const { return root_.used(); }
+  /// Lifetime high-water mark of total usage (see BudgetNode::peak).
+  uint64_t peak_bytes() const { return root_.peak(); }
+  uint64_t total_limit_bytes() const { return options_.total_limit_bytes; }
+  uint64_t high_water_bytes() const { return high_water_bytes_; }
+  uint64_t low_water_bytes() const { return low_water_bytes_; }
+  bool above_high_water() const {
+    return high_water_bytes_ > 0 && used_bytes() >= high_water_bytes_;
+  }
+  bool above_low_water() const {
+    return low_water_bytes_ > 0 && used_bytes() > low_water_bytes_;
+  }
+
+  metrics::Registry* registry() { return registry_; }
+
+  /// (name, used) for the root and every class node — the balance oracle
+  /// asserts all of these return to zero after a workload drains.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+ private:
+  friend class BudgetNode;
+
+  /// Called by BudgetNode after a root-level charge lands.
+  void MaybeSignalPressure(uint64_t root_used);
+
+  Options options_;
+  metrics::Registry* registry_;
+  uint64_t high_water_bytes_ = 0;
+  uint64_t low_water_bytes_ = 0;
+  BudgetNode root_;
+  std::atomic<PressureListener*> listener_{nullptr};
+  metrics::Counter* denied_;          // resource.denied
+  metrics::Counter* pressure_signals_;  // resource.pressure.signals
+
+  mutable std::mutex classes_mu_;
+  std::map<std::string, std::unique_ptr<BudgetNode>> classes_;
+};
+
+}  // namespace resource
+}  // namespace poly
+
+#endif  // POLY_RESOURCE_MEMORY_BUDGET_H_

@@ -1,0 +1,107 @@
+#include "resource/pressure.h"
+
+namespace poly {
+namespace resource {
+
+PressureBroker::PressureBroker(MemoryBudget* budget, Options options)
+    : budget_(budget),
+      options_(options),
+      events_(budget->registry()->counter("resource.pressure.events")),
+      spilled_bytes_(
+          budget->registry()->counter("resource.pressure.spilled_bytes")),
+      exhausted_(budget->registry()->counter("resource.pressure.exhausted")),
+      active_(budget->registry()->gauge("resource.pressure.active")) {}
+
+PressureBroker::~PressureBroker() { Stop(); }
+
+void PressureBroker::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    stop_ = false;
+    pending_ = false;
+    running_ = true;
+  }
+  budget_->set_pressure_listener(this);
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void PressureBroker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  // Detach from the budget first so no charging thread calls OnPressure on
+  // a broker that is tearing down.
+  budget_->set_pressure_listener(nullptr);
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool PressureBroker::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void PressureBroker::OnPressure(uint64_t /*used_bytes*/,
+                                uint64_t /*limit_bytes*/) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || pending_) return;  // a pass is already scheduled
+    pending_ = true;
+  }
+  cv_.notify_one();
+}
+
+uint64_t PressureBroker::RunOnce() {
+  if (!budget_->above_high_water()) return 0;
+  return SpillPass();
+}
+
+uint64_t PressureBroker::SpillPass() {
+  if (!spill_) return 0;
+  active_->Set(1);
+  events_->Add();
+  uint64_t total_freed = 0;
+  // Spill until we sink below the LOW water mark, not just the high one —
+  // the gap is the hysteresis band that keeps the broker from thrashing.
+  while (budget_->above_low_water()) {
+    uint64_t used = budget_->used_bytes();
+    uint64_t low = budget_->low_water_bytes();
+    uint64_t deficit = used > low ? used - low : 0;
+    uint64_t freed = spill_(deficit + options_.min_spill_bytes);
+    if (freed == 0) {
+      // Nothing left the spill target is willing to evict (all partitions
+      // already cold, or movement contended). Give up this pass rather
+      // than spin; the poll cadence retries later.
+      exhausted_->Add();
+      break;
+    }
+    total_freed += freed;
+    spilled_bytes_->Add(freed);
+  }
+  active_->Set(0);
+  return total_freed;
+}
+
+void PressureBroker::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, options_.poll_period,
+                 [this] { return stop_ || pending_; });
+    if (stop_) break;
+    bool had_signal = pending_;
+    pending_ = false;
+    lock.unlock();
+    if (had_signal || budget_->above_high_water()) {
+      SpillPass();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace resource
+}  // namespace poly

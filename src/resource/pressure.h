@@ -1,0 +1,98 @@
+#ifndef POLY_RESOURCE_PRESSURE_H_
+#define POLY_RESOURCE_PRESSURE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/metrics.h"
+#include "resource/memory_budget.h"
+
+namespace poly {
+namespace resource {
+
+/// Bridges the MemoryBudget's high-water signal to the tiering machinery
+/// (DESIGN.md §13.3). Registered as the budget's PressureListener, it turns
+/// the in-line "we just crossed high water" callback into out-of-band spill
+/// work: a background thread (or a synchronous RunOnce in tests) repeatedly
+/// asks its spill callback — typically TieringDaemon::SpillForPressure — to
+/// free bytes until usage drops below the low-water mark or the callback
+/// reports it has nothing left to evict.
+///
+/// Memory ordering: OnPressure only flips a flag under the broker mutex and
+/// notifies; all spill work happens on the broker thread. The spill
+/// callback is installed before Start and never changed while running.
+class PressureBroker : public PressureListener {
+ public:
+  struct Options {
+    /// Fallback poll period: the broker also re-checks the watermark on its
+    /// own cadence, so pressure built by ForceCharge paths that raced the
+    /// listener install is still seen.
+    std::chrono::milliseconds poll_period{50};
+    /// Ask the spill callback for at least this much beyond the low-water
+    /// deficit, so one pass usually suffices (hysteresis against ping-pong).
+    uint64_t min_spill_bytes = 64 * 1024;
+  };
+
+  /// Spill callback: try to free ~`bytes` of budgeted memory; returns the
+  /// bytes actually freed (0 = nothing evictable, stop asking this pass).
+  using SpillFn = std::function<uint64_t(uint64_t bytes)>;
+
+  explicit PressureBroker(MemoryBudget* budget)
+      : PressureBroker(budget, Options()) {}
+  PressureBroker(MemoryBudget* budget, Options options);
+  ~PressureBroker() override;
+
+  PressureBroker(const PressureBroker&) = delete;
+  PressureBroker& operator=(const PressureBroker&) = delete;
+
+  /// Install the spill target. Must be called before Start / RunOnce and
+  /// not concurrently with them.
+  void set_spill(SpillFn fn) { spill_ = std::move(fn); }
+
+  /// Registers with the budget and starts the background thread. Idempotent.
+  void Start();
+
+  /// Detaches from the budget and joins the thread. Safe to call twice;
+  /// called by the destructor. Callers must Stop the broker before
+  /// destroying whatever the spill callback captures (e.g. the daemon).
+  void Stop();
+
+  bool running() const;
+
+  /// PressureListener: called on the charging thread when the root budget
+  /// crosses high water. Non-blocking by design.
+  void OnPressure(uint64_t used_bytes, uint64_t limit_bytes) override;
+
+  /// Synchronous spill pass for deterministic tests: if above high water,
+  /// spill until below low water or exhausted. Returns bytes freed.
+  uint64_t RunOnce();
+
+ private:
+  void ThreadMain();
+  uint64_t SpillPass();
+
+  MemoryBudget* budget_;
+  Options options_;
+  SpillFn spill_;
+
+  metrics::Counter* events_;          // resource.pressure.events
+  metrics::Counter* spilled_bytes_;   // resource.pressure.spilled_bytes
+  metrics::Counter* exhausted_;       // resource.pressure.exhausted
+  metrics::Gauge* active_;            // resource.pressure.active
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool pending_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace resource
+}  // namespace poly
+
+#endif  // POLY_RESOURCE_PRESSURE_H_

@@ -268,6 +268,17 @@ StatusOr<ResultSet> SoeCluster::RunPartitionTask(const CatalogService::TableInfo
           cm_.node_rpcs[n]->Add(1);
         }
         cm_.task_nanos->Observe(net_.virtual_nanos() - start);
+        if (trace_) {
+          const PlanNode* scan = plan.get();
+          while (!scan->children.empty()) scan = scan->children[0].get();
+          OperatorSpan task;
+          task.label =
+              "PartitionTask(" + scan->table + "@node" + std::to_string(n) + ")";
+          task.rows_out = result.rows.size();
+          task.bytes_out = gathered;
+          task.wall_nanos = net_.virtual_nanos() - start;
+          task_spans_.push_back(std::move(task));
+        }
         *served_by = n;
         return result;
       }
@@ -278,6 +289,23 @@ StatusOr<ResultSet> SoeCluster::RunPartitionTask(const CatalogService::TableInfo
   }
   return Status::Unavailable("partition " + std::to_string(p) +
                              " task failed after retries: " + last.message());
+}
+
+void SoeCluster::FinishTrace(const std::string& label, uint64_t trace_start,
+                             ResultSet* out) {
+  if (!trace_) return;
+  auto root = std::make_shared<OperatorSpan>();
+  root->label = label;
+  for (OperatorSpan& task : task_spans_) {
+    root->rows_in += task.rows_out;
+    root->children.push_back(std::move(task));
+  }
+  task_spans_.clear();
+  root->rows_out = out->rows.size();
+  root->bytes_out = last_stats_.result_bytes_gathered;
+  root->wall_nanos = net_.virtual_nanos() - trace_start;
+  out->trace = root;
+  last_trace_ = root;
 }
 
 namespace {
@@ -306,6 +334,8 @@ StatusOr<ResultSet> SoeCluster::DistributedAggregate(const std::string& table,
   POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
   last_stats_ = DistributedQueryStats{};
   last_stats_.partitions = info->spec.num_partitions;
+  uint64_t trace_start = net_.virtual_nanos();
+  if (trace_) task_spans_.clear();
 
   int group_col = -1;
   if (!group_column.empty()) {
@@ -435,6 +465,7 @@ StatusOr<ResultSet> SoeCluster::DistributedAggregate(const std::string& table,
     }
     out.rows.push_back(std::move(row));
   }
+  FinishTrace("DistributedAggregate(" + table + ")", trace_start, &out);
   return out;
 }
 
@@ -444,6 +475,8 @@ StatusOr<ResultSet> SoeCluster::DistributedScan(const std::string& table,
   POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info, catalog_.Lookup(table));
   last_stats_ = DistributedQueryStats{};
   last_stats_.partitions = info->spec.num_partitions;
+  uint64_t trace_start = net_.virtual_nanos();
+  if (trace_) task_spans_.clear();
   ResultSet out;
   for (size_t c = 0; c < info->schema.num_columns(); ++c) {
     out.column_names.push_back(info->schema.column(c).name);
@@ -468,6 +501,7 @@ StatusOr<ResultSet> SoeCluster::DistributedScan(const std::string& table,
   }
   cm_.dqp_queries->Add(1);
   cm_.dqp_result_bytes->Add(last_stats_.result_bytes_gathered);
+  FinishTrace("DistributedScan(" + table + ")", trace_start, &out);
   return out;
 }
 

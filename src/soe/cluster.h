@@ -98,6 +98,18 @@ class SoeCluster {
 
   const DistributedQueryStats& last_query_stats() const { return last_stats_; }
 
+  /// Coordinator-side tracing of distributed queries. When on, each
+  /// DistributedScan/DistributedAggregate attaches an OperatorSpan tree to
+  /// its ResultSet: the coordinator span on top, one child span per
+  /// per-partition task (labeled with the partition table and serving
+  /// node, timed in virtual nanos). The coordinator loop is
+  /// single-threaded; tracing is not safe across concurrent distributed
+  /// queries on one cluster.
+  void set_trace(bool on) { trace_ = on; }
+  const std::shared_ptr<OperatorSpan>& last_trace() const {
+    return last_trace_;
+  }
+
   // ---- Node lifecycle (cluster manager, v2clustermgr) ----
 
   Status SetNodeMode(int node, NodeMode mode);
@@ -162,6 +174,10 @@ class SoeCluster {
   /// failover; on success returns the rows and the serving node via `served_by`.
   StatusOr<ResultSet> RunPartitionTask(const CatalogService::TableInfo& info,
                                        size_t p, const PlanPtr& plan, int* served_by);
+  /// When tracing: wraps the per-task spans collected since `trace_start`
+  /// under a coordinator span and attaches it to `out` + last_trace().
+  void FinishTrace(const std::string& label, uint64_t trace_start,
+                   ResultSet* out);
 
   /// Cached registry pointers for the cluster's own layers (fabric and log
   /// cache their own); created once in the constructor.
@@ -192,6 +208,9 @@ class SoeCluster {
   std::vector<std::unique_ptr<SoeNode>> nodes_;
   int next_placement_ = 0;
   DistributedQueryStats last_stats_;
+  bool trace_ = false;
+  std::vector<OperatorSpan> task_spans_;  ///< current query's task spans
+  std::shared_ptr<OperatorSpan> last_trace_;
   FaultSchedule fault_schedule_;
   Random jitter_rng_;
   uint64_t total_retries_ = 0;

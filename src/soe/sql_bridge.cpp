@@ -132,6 +132,7 @@ StatusOr<ResultSet> SoeSqlBridge::Execute(const std::string& sql) {
   if (has_project) {
     ResultSet projected;
     projected.column_names = output_names;
+    projected.trace = rs.trace;  // keep the distributed span tree
     projected.rows.reserve(rs.rows.size());
     for (const Row& row : rs.rows) {
       Row out;

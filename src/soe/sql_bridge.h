@@ -29,6 +29,11 @@ class SoeSqlBridge {
 
   StatusOr<ResultSet> Execute(const std::string& sql);
 
+  /// Forwards to SoeCluster::set_trace: when on, results of the distributed
+  /// fast paths carry an OperatorSpan tree (coordinator span with one child
+  /// per per-partition task) that survives residual projection/sort/limit.
+  void set_trace(bool on) { cluster_->set_trace(on); }
+
  private:
   /// Fallback: gathers every referenced table (with per-table predicate
   /// pushdown) into a coordinator-local staging database and runs the full

@@ -19,11 +19,43 @@ ColumnTable::ColumnTable(std::string name, Schema schema, bool compress_main)
 }
 
 ColumnTable::~ColumnTable() {
+  // Return every byte this table charged (bind-time footprint + per-append
+  // estimates). This is what makes pressure-driven spill observable in the
+  // budget: demoting a partition destroys the hot copy, and usage drops.
+  if (auto* budget = budget_.load(std::memory_order_acquire)) {
+    budget->Release(budget_charged_.load(std::memory_order_relaxed));
+  }
   // Contract: no live guards. The current state is freed here; retired
   // generations (and their columns/version stores, via shared_ptr) are
   // freed by gc_'s destructor, which runs after this body.
   delete state_.load(std::memory_order_relaxed);
 }
+
+void ColumnTable::BindMemoryBudget(resource::BudgetNode* node) {
+  if (node == nullptr) return;
+  uint64_t current = MemoryBytes();
+  budget_charged_.fetch_add(current, std::memory_order_relaxed);
+  node->ForceCharge(current);
+  budget_.store(node, std::memory_order_release);
+}
+
+namespace {
+
+/// Cheap per-append footprint estimate: value payloads plus the two MVCC
+/// stamps. Deliberately an estimate — exact delta bytes would need a column
+/// walk; the budget meters growth, it is not an allocator.
+uint64_t EstimateRowBytes(const Row& values) {
+  uint64_t bytes = 16;  // cts + dts stamps
+  for (const Value& v : values) {
+    bytes += 8;
+    if (!v.is_null() && v.type() == DataType::kString) {
+      bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
 
 StatusOr<uint64_t> ColumnTable::AppendVersion(const Row& values, uint64_t cts_stamp) {
   TableState* st = state_.load(std::memory_order_relaxed);
@@ -39,6 +71,14 @@ StatusOr<uint64_t> ColumnTable::AppendVersion(const Row& values, uint64_t cts_st
                                      st->schema.column(c).name);
     }
     st->cols[c]->Append(values[c]);
+  }
+  // Delta growth is force-charged (never rejected): an insert halfway
+  // through its columns cannot unwind. Overcommit is handled by the
+  // pressure broker spilling cold partitions, not by failing writers.
+  if (auto* budget = budget_.load(std::memory_order_acquire)) {
+    uint64_t row_bytes = EstimateRowBytes(values);
+    budget_charged_.fetch_add(row_bytes, std::memory_order_relaxed);
+    budget->ForceCharge(row_bytes);
   }
   // Column values (and any new delta-dictionary entries) are fully written
   // and release-published before the version store publishes the new

@@ -7,6 +7,7 @@
 
 #include "common/serializer.h"
 #include "common/status.h"
+#include "resource/memory_budget.h"
 #include "storage/column.h"
 #include "storage/epoch_gc.h"
 #include "storage/mvcc.h"
@@ -223,6 +224,17 @@ class ColumnTable {
   /// Bytes across all columns plus MVCC storage.
   size_t MemoryBytes() const;
 
+  /// Binds this table's footprint to a memory-budget node (normally the
+  /// governor's storage node). Charges the current MemoryBytes()
+  /// immediately — adoption after a tier page-in charges the paged-in
+  /// bytes — then every AppendVersion force-charges a per-row estimate, and
+  /// the destructor releases the running total. Call once, before
+  /// concurrent traffic; the node must outlive the table.
+  void BindMemoryBudget(resource::BudgetNode* node);
+  resource::BudgetNode* memory_budget() const {
+    return budget_.load(std::memory_order_acquire);
+  }
+
   /// Serializes schema + all row versions with stamps (for the extended
   /// storage tier, DFS export, and recovery snapshots).
   void SaveTo(Serializer* out) const;
@@ -240,6 +252,11 @@ class ColumnTable {
   // ~ColumnTable; no free_fn calls back into the gc.
   EpochGC gc_;
   std::atomic<TableState*> state_;
+  // Budget accounting (DESIGN.md §13.1): the node is written once at bind
+  // time; budget_charged_ tracks what this table owes so the destructor
+  // can release exactly that (MemoryBytes() drifts with vacuum/compress).
+  std::atomic<resource::BudgetNode*> budget_{nullptr};
+  std::atomic<uint64_t> budget_charged_{0};
 };
 
 }  // namespace poly

@@ -1,6 +1,12 @@
 #include "storage/database.h"
 
 #include "common/thread_pool.h"
+#include "query/compiled.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/sql_parser.h"
+#include "resource/governor.h"
+#include "storage/mvcc.h"
 
 namespace poly {
 
@@ -11,6 +17,9 @@ StatusOr<ColumnTable*> Database::CreateTable(const std::string& name, Schema sch
     return Status::AlreadyExists("table '" + name + "' exists");
   }
   auto table = std::make_shared<ColumnTable>(name, std::move(schema), compress_main);
+  if (auto* gov = resource_governor()) {
+    table->BindMemoryBudget(gov->storage_node());
+  }
   ColumnTable* ptr = table.get();
   tables_.emplace(name, std::move(table));
   return ptr;
@@ -61,6 +70,13 @@ Status Database::AdoptTable(std::unique_ptr<ColumnTable> table) {
   if (tables_.count(name) || row_tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' exists");
   }
+  // Tier movement and recovery bring tables in with data already loaded:
+  // binding charges their current footprint so the budget sees page-ins.
+  if (auto* gov = resource_governor()) {
+    if (table->memory_budget() == nullptr) {
+      table->BindMemoryBudget(gov->storage_node());
+    }
+  }
   tables_.emplace(name, std::shared_ptr<ColumnTable>(std::move(table)));
   return Status::OK();
 }
@@ -92,6 +108,46 @@ ThreadPool* Database::exec_pool() const {
     exec_pool_ = std::make_unique<ThreadPool>(exec_options_.num_threads - 1);
   }
   return exec_pool_.get();
+}
+
+StatusOr<ResultSet> Database::Execute(const std::string& sql) {
+  return Execute(sql, LatestCommittedView(), exec_options());
+}
+
+StatusOr<ResultSet> Database::Execute(const std::string& sql,
+                                      const ExecOptions& opts) {
+  return Execute(sql, LatestCommittedView(), opts);
+}
+
+StatusOr<ResultSet> Database::Execute(const std::string& sql, ReadView view,
+                                      const ExecOptions& opts) {
+  SqlParser parser(this);
+  POLY_ASSIGN_OR_RETURN(PlanPtr plan, parser.Parse(sql));
+  Optimizer optimizer(/*pruner=*/nullptr, this);
+  plan = optimizer.Optimize(plan);
+
+  // Admission: one ticket per statement, held until the result is
+  // materialized. Its per-query budget node is threaded into ExecOptions so
+  // operator materializations charge the right leaf.
+  ExecOptions effective = opts;
+  resource::AdmissionTicket ticket;
+  if (auto* gov = resource_governor()) {
+    POLY_ASSIGN_OR_RETURN(ticket, gov->AdmitQuery(effective.workload_class));
+    effective.budget = ticket.budget();
+  }
+
+  QueryCompiler compiler(this, view, effective);
+  if (compiler.CanCompile(plan)) {
+    auto compiled = compiler.Execute(plan);
+    // NotImplemented = lowering bailed after the cheap eligibility check;
+    // anything else (including ResourceExhausted) is the query's verdict.
+    if (compiled.ok() ||
+        compiled.status().code() != StatusCode::kNotImplemented) {
+      return compiled;
+    }
+  }
+  Executor executor(this, view, effective);
+  return executor.Execute(plan);
 }
 
 size_t Database::MemoryBytes() const {

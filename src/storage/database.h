@@ -9,13 +9,19 @@
 #include <vector>
 
 #include "common/exec_options.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "query/result.h"
 #include "storage/access_hooks.h"
 #include "storage/column_table.h"
 #include "storage/row_table.h"
 
 namespace poly {
+
+namespace resource {
+class ResourceGovernor;
+}  // namespace resource
 
 /// In-memory catalog of column tables (plus row-store baselines for the
 /// experiments). The single-node analogue of the SOE catalog service.
@@ -82,6 +88,39 @@ class Database {
     return tier_resolver_.load(std::memory_order_acquire);
   }
 
+  /// Metric registry this instance reports to. Defaults to the process-wide
+  /// metrics::Default(); standalone instances in tests pass their own so
+  /// tiering/resource counters don't cross-pollute. Set before attaching
+  /// daemons or governors — they cache metric pointers at construction.
+  void set_metrics_registry(metrics::Registry* registry) {
+    metrics_.store(registry, std::memory_order_release);
+  }
+  metrics::Registry* metrics() const {
+    return metrics_.load(std::memory_order_acquire);
+  }
+
+  /// Workload governor consulted by Execute (admission + per-query memory
+  /// budget, DESIGN.md §13). Null by default: Execute then parses and runs
+  /// unmetered. Tables created/adopted while a governor is attached charge
+  /// their bytes to its storage budget node. Same lifetime rules as the
+  /// access observer: the governor must outlive every table bound to it.
+  void set_resource_governor(resource::ResourceGovernor* governor) {
+    governor_.store(governor, std::memory_order_release);
+  }
+  resource::ResourceGovernor* resource_governor() const {
+    return governor_.load(std::memory_order_acquire);
+  }
+
+  /// One-stop SQL entry point: parse -> optimize -> admission (when a
+  /// governor is attached) -> compiled engine when eligible, interpreted
+  /// executor otherwise. Reads at the latest committed snapshot unless a
+  /// view is given. ExecOptions::workload_class routes admission;
+  /// ResourceExhausted from admission or the query budget surfaces here.
+  StatusOr<ResultSet> Execute(const std::string& sql);
+  StatusOr<ResultSet> Execute(const std::string& sql, const ExecOptions& opts);
+  StatusOr<ResultSet> Execute(const std::string& sql, ReadView view,
+                              const ExecOptions& opts);
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<ColumnTable>> tables_;
@@ -90,6 +129,8 @@ class Database {
   mutable std::unique_ptr<ThreadPool> exec_pool_;
   std::atomic<AccessObserver*> access_observer_{nullptr};
   std::atomic<TierResolver*> tier_resolver_{nullptr};
+  std::atomic<metrics::Registry*> metrics_{&metrics::Default()};
+  std::atomic<resource::ResourceGovernor*> governor_{nullptr};
 };
 
 }  // namespace poly

@@ -51,7 +51,7 @@ TieringDaemon::TieringDaemon(Database* db, ExtendedStorage* storage,
       heat_(opts.heat),
       policy_(EffectivePolicy(opts.policy, storage, cold)) {
   opts_.policy = policy_.options();  // keep opts_ consistent with what runs
-  metrics::Registry& reg = metrics::Default();
+  metrics::Registry& reg = *db->metrics();
   m_epochs_ = reg.counter("tier.daemon.epochs");
   m_promotes_ = reg.counter("tier.daemon.promotes");
   m_demotes_ = reg.counter("tier.daemon.demotes");
@@ -63,6 +63,8 @@ TieringDaemon::TieringDaemon(Database* db, ExtendedStorage* storage,
   m_deferred_cooldown_ = reg.counter("tier.daemon.deferred_cooldown");
   m_miss_promotes_ = reg.counter("tier.daemon.miss_promotes");
   m_epoch_errors_ = reg.counter("tier.daemon.epoch_errors");
+  m_pressure_spills_ = reg.counter("tier.daemon.pressure_spills");
+  m_pressure_spilled_bytes_ = reg.counter("tier.daemon.pressure_spilled_bytes");
   m_epoch_nanos_ = reg.histogram("tier.daemon.epoch_nanos");
   db_->set_access_observer(&heat_);
   db_->set_tier_resolver(this);
@@ -301,6 +303,89 @@ StatusOr<std::shared_ptr<ColumnTable>> TieringDaemon::ResolveMissing(
                  : "hot-tier miss: promoted on demand by a query";
   RecordDecision(d);
   return promoted;
+}
+
+uint64_t TieringDaemon::SpillForPressure(uint64_t bytes_to_free) {
+  if (bytes_to_free == 0) return 0;
+
+  // Coldest-first victim list: hot managed partitions ordered by ascending
+  // heat. Snapshot outside the movement lock; each eviction re-checks
+  // residency under it.
+  struct Victim {
+    std::string partition;
+    double heat;
+  };
+  std::vector<Victim> victims;
+  for (const std::string& name : CandidatePartitions()) {
+    if (db_->GetTable(name).ok()) {
+      victims.push_back({name, heat_.HeatOf(name)});
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.heat < b.heat; });
+
+  uint64_t freed = 0;
+  for (const Victim& v : victims) {
+    if (freed >= bytes_to_free) break;
+    std::lock_guard<std::mutex> move_lock(move_mu_);
+    auto resident = db_->GetTable(v.partition);
+    if (!resident.ok()) continue;  // raced an epoch demote; already gone
+    uint64_t bytes = (*resident)->MemoryBytes();
+    Status demoted = storage_->Demote(db_, v.partition);
+    if (!demoted.ok()) {
+      m_epoch_errors_->Add(1);
+      continue;
+    }
+    freed += bytes;
+    m_demotes_->Add(1);
+    m_moved_bytes_->Add(bytes);
+
+    TieringDecision d;
+    d.partition = v.partition;
+    d.action = TierAction::kDemote;
+    d.from = Residency::kHot;
+    d.effective_heat = v.heat;
+    d.bytes = bytes;
+    d.priced_bytes = policy_.PricedBytes(bytes, Residency::kHot, Residency::kWarm);
+    d.epoch = heat_.epoch();
+    d.reason = "memory pressure: spilled to free " +
+               std::to_string(bytes_to_free) + "B (coldest hot partition)";
+
+    // Spill-to-cold: pressure evictions are the "this memory is needed NOW"
+    // path, so push the victim all the way down when a cold store exists —
+    // a warm stopover would just move the problem to the next spill.
+    if (cold_ != nullptr) {
+      uint64_t warm_bytes = storage_->BytesOf(v.partition);
+      Status sunk = cold_->Sink(storage_, v.partition);
+      if (sunk.ok()) {
+        d.reason += " [sunk to cold]";
+        m_cold_demotes_->Add(1);
+        m_moved_bytes_->Add(warm_bytes);
+        d.priced_bytes +=
+            policy_.PricedBytes(warm_bytes, Residency::kWarm, Residency::kCold);
+      } else {
+        m_epoch_errors_->Add(1);
+      }
+    }
+    m_priced_bytes_->Add(d.priced_bytes);
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      uint64_t epoch = heat_.epoch();
+      last_move_epoch_[v.partition] = epoch == 0 ? 1 : epoch;
+    }
+    RecordDecision(d);
+  }
+
+  if (freed > 0) {
+    m_pressure_spills_->Add(1);
+    m_pressure_spilled_bytes_->Add(freed);
+  }
+  return freed;
+}
+
+void TieringDaemon::BindPressureBroker(resource::PressureBroker* broker) {
+  broker->set_spill(
+      [this](uint64_t bytes) { return SpillForPressure(bytes); });
 }
 
 void TieringDaemon::RecordDecision(const TieringDecision& decision) {

@@ -16,6 +16,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "hadoop/dfs_tier_store.h"
+#include "resource/pressure.h"
 #include "storage/access_hooks.h"
 #include "storage/database.h"
 #include "tiering/heat.h"
@@ -124,6 +125,20 @@ class TieringDaemon : public TierResolver {
   StatusOr<std::shared_ptr<ColumnTable>> ResolveMissing(
       const std::string& table) override;
 
+  /// Out-of-band eviction under memory pressure (DESIGN.md §13.3): demotes
+  /// the coldest hot managed partitions — straight through to the cold
+  /// (DFS) tier when one is attached — until ~`bytes_to_free` of hot bytes
+  /// are gone or no evictable partition remains. Returns hot bytes freed.
+  /// Ignores the policy's migration budget and cooldowns: pressure is the
+  /// one caller that may not be deferred. Safe against concurrent epochs
+  /// and miss-promotes (movement lock per partition); callable from the
+  /// PressureBroker thread or synchronously from tests.
+  uint64_t SpillForPressure(uint64_t bytes_to_free);
+
+  /// Installs SpillForPressure as `broker`'s spill target. Stop the broker
+  /// before destroying this daemon.
+  void BindPressureBroker(resource::PressureBroker* broker);
+
   /// "Why is this partition hot/warm/cold": residency, current heat,
   /// lifetime access counts, per-column heat when tracked, and the last
   /// policy decision with its reason.
@@ -167,7 +182,9 @@ class TieringDaemon : public TierResolver {
   std::thread thread_;
   bool stop_requested_ = false;
 
-  // Cached metric pointers (tier.daemon.*) in metrics::Default().
+  // Cached metric pointers (tier.daemon.*) in the Database's registry
+  // (metrics::Default() unless the embedder installed its own before
+  // constructing the daemon).
   metrics::Counter* m_epochs_;
   metrics::Counter* m_promotes_;
   metrics::Counter* m_demotes_;
@@ -179,6 +196,8 @@ class TieringDaemon : public TierResolver {
   metrics::Counter* m_deferred_cooldown_;
   metrics::Counter* m_miss_promotes_;
   metrics::Counter* m_epoch_errors_;
+  metrics::Counter* m_pressure_spills_;
+  metrics::Counter* m_pressure_spilled_bytes_;
   metrics::Histogram* m_epoch_nanos_;
 };
 

@@ -214,6 +214,34 @@ TEST_F(QueryFixture, GlobalAggregateOnEmptyInput) {
   EXPECT_EQ(rs.rows[0][0], Value::Int(0));
 }
 
+TEST_F(QueryFixture, AggregateWithoutFunctionsDedupsRows) {
+  // The DISTINCT lowering shape: group-by columns, no aggregate functions.
+  // Output keeps the input column names and first-occurrence order.
+  ResultSet rs = Run(PlanBuilder::Scan("orders").Aggregate({1, 3}, {}).Build());
+  EXPECT_EQ(rs.num_rows(), 20u);  // (i%4, i%10) repeats with period lcm = 20
+  ASSERT_EQ(rs.num_columns(), 2u);
+  EXPECT_EQ(rs.column_names[0], "region");
+  EXPECT_EQ(rs.column_names[1], "qty");
+  EXPECT_EQ(rs.rows[0][0], Value::Str("north"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(0));
+  EXPECT_EQ(rs.rows[1][0], Value::Str("south"));  // row 1 seen before repeats
+}
+
+TEST_F(QueryFixture, DistinctSqlRoundTripThroughDatabaseExecute) {
+  // Full-stack round trip: the parser lowers DISTINCT, the compiled path
+  // declines the aggregate-free shape, the interpreted executor dedups.
+  auto rs = db_.Execute("SELECT DISTINCT region FROM orders ORDER BY region");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->num_rows(), 4u);
+  EXPECT_EQ(rs->rows[0][0], Value::Str("east"));
+  EXPECT_EQ(rs->rows[3][0], Value::Str("west"));
+
+  // Sanity: the same statement without DISTINCT returns every row.
+  auto all = db_.Execute("SELECT region FROM orders");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 100u);
+}
+
 TEST_F(QueryFixture, MinMax) {
   AggSpec mn{AggFunc::kMin, Expr::Column(2), "mn"};
   AggSpec mx{AggFunc::kMax, Expr::Column(2), "mx"};

@@ -267,5 +267,57 @@ TEST_F(SqlFixture, TrailingSemicolonAccepted) {
   EXPECT_EQ(Run("SELECT * FROM orders LIMIT 1;").num_rows(), 1u);
 }
 
+TEST_F(SqlFixture, DistinctDedupsProjectedRows) {
+  // 40 orders over 4 regions: DISTINCT collapses to the 4 region names, in
+  // first-occurrence order (the scan order of the base table).
+  ResultSet rs = Run("SELECT DISTINCT region FROM orders");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.column_names[0], "region");
+  EXPECT_EQ(rs.rows[0][0], Value::Str("north"));
+  EXPECT_EQ(rs.rows[1][0], Value::Str("south"));
+  EXPECT_EQ(rs.rows[2][0], Value::Str("east"));
+  EXPECT_EQ(rs.rows[3][0], Value::Str("west"));
+}
+
+TEST_F(SqlFixture, DistinctOverMultipleColumnsAndExpressions) {
+  // (region, qty % 7) has 4 * 7 = 28 combinations among 40 rows.
+  ResultSet rs = Run("SELECT DISTINCT region, qty FROM orders");
+  EXPECT_EQ(rs.num_rows(), 28u);
+  EXPECT_EQ(rs.num_columns(), 2u);
+
+  // DISTINCT applies to the projected expression, not the base column.
+  ResultSet doubled = Run("SELECT DISTINCT qty * 2 AS qty2 FROM orders");
+  EXPECT_EQ(doubled.num_rows(), 7u);
+  EXPECT_EQ(doubled.column_names[0], "qty2");
+}
+
+TEST_F(SqlFixture, DistinctComposesWithWhereOrderByLimit) {
+  // Dedup happens before ORDER BY/LIMIT: the limit applies to distinct rows.
+  ResultSet rs = Run(
+      "SELECT DISTINCT region FROM orders WHERE amount >= 10.0 "
+      "ORDER BY region DESC LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("west"));
+  EXPECT_EQ(rs.rows[1][0], Value::Str("south"));
+}
+
+TEST_F(SqlFixture, DistinctLowersToAggregateAndFallsBackFromCompilation) {
+  SqlParser parser(&db_);
+  auto plan = parser.Parse("SELECT DISTINCT qty FROM orders");
+  ASSERT_TRUE(plan.ok());
+  Optimizer opt;
+  PlanPtr optimized = opt.Optimize(*plan);
+  // The DISTINCT wrapper is an aggregate with group-by columns only — the
+  // compiled path must decline it (Database::Execute then falls back to the
+  // interpreted executor).
+  QueryCompiler qc(&db_, tm_.AutoCommitView());
+  EXPECT_FALSE(qc.CanCompile(optimized));
+
+  // Database::Execute round trip exercises that fallback end to end.
+  auto rs = db_.Execute("SELECT DISTINCT qty FROM orders");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->num_rows(), 7u);
+}
+
 }  // namespace
 }  // namespace poly

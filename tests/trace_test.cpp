@@ -14,6 +14,7 @@
 #include "query/compiled.h"
 #include "query/executor.h"
 #include "query/optimizer.h"
+#include "soe/sql_bridge.h"
 #include "txn/transaction_manager.h"
 
 namespace poly {
@@ -219,6 +220,103 @@ TEST(ParallelExecutorTrace, SerialAndParallelSpansAgree) {
   while (!leaf->children.empty()) leaf = &leaf->children[0];
   EXPECT_EQ(leaf->rows_in, parallel.stats().rows_scanned);
   EXPECT_EQ(parallel.stats().rows_scanned, serial.stats().rows_scanned);
+}
+
+// ------------------------------------------------ distributed (SOE) spans --
+
+class SoeTraceTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 240;
+  static constexpr size_t kPartitions = 4;
+
+  SoeTraceTest() : cluster_(MakeOptions()), bridge_(&cluster_) {
+    Schema s({ColumnDef("sensor", DataType::kInt64),
+              ColumnDef("site", DataType::kInt64),
+              ColumnDef("value", DataType::kDouble)});
+    (void)cluster_.CreateTable("readings", s,
+                               PartitionSpec::Hash("sensor", kPartitions), 2);
+    std::vector<Row> rows;
+    for (int i = 0; i < kRows; ++i) {
+      rows.push_back({Value::Int(i % 24), Value::Int(i % 3), Value::Dbl(1.0 * i)});
+    }
+    (void)cluster_.CommitInserts("readings", rows);
+  }
+
+  static SoeCluster::Options MakeOptions() {
+    SoeCluster::Options opts;
+    opts.num_nodes = 3;
+    return opts;
+  }
+
+  SoeCluster cluster_;
+  SoeSqlBridge bridge_;
+};
+
+TEST_F(SoeTraceTest, DistributedScanSpansOnePerPartitionTask) {
+  cluster_.set_trace(true);
+  auto rs = cluster_.DistributedScan("readings", nullptr);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_NE(rs->trace, nullptr);
+  EXPECT_EQ(rs->trace, cluster_.last_trace());
+
+  const OperatorSpan& root = *rs->trace;
+  EXPECT_EQ(root.label, "DistributedScan(readings)");
+  // One child task span per partition, nested under the coordinator span.
+  ASSERT_EQ(root.children.size(), kPartitions);
+  CheckRowFlow(root);  // root.rows_in == sum of task rows_out
+  EXPECT_EQ(root.rows_in, static_cast<uint64_t>(kRows));
+  EXPECT_EQ(root.rows_out, rs->num_rows());
+  EXPECT_EQ(root.bytes_out, cluster_.last_query_stats().result_bytes_gathered);
+  EXPECT_GT(root.wall_nanos, 0u);  // virtual network time, deterministic
+
+  for (const OperatorSpan& task : root.children) {
+    EXPECT_EQ(task.label.rfind("PartitionTask(readings#p", 0), 0u) << task.label;
+    EXPECT_NE(task.label.find("@node"), std::string::npos) << task.label;
+    EXPECT_GT(task.bytes_out, 0u);
+    EXPECT_GT(task.wall_nanos, 0u);
+  }
+}
+
+TEST_F(SoeTraceTest, DistributedAggregateSpansAndOffByDefault) {
+  // Off by default: no span tree is built or attached.
+  auto untraced = cluster_.DistributedAggregate(
+      "readings", nullptr, "", {{AggFunc::kCount, nullptr, "n"}});
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced->trace, nullptr);
+  EXPECT_EQ(cluster_.last_trace(), nullptr);
+
+  cluster_.set_trace(true);
+  auto rs = cluster_.DistributedAggregate(
+      "readings", nullptr, "site",
+      {{AggFunc::kSum, Expr::Column(2), "total"}});
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_NE(rs->trace, nullptr);
+
+  const OperatorSpan& root = *rs->trace;
+  EXPECT_EQ(root.label, "DistributedAggregate(readings)");
+  ASSERT_EQ(root.children.size(), kPartitions);
+  CheckRowFlow(root);
+  // Partial aggregation: each task returns at most 3 site groups; the merged
+  // result has exactly 3.
+  EXPECT_LE(root.rows_in, kPartitions * 3);
+  EXPECT_EQ(root.rows_out, 3u);
+}
+
+TEST_F(SoeTraceTest, BridgeCarriesTraceThroughResidualOperators) {
+  bridge_.set_trace(true);
+  // Residual projection + sort + limit run at the coordinator, on top of a
+  // distributed scan; the span tree must survive them.
+  auto rs = bridge_.Execute(
+      "SELECT value * 2 AS doubled FROM readings WHERE sensor = 3 "
+      "ORDER BY doubled DESC LIMIT 5");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_NE(rs->trace, nullptr);
+  EXPECT_EQ(rs->trace->label, "DistributedScan(readings)");
+  EXPECT_FALSE(rs->trace->children.empty());
+  // The trace describes the distributed stage: rows_out is the gathered
+  // count, before the residual limit shrank the result.
+  EXPECT_GE(rs->trace->rows_out, rs->num_rows());
+  EXPECT_NE(rs->AnnotatedPlan().find("PartitionTask("), std::string::npos);
 }
 
 }  // namespace
