@@ -1,0 +1,130 @@
+// E26 (§VI "single point of entry"; DESIGN.md §14): the distributed query
+// planner. One SQL string against the SOE lowers into per-node fragments —
+// the claim under test is that distributed join/aggregate execution moves
+// radically fewer bytes to the coordinator than gather-and-execute (ship
+// every base table, run the plan at the entry point), at comparable or
+// better latency.
+//
+// Rows reproduced:
+//   DistributedSql_ShuffledJoin   - repartition-hash join + group-by, both
+//     sides shuffled by join key (broadcast threshold forced to 0);
+//     coordinator_kb is what reaches the entry point (final aggregates
+//     only), shuffle_kb the node-to-node staged traffic paying for it
+//   DistributedSql_BroadcastJoin  - same query, catalog stats pick the
+//     broadcast strategy (small dim side replicated to the fact partitions)
+//   DistributedSql_GatherJoin     - the old path, forced: every base row
+//     of both tables ships to the coordinator before the join runs
+//   DistributedSql_TwoKeyGroupBy  - GROUP BY k1, k2 as partial-per-node ->
+//     repartition-by-key -> final (multi-key aggregates never gather raw rows)
+
+#include <benchmark/benchmark.h>
+
+#include "soe/sql_bridge.h"
+
+namespace poly {
+namespace {
+
+constexpr int kFactRows = 20000;
+constexpr int kDimRows = 1000;
+const char kJoinAgg[] =
+    "SELECT w, SUM(v) AS s, COUNT(*) AS c FROM fact JOIN dim ON k2 = id "
+    "GROUP BY w";
+
+SoeCluster::Options ClusterOpts() {
+  SoeCluster::Options opts;
+  opts.num_nodes = 4;
+  return opts;
+}
+
+void LoadStar(SoeCluster* cluster) {
+  (void)cluster->CreateTable("fact",
+                             Schema({ColumnDef("k1", DataType::kInt64),
+                                     ColumnDef("k2", DataType::kInt64),
+                                     ColumnDef("v", DataType::kInt64)}),
+                             PartitionSpec::Hash("k1", 8), 2);
+  (void)cluster->CreateTable("dim",
+                             Schema({ColumnDef("id", DataType::kInt64),
+                                     ColumnDef("w", DataType::kInt64)}),
+                             PartitionSpec::Hash("id", 4), 2);
+  std::vector<Row> fact;
+  fact.reserve(kFactRows);
+  for (int i = 0; i < kFactRows; ++i) {
+    fact.push_back({Value::Int(i % 64), Value::Int(i % kDimRows), Value::Int(i)});
+  }
+  (void)cluster->CommitInserts("fact", fact);
+  std::vector<Row> dim;
+  dim.reserve(kDimRows);
+  for (int i = 0; i < kDimRows; ++i) {
+    dim.push_back({Value::Int(i), Value::Int(i * 7)});
+  }
+  (void)cluster->CommitInserts("dim", dim);
+}
+
+/// Runs `sql` through the bridge for every bench iteration and reports the
+/// per-query coordinator / shuffle byte counters.
+void RunSqlBench(benchmark::State& state, SoeSqlBridge* bridge,
+                 SoeCluster* cluster, const std::string& sql) {
+  metrics::Counter* coord = cluster->metrics().counter("soe.dqp.result_bytes");
+  metrics::Counter* shuffle = cluster->metrics().counter("soe.dqp.shuffle_bytes");
+  metrics::Counter* fragments = cluster->metrics().counter("soe.dqp.fragments");
+  uint64_t coord0 = coord->Value();
+  uint64_t shuffle0 = shuffle->Value();
+  uint64_t fragments0 = fragments->Value();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    auto rs = bridge->Execute(sql);
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(rs->rows.size());
+    ++iters;
+  }
+  if (iters == 0) return;
+  state.counters["coordinator_kb"] =
+      static_cast<double>(coord->Value() - coord0) / 1024.0 / iters;
+  state.counters["shuffle_kb"] =
+      static_cast<double>(shuffle->Value() - shuffle0) / 1024.0 / iters;
+  state.counters["fragments"] =
+      static_cast<double>(fragments->Value() - fragments0) / iters;
+}
+
+void DistributedSql_ShuffledJoin(benchmark::State& state) {
+  SoeCluster cluster(ClusterOpts());
+  LoadStar(&cluster);
+  SoeSqlBridge bridge(&cluster);
+  DistributedPlanner::Options popts;
+  popts.broadcast_threshold_rows = 0;  // force the repartition path
+  bridge.set_planner_options(popts);
+  RunSqlBench(state, &bridge, &cluster, kJoinAgg);
+}
+BENCHMARK(DistributedSql_ShuffledJoin)->Unit(benchmark::kMillisecond);
+
+void DistributedSql_BroadcastJoin(benchmark::State& state) {
+  SoeCluster cluster(ClusterOpts());
+  LoadStar(&cluster);
+  SoeSqlBridge bridge(&cluster);  // dim is under the broadcast threshold
+  RunSqlBench(state, &bridge, &cluster, kJoinAgg);
+}
+BENCHMARK(DistributedSql_BroadcastJoin)->Unit(benchmark::kMillisecond);
+
+void DistributedSql_GatherJoin(benchmark::State& state) {
+  SoeCluster cluster(ClusterOpts());
+  LoadStar(&cluster);
+  SoeSqlBridge bridge(&cluster);
+  bridge.set_force_gather(true);  // the pre-planner behavior, as baseline
+  RunSqlBench(state, &bridge, &cluster, kJoinAgg);
+}
+BENCHMARK(DistributedSql_GatherJoin)->Unit(benchmark::kMillisecond);
+
+void DistributedSql_TwoKeyGroupBy(benchmark::State& state) {
+  SoeCluster cluster(ClusterOpts());
+  LoadStar(&cluster);
+  SoeSqlBridge bridge(&cluster);
+  RunSqlBench(state, &bridge, &cluster,
+              "SELECT k1, k2, SUM(v) AS s FROM fact GROUP BY k1, k2");
+}
+BENCHMARK(DistributedSql_TwoKeyGroupBy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace poly

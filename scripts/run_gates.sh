@@ -10,10 +10,13 @@
 #                  (ctest -L tiering)
 #   3. resource    workload-management suite: memory budget, admission,
 #                  pressure broker, balance oracle (ctest -L resource)
-#   4. chaos       seeded chaos-oracle sweep, default 50 seeds
+#   4. soe-sql     distributed-SQL suite: fragment planner, shuffle and
+#                  broadcast joins, the 50-seed distributed-vs-local oracle,
+#                  mid-shuffle chaos (ctest -L soe-sql)
+#   5. chaos       seeded chaos-oracle sweep, default 50 seeds
 #                  (scripts/chaos_sweep.sh; ctest -L chaos runs the in-suite
 #                  subset)
-#   5. tsan        whole-suite ThreadSanitizer build + run
+#   6. tsan        whole-suite ThreadSanitizer build + run
 #                  (scripts/run_tsan.sh; ctest -L tsan-full in build-tsan)
 #
 # Usage:
@@ -29,7 +32,7 @@ set -u
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-50}"
-GATES="${*:-docs tiering resource chaos tsan}"
+GATES="${*:-docs tiering resource soe-sql chaos tsan}"
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "run_gates.sh: no build tree at $BUILD_DIR" >&2
@@ -60,6 +63,9 @@ for gate in $GATES; do
     resource)
       run_gate resource ctest --test-dir "$BUILD_DIR" -L resource --output-on-failure
       ;;
+    soe-sql)
+      run_gate soe-sql ctest --test-dir "$BUILD_DIR" -L soe-sql --output-on-failure
+      ;;
     chaos)
       run_gate chaos "$REPO_ROOT/scripts/chaos_sweep.sh" "$CHAOS_SEEDS" "$BUILD_DIR"
       ;;
@@ -67,7 +73,7 @@ for gate in $GATES; do
       run_gate tsan "$REPO_ROOT/scripts/run_tsan.sh"
       ;;
     *)
-      echo "run_gates.sh: unknown gate '$gate' (know: docs tiering resource chaos tsan)" >&2
+      echo "run_gates.sh: unknown gate '$gate' (know: docs tiering resource soe-sql chaos tsan)" >&2
       exit 2
       ;;
   esac

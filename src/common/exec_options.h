@@ -49,9 +49,11 @@ struct ExecOptions {
   bool track_access = true;
 
   /// Workload class this query runs under ("oltp", "olap", "batch", ...).
-  /// Empty means the governor's default class. Only consulted by
-  /// `Database::Execute` when a ResourceGovernor is attached; ad-hoc
-  /// Executor construction bypasses admission entirely.
+  /// Empty means the governor's default class. Consulted whenever a
+  /// ResourceGovernor is attached to the Database: `Database::Execute`
+  /// admits per statement, and an ad-hoc `Executor::Execute` with no budget
+  /// of its own mints a ticket in this class too (DESIGN.md §13.2) — SOE
+  /// fragment execution enters through exactly that path.
   std::string workload_class;
 
   /// Memory budget to charge operator materializations against (hash join

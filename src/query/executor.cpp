@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "resource/governor.h"
 
 namespace poly {
 
@@ -52,6 +53,15 @@ std::string SpanLabel(const PlanNode& node) {
       return node.group_by.empty() ? "Aggregate" : "GroupAggregate";
     case PlanKind::kSort: return "Sort";
     case PlanKind::kLimit: return "Limit(" + std::to_string(node.limit) + ")";
+    case PlanKind::kExchange:
+      switch (node.exchange_mode) {
+        case ExchangeMode::kGather: return "Exchange(gather)";
+        case ExchangeMode::kBroadcast: return "Exchange(broadcast)";
+        case ExchangeMode::kRepartition: return "Exchange(repartition)";
+      }
+      return "Exchange";
+    case PlanKind::kPartialAggregate: return "PartialAggregate";
+    case PlanKind::kFinalAggregate: return "FinalAggregate";
   }
   return "Unknown";
 }
@@ -234,6 +244,18 @@ void Executor::MorselMap(size_t n,
 
 StatusOr<ResultSet> Executor::Execute(const PlanPtr& plan) {
   if (!plan) return Status::InvalidArgument("null plan");
+  // Ad-hoc admission (DESIGN.md §13.2): a directly constructed Executor on
+  // a governed database mints its own ticket in the caller's workload class
+  // instead of bypassing admission. Callers already holding a per-query
+  // budget (Database::Execute threads the ticket's node in) pass through.
+  resource::AdmissionTicket ticket;
+  resource::BudgetNode* entry_budget = opts_.budget;
+  if (entry_budget == nullptr && db_->resource_governor() != nullptr) {
+    auto admitted = db_->resource_governor()->AdmitQuery(opts_.workload_class);
+    if (!admitted.ok()) return admitted.status();
+    ticket = std::move(*admitted);
+    opts_.budget = ticket.budget();
+  }
   trace_root_.reset();
   current_span_ = nullptr;
   reservation_ = resource::Reservation(opts_.budget);
@@ -242,6 +264,8 @@ StatusOr<ResultSet> Executor::Execute(const PlanPtr& plan) {
   // everything here so the budget balances to zero on success and error
   // alike (the balance oracle in resource_test.cpp checks exactly this).
   reservation_.ReleaseAll();
+  // The ticket (and its per-query budget node) dies with this call.
+  opts_.budget = entry_budget;
   if (result.ok() && trace_root_) result->trace = trace_root_;
   return result;
 }
@@ -294,6 +318,9 @@ StatusOr<ResultSet> Executor::Dispatch(const PlanNode& node) {
     case PlanKind::kAggregate: return ExecAggregate(node);
     case PlanKind::kSort: return ExecSort(node);
     case PlanKind::kLimit: return ExecLimit(node);
+    case PlanKind::kExchange: return ExecExchange(node);
+    case PlanKind::kPartialAggregate: return ExecPartialAggregate(node);
+    case PlanKind::kFinalAggregate: return ExecFinalAggregate(node);
   }
   return Status::Internal("unknown plan node");
 }
@@ -649,6 +676,76 @@ StatusOr<ResultSet> Executor::ExecAggregate(const PlanNode& node) {
           row.push_back(st.count ? Value::Dbl(st.sum / static_cast<double>(st.count))
                                  : Value::Null());
           break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<ResultSet> Executor::ExecExchange(const PlanNode& node) {
+  // Data movement is the cluster's job; a single-node run just forwards the
+  // fragment's rows. Keeping the node executable lets one Executor run a
+  // whole distributed-shaped plan for oracle tests and coordinator-side
+  // residual merges.
+  return Exec(*node.children[0]);
+}
+
+StatusOr<ResultSet> Executor::ExecPartialAggregate(const PlanNode& node) {
+  // Same machinery as kAggregate, but emitting the mergeable slot list
+  // (AVG decomposed into SUM + COUNT) instead of finalized values.
+  PlanNode partial = node;
+  partial.kind = PlanKind::kAggregate;
+  partial.aggregates = PartialAggLayout::For(node.aggregates).partial_specs;
+  return ExecAggregate(partial);
+}
+
+StatusOr<ResultSet> Executor::ExecFinalAggregate(const PlanNode& node) {
+  // Input convention: [group cols 0..k-1][partial slots k..k+n-1], the
+  // exact shape kPartialAggregate emits (and the shuffle stages preserve).
+  PartialAggLayout layout = PartialAggLayout::For(node.aggregates);
+  size_t k = node.group_by.size();
+
+  // Merge phase: re-group by the leading key columns, folding each slot
+  // with its merge function — COUNT partials merge by summing, SUM/MIN/MAX
+  // by themselves.
+  PlanNode merge;
+  merge.kind = PlanKind::kAggregate;
+  merge.children = node.children;
+  for (size_t g = 0; g < k; ++g) merge.group_by.push_back(g);
+  for (size_t j = 0; j < layout.num_slots(); ++j) {
+    AggSpec spec = layout.partial_specs[j];
+    spec.input = Expr::Column(k + j);
+    if (spec.func == AggFunc::kCount) spec.func = AggFunc::kSum;
+    merge.aggregates.push_back(spec);
+  }
+  POLY_ASSIGN_OR_RETURN(ResultSet merged, ExecAggregate(merge));
+
+  // Finalize the user aggregates out of the merged slots.
+  ResultSet out;
+  for (size_t g = 0; g < k; ++g) out.column_names.push_back(merged.column_names[g]);
+  for (const AggSpec& agg : node.aggregates) out.column_names.push_back(agg.output_name);
+  out.rows.reserve(merged.rows.size());
+  for (const Row& in : merged.rows) {
+    Row row(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(k));
+    for (const PartialAggLayout::Entry& entry : layout.entries) {
+      const Value& v = in[k + entry.slot];
+      switch (entry.func) {
+        case AggFunc::kCount:
+          // A group with zero counted rows merges to a null SUM; COUNT is 0.
+          row.push_back(v.is_null() ? Value::Int(0) : v);
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          row.push_back(v);
+          break;
+        case AggFunc::kAvg: {
+          const Value& cnt = in[k + entry.slot + 1];
+          double c = cnt.is_null() ? 0.0 : cnt.NumericValue();
+          row.push_back(c > 0 ? Value::Dbl(v.NumericValue() / c) : Value::Null());
+          break;
+        }
       }
     }
     out.rows.push_back(std::move(row));

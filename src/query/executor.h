@@ -102,6 +102,12 @@ class Executor {
   StatusOr<ResultSet> ExecAggregate(const PlanNode& node);
   StatusOr<ResultSet> ExecSort(const PlanNode& node);
   StatusOr<ResultSet> ExecLimit(const PlanNode& node);
+  /// Distributed-IR nodes (DESIGN.md §14), runnable single-node: kExchange
+  /// passes through (movement is the cluster's job), the partial/final pair
+  /// reproduces two-phase aggregation exactly as the shuffle consumers do.
+  StatusOr<ResultSet> ExecExchange(const PlanNode& node);
+  StatusOr<ResultSet> ExecPartialAggregate(const PlanNode& node);
+  StatusOr<ResultSet> ExecFinalAggregate(const PlanNode& node);
 
   /// Pool backing parallel execution; null when serial.
   ThreadPool* pool();

@@ -42,6 +42,36 @@ std::string PlanNode::ToString(int indent) const {
     case PlanKind::kLimit:
       out += "Limit(" + std::to_string(limit) + ")";
       break;
+    case PlanKind::kExchange: {
+      switch (exchange_mode) {
+        case ExchangeMode::kGather: out += "Exchange(gather)"; break;
+        case ExchangeMode::kBroadcast: out += "Exchange(broadcast)"; break;
+        case ExchangeMode::kRepartition: {
+          out += "Exchange(repartition, keys=[";
+          for (size_t i = 0; i < exchange_keys.size(); ++i) {
+            if (i) out += ",";
+            out += "$" + std::to_string(exchange_keys[i]);
+          }
+          out += "])";
+          break;
+        }
+      }
+      break;
+    }
+    case PlanKind::kPartialAggregate: {
+      out += "PartialAggregate(groups=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) out += ",";
+        out += "$" + std::to_string(group_by[i]);
+      }
+      out += "], slots=" +
+             std::to_string(PartialAggLayout::For(aggregates).num_slots()) + ")";
+      break;
+    }
+    case PlanKind::kFinalAggregate:
+      out += "FinalAggregate(keys=" + std::to_string(group_by.size()) +
+             ", aggs=" + std::to_string(aggregates.size()) + ")";
+      break;
   }
   out += "\n";
   for (const auto& child : children) out += child->ToString(indent + 1);
@@ -104,6 +134,38 @@ PlanBuilder PlanBuilder::Aggregate(std::vector<size_t> group_by,
   return std::move(*this);
 }
 
+PlanBuilder PlanBuilder::PartialAggregate(std::vector<size_t> group_by,
+                                          std::vector<AggSpec> aggs) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kPartialAggregate;
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggs);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::FinalAggregate(std::vector<size_t> group_by,
+                                        std::vector<AggSpec> aggs) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kFinalAggregate;
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggs);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Exchange(ExchangeMode mode, std::vector<size_t> keys) && {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kExchange;
+  node->exchange_mode = mode;
+  node->exchange_keys = std::move(keys);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return std::move(*this);
+}
+
 PlanBuilder PlanBuilder::Sort(std::vector<SortKey> keys) && {
   auto node = std::make_shared<PlanNode>();
   node->kind = PlanKind::kSort;
@@ -120,6 +182,32 @@ PlanBuilder PlanBuilder::Limit(size_t n) && {
   node->children.push_back(std::move(root_));
   root_ = std::move(node);
   return std::move(*this);
+}
+
+PartialAggLayout PartialAggLayout::For(const std::vector<AggSpec>& user_aggs) {
+  PartialAggLayout layout;
+  for (const AggSpec& agg : user_aggs) {
+    Entry entry;
+    entry.func = agg.func;
+    entry.slot = layout.partial_specs.size();
+    layout.entries.push_back(entry);
+    if (agg.func == AggFunc::kAvg) {
+      layout.partial_specs.push_back({AggFunc::kSum, agg.input, "s"});
+      layout.partial_specs.push_back({AggFunc::kCount, agg.input, "c"});
+    } else {
+      layout.partial_specs.push_back({agg.func, agg.input, "p"});
+    }
+  }
+  return layout;
+}
+
+PlanPtr RewriteScanTables(const PlanPtr& plan, const std::string& from,
+                          const std::string& to) {
+  if (!plan) return plan;
+  auto copy = std::make_shared<PlanNode>(*plan);
+  if (copy->kind == PlanKind::kScan && copy->table == from) copy->table = to;
+  for (auto& child : copy->children) child = RewriteScanTables(child, from, to);
+  return copy;
 }
 
 }  // namespace poly

@@ -20,6 +20,21 @@ enum class PlanKind {
   kAggregate,  ///< optional group-by + aggregate functions
   kSort,
   kLimit,
+  // Exchange-aware nodes of the distributed plan IR (DESIGN.md §14). A
+  // single-node Executor runs them too: kExchange is a pass-through (data
+  // movement is the cluster's job), and the partial/final pair reproduces
+  // the distributed two-phase aggregation on one machine — which is exactly
+  // what the coordinator does when it merges shuffled partials.
+  kExchange,          ///< fragment boundary: output leaves the fragment
+  kPartialAggregate,  ///< per-node phase: mergeable partial slots
+  kFinalAggregate,    ///< merge phase over [group cols][partial slots]
+};
+
+/// How an exchange moves its fragment's output (DESIGN.md §14.2).
+enum class ExchangeMode {
+  kGather,       ///< every producer sends to the coordinator
+  kBroadcast,    ///< every producer sends everything to every consumer
+  kRepartition,  ///< rows routed by hash of the exchange keys
 };
 
 enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
@@ -61,9 +76,15 @@ struct PlanNode {
   size_t left_key = 0;
   size_t right_key = 0;
 
-  // kAggregate
+  // kAggregate / kPartialAggregate / kFinalAggregate. The partial/final
+  // pair carries the USER aggregate list; both derive the slot layout with
+  // PartialAggLayout::For, so producer and merger can never disagree on it.
   std::vector<size_t> group_by;
   std::vector<AggSpec> aggregates;
+
+  // kExchange
+  ExchangeMode exchange_mode = ExchangeMode::kGather;
+  std::vector<size_t> exchange_keys;  ///< repartition hash columns
 
   // kSort
   std::vector<SortKey> sort_keys;
@@ -85,6 +106,11 @@ class PlanBuilder {
   PlanBuilder Project(std::vector<ExprPtr> exprs, std::vector<std::string> names) &&;
   PlanBuilder HashJoin(PlanPtr right, size_t left_key, size_t right_key) &&;
   PlanBuilder Aggregate(std::vector<size_t> group_by, std::vector<AggSpec> aggs) &&;
+  PlanBuilder PartialAggregate(std::vector<size_t> group_by,
+                               std::vector<AggSpec> aggs) &&;
+  PlanBuilder FinalAggregate(std::vector<size_t> group_by,
+                             std::vector<AggSpec> aggs) &&;
+  PlanBuilder Exchange(ExchangeMode mode, std::vector<size_t> keys = {}) &&;
   PlanBuilder Sort(std::vector<SortKey> keys) &&;
   PlanBuilder Limit(size_t n) &&;
 
@@ -93,6 +119,30 @@ class PlanBuilder {
  private:
   PlanPtr root_;
 };
+
+/// How a user aggregate list decomposes into mergeable partial slots:
+/// AVG becomes a SUM slot plus a COUNT slot; everything else maps 1:1.
+/// A kPartialAggregate emits [group cols][slot 0..n-1]; the matching
+/// kFinalAggregate merges slots (COUNT by summing, SUM/MIN/MAX by
+/// themselves) and finalizes AVG as merged-sum / merged-count.
+struct PartialAggLayout {
+  struct Entry {
+    AggFunc func = AggFunc::kCount;  ///< the user aggregate
+    size_t slot = 0;                 ///< first partial slot (AVG owns slot+1 too)
+  };
+  std::vector<Entry> entries;          ///< one per user aggregate
+  std::vector<AggSpec> partial_specs;  ///< the per-slot partial aggregates
+
+  static PartialAggLayout For(const std::vector<AggSpec>& user_aggs);
+  size_t num_slots() const { return partial_specs.size(); }
+};
+
+/// Deep copy of `plan` with every scan of table `from` renamed to `to`.
+/// Fragment instantiation: the distributed planner emits logical table
+/// names; the cluster patches in the per-task partition table. Expressions
+/// are shared (immutable), plan nodes are copied.
+PlanPtr RewriteScanTables(const PlanPtr& plan, const std::string& from,
+                          const std::string& to);
 
 }  // namespace poly
 

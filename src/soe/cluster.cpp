@@ -23,6 +23,8 @@ SoeCluster::SoeCluster(Options options)
   cm_.backoff_hist = metrics_.histogram("soe.retry.backoff_wait_nanos");
   cm_.dqp_queries = metrics_.counter("soe.dqp.queries");
   cm_.dqp_result_bytes = metrics_.counter("soe.dqp.result_bytes");
+  cm_.dqp_shuffle_bytes = metrics_.counter("soe.dqp.shuffle_bytes");
+  cm_.dqp_fragments = metrics_.counter("soe.dqp.fragments");
   cm_.dqp_failovers = metrics_.counter("soe.dqp.failovers");
   cm_.task_nanos = metrics_.histogram("soe.dqp.task_virtual_nanos");
   cm_.txn_commits = metrics_.counter("soe.txn.commits");
@@ -180,6 +182,12 @@ StatusOr<uint64_t> SoeCluster::CommitInserts(const std::string& table,
   }));
   cm_.txn_commits->Add(1);
   cm_.txn_rows->Add(rows.size());
+  // Catalog statistics for the distributed planner's join-strategy rule:
+  // committed rows bump the table's row estimate exactly once (the append
+  // consumed one offset; node-side applies/replays never touch it).
+  if (auto stats_info = catalog_.MutableLookup(table); stats_info.ok()) {
+    (*stats_info)->approx_rows += rows.size();
+  }
 
   // OLTP nodes hosting touched partitions incorporate the log in-line.
   // Best-effort: the commit is already durable, so a node that stays
@@ -306,6 +314,222 @@ void SoeCluster::FinishTrace(const std::string& label, uint64_t trace_start,
   root->wall_nanos = net_.virtual_nanos() - trace_start;
   out->trace = root;
   last_trace_ = root;
+}
+
+void SoeCluster::CoordinatorBackoff(int attempt) {
+  ++total_retries_;
+  cm_.retries->Add(1);
+  uint64_t wait = BackoffNanos(attempt);
+  cm_.backoff_nanos->Add(wait);
+  cm_.backoff_hist->Observe(wait);
+  net_.AdvanceVirtualTime(wait);
+  PumpFaults();
+}
+
+StatusOr<ResultSet> SoeCluster::RunFragmentTask(
+    const std::string& label, const std::vector<int>& candidates,
+    bool sync_for_read, const PlanPtr& plan,
+    const std::vector<SoeNode::FragmentInput>& inputs, bool gather_rows,
+    int* served_by) {
+  uint64_t start = net_.virtual_nanos();
+  Status last = Status::Unavailable("no live node for " + label);
+  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++last_stats_.retries;
+      ++total_retries_;
+      cm_.retries->Add(1);
+      uint64_t wait = BackoffNanos(attempt - 1);
+      cm_.backoff_nanos->Add(wait);
+      cm_.backoff_hist->Observe(wait);
+      net_.AdvanceVirtualTime(wait);
+      PumpFaults();
+      if (net_.virtual_nanos() - start >= options_.retry.op_timeout_nanos) break;
+    }
+    // One pass over the candidate nodes per attempt: preferred site first,
+    // then failover candidates.
+    bool on_primary = true;
+    for (int n : candidates) {
+      if (!discovery_.IsAlive(n)) {
+        on_primary = false;
+        continue;
+      }
+      SoeNode* node = nodes_[n].get();
+      ResultSet result;
+      uint64_t exec_nanos = 0;
+      uint64_t gathered = 0;
+      uint64_t shuffled = 0;
+      Status st = [&]() -> Status {
+        // Task dispatch, optional freshness sync, staged-input delivery
+        // (producer -> serving node, charged at consumption time — rows a
+        // node itself produced ride for free), local execution, and for
+        // gather stages the result rows (node -> coordinator). Any lost
+        // message fails the whole task; nothing merges until the round
+        // trip fully succeeds, so retries can never double-count.
+        POLY_RETURN_IF_ERROR(net_.Send(kCoordinatorEndpoint, n, 256));
+        if (sync_for_read) POLY_RETURN_IF_ERROR(SyncForRead(node));
+        for (const SoeNode::FragmentInput& input : inputs) {
+          for (const auto& [producer, row] : *input.rows) {
+            if (producer == n) continue;
+            uint64_t row_bytes = EstimateRowBytes(row);
+            POLY_RETURN_IF_ERROR(net_.Send(producer, n, row_bytes));
+            shuffled += row_bytes;
+          }
+        }
+        uint64_t before = node->busy_nanos();
+        POLY_ASSIGN_OR_RETURN(result, node->ExecuteFragment(plan, inputs));
+        exec_nanos = node->busy_nanos() - before;
+        if (gather_rows) {
+          for (const Row& row : result.rows) {
+            uint64_t row_bytes = EstimateRowBytes(row);
+            POLY_RETURN_IF_ERROR(net_.Send(n, kCoordinatorEndpoint, row_bytes));
+            gathered += row_bytes;
+          }
+        }
+        return Status::OK();
+      }();
+      if (st.ok()) {
+        if (!on_primary) {
+          ++last_stats_.failovers;
+          cm_.dqp_failovers->Add(1);
+        }
+        last_stats_.result_bytes_gathered += gathered;
+        last_stats_.shuffle_bytes += shuffled;
+        last_stats_.total_exec_nanos += exec_nanos;
+        stats_.RecordQuery(n, 0, exec_nanos);
+        if (n >= 0 && n < static_cast<int>(cm_.node_rpcs.size())) {
+          cm_.node_rpcs[n]->Add(1);
+        }
+        cm_.task_nanos->Observe(net_.virtual_nanos() - start);
+        if (trace_) {
+          OperatorSpan task;
+          task.label = label + "@node" + std::to_string(n);
+          task.rows_out = result.rows.size();
+          task.bytes_out = gathered + shuffled;
+          task.wall_nanos = net_.virtual_nanos() - start;
+          task_spans_.push_back(std::move(task));
+        }
+        *served_by = n;
+        return result;
+      }
+      if (!st.IsUnavailable()) return st;  // execution errors are not transient
+      last = st;
+      on_primary = false;
+    }
+  }
+  return Status::Unavailable(label + " failed after retries: " + last.message());
+}
+
+StatusOr<ResultSet> SoeCluster::RunFragments(const DistributedPlan& dplan) {
+  PumpFaults();
+  last_stats_ = DistributedQueryStats{};
+  uint64_t trace_start = net_.virtual_nanos();
+  if (trace_) task_spans_.clear();
+
+  // Coordinator mailboxes: outbox[stage][consumer task] holds rows tagged
+  // with their producer node. Routing is decided as soon as a producer task
+  // commits; delivery is charged when the consuming task runs.
+  using Box = std::vector<std::pair<int, Row>>;
+  std::vector<std::vector<Box>> outbox(dplan.stages.size());
+
+  std::vector<int> consumer_of(dplan.stages.size(), -1);
+  for (size_t s = 0; s < dplan.stages.size(); ++s) {
+    for (const StagedInput& in : dplan.stages[s].inputs) {
+      if (in.producer_stage >= 0) consumer_of[in.producer_stage] = static_cast<int>(s);
+    }
+  }
+  auto TaskCount = [](const FragmentStage& st) -> size_t {
+    return st.by_partition ? st.partitions.size()
+                           : static_cast<size_t>(std::max(1, st.num_tasks));
+  };
+
+  ResultSet gathered;
+  gathered.column_names = dplan.gather_columns;
+  std::unordered_map<int, uint64_t> node_nanos;
+
+  for (size_t s = 0; s < dplan.stages.size(); ++s) {
+    const FragmentStage& st = dplan.stages[s];
+    if (st.mode == ExchangeMode::kBroadcast) {
+      outbox[s].resize(1);
+    } else if (st.mode == ExchangeMode::kRepartition) {
+      if (consumer_of[s] < 0) {
+        return Status::Internal("repartition stage has no consumer");
+      }
+      outbox[s].resize(TaskCount(dplan.stages[consumer_of[s]]));
+    }
+    const CatalogService::TableInfo* info = nullptr;
+    if (st.by_partition) {
+      POLY_ASSIGN_OR_RETURN(info, catalog_.Lookup(st.table));
+      last_stats_.partitions += st.partitions.size();
+    }
+    size_t ntasks = TaskCount(st);
+    for (size_t t = 0; t < ntasks; ++t) {
+      PumpFaults();  // task edges are the deterministic fault-firing points
+      PlanPtr task_plan = st.plan;
+      std::vector<int> candidates;
+      std::string label;
+      if (st.by_partition) {
+        size_t p = st.partitions[t];
+        if (p >= info->placement.size()) {
+          return Status::Internal("partition id out of range for " + st.table);
+        }
+        std::string part_table = PartitionTableName(st.table, p);
+        task_plan = RewriteScanTables(st.plan, st.table, part_table);
+        candidates = info->placement[p];
+        label = "Fragment(" + st.label + ":" + part_table + ")";
+      } else {
+        // Shuffle consumers can run anywhere: preferred node rotates with
+        // the task index, the rest of the live set is the failover order.
+        std::vector<int> live = discovery_.LiveNodes();
+        if (live.empty()) return Status::Unavailable("no live nodes for " + st.label);
+        size_t off = t % live.size();
+        candidates.assign(live.begin() + static_cast<std::ptrdiff_t>(off), live.end());
+        candidates.insert(candidates.end(), live.begin(),
+                          live.begin() + static_cast<std::ptrdiff_t>(off));
+        label = "Fragment(" + st.label + ":t" + std::to_string(t) + ")";
+      }
+      std::vector<SoeNode::FragmentInput> inputs;
+      for (const StagedInput& in : st.inputs) {
+        const std::vector<Box>& boxes = outbox[in.producer_stage];
+        const Box* rows = &boxes[boxes.size() == 1 ? 0 : t];
+        inputs.push_back({in.name, in.width, rows});
+      }
+      int served_by = -1;
+      uint64_t before_exec = last_stats_.total_exec_nanos;
+      POLY_ASSIGN_OR_RETURN(
+          ResultSet part,
+          RunFragmentTask(label, candidates, st.by_partition, task_plan, inputs,
+                          st.mode == ExchangeMode::kGather, &served_by));
+      node_nanos[served_by] += last_stats_.total_exec_nanos - before_exec;
+      ++last_stats_.fragments;
+      if (st.mode == ExchangeMode::kGather) {
+        for (Row& row : part.rows) gathered.rows.push_back(std::move(row));
+      } else if (st.mode == ExchangeMode::kBroadcast) {
+        for (Row& row : part.rows) {
+          outbox[s][0].emplace_back(served_by, std::move(row));
+        }
+      } else {
+        size_t buckets = outbox[s].size();
+        for (Row& row : part.rows) {
+          // Same FNV fold as the executor's group/join keys: equal key
+          // values always land on the same consumer.
+          size_t h = 1469598103934665603ULL;
+          for (size_t key : st.keys) h = (h ^ row[key].Hash()) * 1099511628211ULL;
+          outbox[s][h % buckets].emplace_back(served_by, std::move(row));
+        }
+      }
+    }
+  }
+
+  last_stats_.nodes_used = node_nanos.size();
+  for (const auto& [_, nanos] : node_nanos) {
+    last_stats_.makespan_nanos = std::max(last_stats_.makespan_nanos, nanos);
+  }
+  cm_.dqp_queries->Add(1);
+  cm_.dqp_result_bytes->Add(last_stats_.result_bytes_gathered);
+  cm_.dqp_shuffle_bytes->Add(last_stats_.shuffle_bytes);
+  cm_.dqp_fragments->Add(last_stats_.fragments);
+  FinishTrace("DistributedQuery(" + dplan.strategy + ")", trace_start, &gathered);
+  return gathered;
 }
 
 namespace {

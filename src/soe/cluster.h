@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "common/random.h"
+#include "soe/distributed_planner.h"
 #include "soe/fault_schedule.h"
 #include "soe/node.h"
 #include "soe/services.h"
@@ -24,6 +25,10 @@ struct DistributedQueryStats {
   uint64_t total_exec_nanos = 0;
   uint64_t retries = 0;    ///< per-partition task attempts beyond the first
   uint64_t failovers = 0;  ///< tasks answered by a non-primary replica
+  /// Node-to-node staged-input delivery bytes (shuffle/broadcast traffic;
+  /// rows consumed on the node that produced them ride for free).
+  uint64_t shuffle_bytes = 0;
+  size_t fragments = 0;  ///< fragment tasks run, all stages (RunFragments)
 };
 
 /// Bounded-retry policy for cluster operations over the fault fabric:
@@ -95,6 +100,20 @@ class SoeCluster {
 
   /// Scatter/gather row collection (same retry/failover discipline).
   StatusOr<ResultSet> DistributedScan(const std::string& table, const ExprPtr& predicate);
+
+  /// Executes a lowered distributed plan (DESIGN.md §14): stages run in
+  /// topological order; partition-sited fragments retry with replica
+  /// failover, node-sited shuffle consumers fail over to any live node.
+  /// Repartition/broadcast outputs stay in coordinator mailboxes and are
+  /// charged on the fabric producer->consumer when the consuming task runs
+  /// (co-located rows are free); only gather stages pay coordinator
+  /// traffic. Returns the last stage's gathered rows.
+  StatusOr<ResultSet> RunFragments(const DistributedPlan& plan);
+
+  /// One coordinator-side backoff step between whole-query attempts (the
+  /// SQL bridge re-plans and re-runs after a mid-query node loss): waits
+  /// the `attempt`-th backoff in virtual time and fires due fault events.
+  void CoordinatorBackoff(int attempt);
 
   const DistributedQueryStats& last_query_stats() const { return last_stats_; }
 
@@ -174,6 +193,16 @@ class SoeCluster {
   /// failover; on success returns the rows and the serving node via `served_by`.
   StatusOr<ResultSet> RunPartitionTask(const CatalogService::TableInfo& info,
                                        size_t p, const PlanPtr& plan, int* served_by);
+  /// Runs one fragment task with bounded retries: each attempt walks the
+  /// candidate nodes in order (skipping dead ones), charges dispatch +
+  /// staged-input delivery + (for gather stages) per-row results on the
+  /// fabric, and executes the fragment on the serving node. Nothing merges
+  /// until a full attempt succeeds, so retries never double-count.
+  StatusOr<ResultSet> RunFragmentTask(
+      const std::string& label, const std::vector<int>& candidates,
+      bool sync_for_read, const PlanPtr& plan,
+      const std::vector<SoeNode::FragmentInput>& inputs, bool gather_rows,
+      int* served_by);
   /// When tracing: wraps the per-task spans collected since `trace_start`
   /// under a coordinator span and attaches it to `out` + last_trace().
   void FinishTrace(const std::string& label, uint64_t trace_start,
@@ -187,6 +216,8 @@ class SoeCluster {
     metrics::Histogram* backoff_hist = nullptr;    ///< soe.retry.backoff_wait_nanos
     metrics::Counter* dqp_queries = nullptr;       ///< soe.dqp.queries
     metrics::Counter* dqp_result_bytes = nullptr;  ///< soe.dqp.result_bytes
+    metrics::Counter* dqp_shuffle_bytes = nullptr; ///< soe.dqp.shuffle_bytes
+    metrics::Counter* dqp_fragments = nullptr;     ///< soe.dqp.fragments
     metrics::Counter* dqp_failovers = nullptr;     ///< soe.dqp.failovers
     metrics::Histogram* task_nanos = nullptr;      ///< soe.dqp.task_virtual_nanos
     metrics::Counter* txn_commits = nullptr;       ///< soe.txn.commits

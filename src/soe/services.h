@@ -23,6 +23,11 @@ class CatalogService {
     int replication = 1;
     /// partition -> node ids, primary first.
     std::vector<std::vector<int>> placement;
+    /// Rows committed through the transaction broker — the catalog
+    /// statistic the distributed planner's broadcast-vs-shuffle join rule
+    /// consults (DESIGN.md §14.3). An estimate, not a count: deletes are
+    /// not modeled and replays do not double-bump it.
+    uint64_t approx_rows = 0;
   };
 
   Status RegisterTable(const std::string& name, TableInfo info);

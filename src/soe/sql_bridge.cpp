@@ -6,24 +6,10 @@
 #include "query/executor.h"
 #include "query/optimizer.h"
 #include "query/sql_parser.h"
+#include "storage/mvcc.h"
 #include "txn/transaction_manager.h"
 
 namespace poly {
-
-namespace {
-
-/// Applies Sort and Limit nodes to a materialized result.
-void ApplySort(const std::vector<SortKey>& keys, ResultSet* rs) {
-  std::stable_sort(rs->rows.begin(), rs->rows.end(), [&](const Row& a, const Row& b) {
-    for (const SortKey& key : keys) {
-      if (a[key.column] < b[key.column]) return key.ascending;
-      if (b[key.column] < a[key.column]) return !key.ascending;
-    }
-    return false;
-  });
-}
-
-}  // namespace
 
 namespace {
 
@@ -33,15 +19,36 @@ void CollectScans(const PlanNode& node, std::vector<const PlanNode*>* out) {
   for (const auto& child : node.children) CollectScans(*child, out);
 }
 
+/// True if any node of the plan is a projection (residuals without one
+/// keep the gathered column names).
+bool HasProject(const PlanNode& node) {
+  if (node.kind == PlanKind::kProject) return true;
+  for (const auto& child : node.children) {
+    if (HasProject(*child)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 StatusOr<ResultSet> SoeSqlBridge::GatherAndExecute(const PlanPtr& plan) {
   std::vector<const PlanNode*> scans;
   CollectScans(*plan, &scans);
-  // Predicate pushdown to the cluster is safe only when a table is scanned
-  // once; a table scanned twice gathers unfiltered.
-  std::map<std::string, int> scan_count;
-  for (const PlanNode* scan : scans) ++scan_count[scan->table];
+  // Predicate pushdown survives a table being scanned more than once: the
+  // per-scan predicates are OR-combined, so the gathered rows are a
+  // superset of what every scan needs, and each scan re-applies its own
+  // predicate against the staged table. One unpredicated scan forces the
+  // whole table (its OR would be TRUE).
+  std::map<std::string, ExprPtr> pushdown;
+  std::map<std::string, bool> gather_all;
+  for (const PlanNode* scan : scans) {
+    if (scan->scan_predicate == nullptr) {
+      gather_all[scan->table] = true;
+      continue;
+    }
+    auto [it, inserted] = pushdown.emplace(scan->table, scan->scan_predicate);
+    if (!inserted) it->second = Expr::Or(it->second, scan->scan_predicate);
+  }
 
   Database staging;
   TransactionManager staging_tm;
@@ -49,10 +56,10 @@ StatusOr<ResultSet> SoeSqlBridge::GatherAndExecute(const PlanPtr& plan) {
     if (staging.GetTable(scan->table).ok()) continue;  // already staged
     POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info,
                           cluster_->catalog().Lookup(scan->table));
-    ExprPtr pushdown =
-        scan_count[scan->table] == 1 ? scan->scan_predicate : nullptr;
+    ExprPtr predicate =
+        gather_all[scan->table] ? nullptr : pushdown[scan->table];
     POLY_ASSIGN_OR_RETURN(ResultSet gathered,
-                          cluster_->DistributedScan(scan->table, pushdown));
+                          cluster_->DistributedScan(scan->table, predicate));
     POLY_ASSIGN_OR_RETURN(ColumnTable * t,
                           staging.CreateTable(scan->table, info->schema));
     auto txn = staging_tm.Begin();
@@ -63,6 +70,33 @@ StatusOr<ResultSet> SoeSqlBridge::GatherAndExecute(const PlanPtr& plan) {
   }
   Executor exec(&staging, staging_tm.AutoCommitView());
   return exec.Execute(plan);
+}
+
+StatusOr<ResultSet> SoeSqlBridge::RunResidual(const DistributedPlan& dplan,
+                                              ResultSet gathered) {
+  // The residual's leaf scans the staged gather output. Declared types are
+  // placeholders — column storage holds Values generically and the residual
+  // expressions evaluate whatever the fragments produced.
+  Database staging;
+  std::vector<ColumnDef> defs;
+  defs.reserve(dplan.gather_columns.size());
+  for (size_t c = 0; c < dplan.gather_columns.size(); ++c) {
+    defs.emplace_back("_c" + std::to_string(c), DataType::kInt64);
+  }
+  POLY_ASSIGN_OR_RETURN(
+      ColumnTable * t,
+      staging.CreateTable(dplan.residual_input, Schema(std::move(defs))));
+  for (const Row& row : gathered.rows) {
+    POLY_RETURN_IF_ERROR(t->AppendVersion(row, /*cts_stamp=*/1).status());
+  }
+  Executor exec(&staging, LatestCommittedView());
+  POLY_ASSIGN_OR_RETURN(ResultSet rs, exec.Execute(dplan.residual));
+  if (!HasProject(*dplan.residual) &&
+      rs.column_names.size() == dplan.gather_columns.size()) {
+    rs.column_names = dplan.gather_columns;
+  }
+  rs.trace = gathered.trace;  // keep the distributed span tree
+  return rs;
 }
 
 StatusOr<ResultSet> SoeSqlBridge::Execute(const std::string& sql) {
@@ -79,72 +113,39 @@ StatusOr<ResultSet> SoeSqlBridge::Execute(const std::string& sql) {
   Optimizer opt(nullptr, &shell);
   plan = opt.Optimize(plan);
 
-  // Peel residual coordinator-side operators off the top.
-  size_t limit = 0;
-  bool has_limit = false;
-  std::vector<SortKey> sort_keys;
-  std::vector<ExprPtr> projections;
-  std::vector<std::string> output_names;
-  bool has_project = false;
-  const PlanNode* node = plan.get();
-  if (node->kind == PlanKind::kLimit) {
-    has_limit = true;
-    limit = node->limit;
-    node = node->children[0].get();
-  }
-  if (node->kind == PlanKind::kSort) {
-    sort_keys = node->sort_keys;
-    node = node->children[0].get();
-  }
-  if (node->kind == PlanKind::kProject) {
-    has_project = true;
-    projections = node->projections;
-    output_names = node->output_names;
-    node = node->children[0].get();
+  if (force_gather_) {
+    last_plan_ = "strategy=gather (forced)\n" + plan->ToString();
+    return GatherAndExecute(plan);
   }
 
-  ResultSet rs;
-  if (node->kind == PlanKind::kAggregate &&
-      node->children[0]->kind == PlanKind::kScan && node->group_by.size() <= 1) {
-    // Fast path: fully distributed partial aggregation.
-    const PlanNode& agg = *node;
-    const PlanNode& scan = *agg.children[0];
-    POLY_ASSIGN_OR_RETURN(const CatalogService::TableInfo* info,
-                          cluster_->catalog().Lookup(scan.table));
-    std::string group_column;
-    if (!agg.group_by.empty()) {
-      group_column = info->schema.column(agg.group_by[0]).name;
+  // Whole-query attempts. A node lost mid-shuffle fails the run with
+  // Unavailable once per-task retries and replica failover are exhausted;
+  // the coordinator backs off (advancing virtual time, which fires due
+  // heal/kill events) and re-plans, so shuffle consumers are re-sited on
+  // the surviving nodes.
+  constexpr int kMaxQueryAttempts = 3;
+  Status last = Status::Unavailable("distributed query never attempted");
+  for (int attempt = 0; attempt < kMaxQueryAttempts; ++attempt) {
+    if (attempt > 0) cluster_->CoordinatorBackoff(attempt - 1);
+    DistributedPlanner planner(&cluster_->catalog(), &cluster_->discovery(),
+                               planner_options_);
+    POLY_ASSIGN_OR_RETURN(DistributedPlan dplan, planner.Plan(plan));
+    last_plan_ = dplan.ToString();
+    if (dplan.use_gather_fallback) {
+      // Explicit last resort for shapes the planner cannot place; the
+      // annotation above records strategy=gather for introspection.
+      return GatherAndExecute(plan);
     }
-    POLY_ASSIGN_OR_RETURN(rs, cluster_->DistributedAggregate(
-                                  scan.table, scan.scan_predicate, group_column,
-                                  agg.aggregates));
-  } else if (node->kind == PlanKind::kScan) {
-    POLY_ASSIGN_OR_RETURN(rs,
-                          cluster_->DistributedScan(node->table, node->scan_predicate));
-  } else {
-    // Gather-and-execute: ship each base table's (predicate-filtered) rows
-    // to the coordinator, stage them, run the remaining plan locally.
-    POLY_ASSIGN_OR_RETURN(rs, GatherAndExecute(plan));
-    return rs;  // plan already includes project/sort/limit
-  }
-
-  // Residual projection (column refs / expressions over the gathered rows).
-  if (has_project) {
-    ResultSet projected;
-    projected.column_names = output_names;
-    projected.trace = rs.trace;  // keep the distributed span tree
-    projected.rows.reserve(rs.rows.size());
-    for (const Row& row : rs.rows) {
-      Row out;
-      out.reserve(projections.size());
-      for (const ExprPtr& e : projections) out.push_back(e->Eval(row));
-      projected.rows.push_back(std::move(out));
+    auto run = cluster_->RunFragments(dplan);
+    if (!run.ok()) {
+      if (!run.status().IsUnavailable()) return run.status();
+      last = run.status();
+      continue;
     }
-    rs = std::move(projected);
+    if (dplan.residual == nullptr) return run;
+    return RunResidual(dplan, std::move(*run));
   }
-  if (!sort_keys.empty()) ApplySort(sort_keys, &rs);
-  if (has_limit && rs.rows.size() > limit) rs.rows.resize(limit);
-  return rs;
+  return last;
 }
 
 }  // namespace poly

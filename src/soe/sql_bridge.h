@@ -4,43 +4,67 @@
 #include <string>
 
 #include "soe/cluster.h"
+#include "soe/distributed_planner.h"
 
 namespace poly {
 
 /// The paper's third pillar: "a powerful orchestration [...] to provide a
 /// single point of entry" (§VI). This bridge lets one SQL string run
 /// against a distributed SOE table: the statement is parsed against the
-/// cluster catalog, the scan/filter/aggregate core is executed by the
-/// distributed query coordinator (v2dqp), and residual projection/sort/
-/// limit run at the entry point.
+/// cluster catalog, the DistributedPlanner lowers the optimized plan into
+/// per-node fragment stages, and the cluster's coordinator (v2dqp) runs
+/// them — partition-pruned scans node-local, equi-joins as broadcast or
+/// repartition-hash joins, GROUP BY of any arity as partial-per-node ->
+/// shuffle-by-key -> final. Residual projection/sort/limit run at the
+/// entry point over the gathered rows.
 ///
-/// Execution strategy:
-///  * single-table aggregates run fully distributed (partial aggregation on
-///    the nodes, merge at the coordinator);
-///  * plain scans run as distributed scatter/gather;
-///  * everything else (JOINs, multi-key GROUP BY, ...) uses gather-and-
-///    execute: each referenced table's rows are gathered with its pushed-
-///    down predicate, staged at the entry point, and the full plan runs on
-///    the single-node executor — the paper's "one single execution plan"
-///    with the coordinator as the final operator site.
+/// A mid-query node loss surfaces as Unavailable once per-task retries and
+/// replica failover are exhausted; the bridge backs off and re-plans
+/// against the new liveness picture before retrying the whole query.
+/// Shapes the planner cannot place (and only those) fall back to
+/// gather-and-execute — the explicit last resort, recorded as
+/// `strategy=gather` in AnnotatedPlan().
 class SoeSqlBridge {
  public:
   explicit SoeSqlBridge(SoeCluster* cluster) : cluster_(cluster) {}
 
   StatusOr<ResultSet> Execute(const std::string& sql);
 
-  /// Forwards to SoeCluster::set_trace: when on, results of the distributed
-  /// fast paths carry an OperatorSpan tree (coordinator span with one child
-  /// per per-partition task) that survives residual projection/sort/limit.
+  /// EXPLAIN-style annotation of the last Execute: the chosen strategy,
+  /// one line per fragment stage with placement and exchange mode, the
+  /// fragment plans, and the coordinator residual.
+  const std::string& AnnotatedPlan() const { return last_plan_; }
+
+  /// Forces every query through gather-and-execute (bench baseline and
+  /// tests; the planner is bypassed entirely).
+  void set_force_gather(bool on) { force_gather_ = on; }
+
+  /// Overrides the planner's knobs (e.g. broadcast_threshold_rows = 0
+  /// forces every equi-join onto the repartition path).
+  void set_planner_options(DistributedPlanner::Options options) {
+    planner_options_ = options;
+  }
+
+  /// Forwards to SoeCluster::set_trace: when on, distributed results carry
+  /// an OperatorSpan tree (coordinator span with one child per fragment
+  /// task) that survives residual projection/sort/limit.
   void set_trace(bool on) { cluster_->set_trace(on); }
 
- private:
-  /// Fallback: gathers every referenced table (with per-table predicate
-  /// pushdown) into a coordinator-local staging database and runs the full
-  /// plan there.
+  /// Last resort: gathers every referenced table (per-table predicates
+  /// OR-combined across its scans and pushed down) into a coordinator-local
+  /// staging database and runs the full plan there. Public so hand-built
+  /// plans beyond the SQL grammar (e.g. self-joins) can use the same path.
   StatusOr<ResultSet> GatherAndExecute(const PlanPtr& plan);
 
+ private:
+  /// Stages the gathered rows under the planner's residual-input name and
+  /// runs the coordinator residual on the local executor.
+  StatusOr<ResultSet> RunResidual(const DistributedPlan& dplan, ResultSet gathered);
+
   SoeCluster* cluster_;
+  DistributedPlanner::Options planner_options_;
+  std::string last_plan_;
+  bool force_gather_ = false;
 };
 
 }  // namespace poly

@@ -757,5 +757,45 @@ TEST(AdmissionConcurrencyTest, OltpFlowsWhileOlapQueuesAndBrokerSpills) {
   }
 }
 
+TEST(GovernorTest, AdHocExecutorMintsAdmissionTicket) {
+  metrics::Registry reg;
+  Database db;
+  db.set_metrics_registry(&reg);
+  TransactionManager tm;
+  ColumnTable* t =
+      *db.CreateTable("kv", Schema({ColumnDef("k", DataType::kInt64)}));
+  auto txn = tm.Begin();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(tm.Insert(txn.get(), t, {Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(tm.Commit(txn.get()).ok());
+
+  ResourceGovernor::Options gopts;
+  gopts.budget.total_limit_bytes = 64 << 20;
+  ResourceGovernor gov(gopts, &reg);
+  db.set_resource_governor(&gov);
+
+  // The ad-hoc Executor entry point (the path SOE fragment execution takes
+  // on a governed node) admits through the governor like Database::Execute
+  // — DESIGN.md §13.2's deliberate bypass is retired.
+  ExecOptions opts;
+  opts.workload_class = "olap";
+  Executor exec(&db, tm.AutoCommitView(), opts);
+  auto rs = exec.Execute(PlanBuilder::Scan("kv").Build());
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->num_rows(), 8u);
+  EXPECT_EQ(reg.counter("resource.admission.olap.admitted")->Value(), 1u);
+
+  // The per-call ticket died with Execute: nothing stays charged, and a
+  // second call admits again instead of reusing a stale budget.
+  for (const auto& [name, used] : gov.budget().Snapshot()) {
+    if (name == "global" || name == "storage") continue;
+    EXPECT_EQ(used, 0u) << name;
+  }
+  ASSERT_TRUE(exec.Execute(PlanBuilder::Scan("kv").Build()).ok());
+  EXPECT_EQ(reg.counter("resource.admission.olap.admitted")->Value(), 2u);
+  db.set_resource_governor(nullptr);
+}
+
 }  // namespace
 }  // namespace poly

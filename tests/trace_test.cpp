@@ -311,12 +311,14 @@ TEST_F(SoeTraceTest, BridgeCarriesTraceThroughResidualOperators) {
       "ORDER BY doubled DESC LIMIT 5");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   ASSERT_NE(rs->trace, nullptr);
-  EXPECT_EQ(rs->trace->label, "DistributedScan(readings)");
+  // SQL scans are lowered by the distributed planner into partition-sited
+  // fragments; the coordinator span carries one child per fragment task.
+  EXPECT_EQ(rs->trace->label, "DistributedQuery(scan)");
   EXPECT_FALSE(rs->trace->children.empty());
   // The trace describes the distributed stage: rows_out is the gathered
   // count, before the residual limit shrank the result.
   EXPECT_GE(rs->trace->rows_out, rs->num_rows());
-  EXPECT_NE(rs->AnnotatedPlan().find("PartitionTask("), std::string::npos);
+  EXPECT_NE(rs->AnnotatedPlan().find("Fragment("), std::string::npos);
 }
 
 }  // namespace
